@@ -1,0 +1,77 @@
+// Command mcimbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcimbench -list
+//	mcimbench -exp fig7a [-trials 5] [-scale 0.05] [-seed 7] [-csv out.csv]
+//	mcimbench -exp all
+//
+// Each experiment prints the same rows/series the paper reports, plus a
+// note describing the expected shape. Scale is the dataset size relative to
+// the paper (e.g. 0.01 = 1%); defaults are sized for a laptop-class box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (or 'all')")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		trials = flag.Int("trials", 0, "trials to average (0 = experiment default)")
+		scale  = flag.Float64("scale", 0, "dataset scale in (0,1] (0 = experiment default)")
+		seed   = flag.Uint64("seed", 0, "root seed (0 = fixed default)")
+		csv    = flag.String("csv", "", "also write result as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.List() {
+			e, _ := experiment.ByID(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "mcimbench: -exp or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.Config{Seed: *seed, Scale: *scale, Trials: *trials}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.List()
+	}
+	for _, id := range ids {
+		e, err := experiment.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcimbench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcimbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csv != "" {
+			name := *csv
+			if *exp == "all" {
+				name = id + "_" + *csv
+			}
+			if err := os.WriteFile(name, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mcimbench: write %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Training a classifier on LDP statistics — the paper's machine-learning
+// motivation ("many machine learning models, such as the decision tree,
+// rely on frequency information"). A naive-Bayes diagnosis model is trained
+// twice on per-feature classwise histograms of the simulated Diabetes
+// population: once from the exact counts and once from PTS-CP estimates
+// collected under ε-LDP. Held-out accuracy shows how much model quality the
+// privacy budget costs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mcim "repro"
+	"repro/internal/dataset"
+)
+
+// naiveBayes holds per-class priors and per-feature conditional
+// log-likelihood tables built from (possibly noisy) counts.
+type naiveBayes struct {
+	logPrior []float64
+	logCond  [][][]float64 // [feature][class][value]
+}
+
+// fit builds the model from per-feature classwise count matrices with
+// Laplace smoothing; negative LDP estimates are floored at zero.
+func fit(featureCounts [][][]float64) *naiveBayes {
+	classes := len(featureCounts[0])
+	nb := &naiveBayes{
+		logPrior: make([]float64, classes),
+		logCond:  make([][][]float64, len(featureCounts)),
+	}
+	classTotals := make([]float64, classes)
+	for c := 0; c < classes; c++ {
+		for _, v := range featureCounts[0][c] {
+			if v > 0 {
+				classTotals[c] += v
+			}
+		}
+	}
+	total := 0.0
+	for _, ct := range classTotals {
+		total += ct
+	}
+	for c := 0; c < classes; c++ {
+		nb.logPrior[c] = math.Log((classTotals[c] + 1) / (total + float64(classes)))
+	}
+	for f, counts := range featureCounts {
+		nb.logCond[f] = make([][]float64, classes)
+		for c := 0; c < classes; c++ {
+			domain := len(counts[c])
+			sum := 0.0
+			for _, v := range counts[c] {
+				if v > 0 {
+					sum += v
+				}
+			}
+			nb.logCond[f][c] = make([]float64, domain)
+			for val, v := range counts[c] {
+				if v < 0 {
+					v = 0
+				}
+				nb.logCond[f][c][val] = math.Log((v + 1) / (sum + float64(domain)))
+			}
+		}
+	}
+	return nb
+}
+
+// predict returns the argmax class for one feature vector.
+func (nb *naiveBayes) predict(features []int) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range nb.logPrior {
+		score := nb.logPrior[c]
+		for f, val := range features {
+			score += nb.logCond[f][c][val]
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+func main() {
+	const eps = 2.0
+	// Per-feature (label, value) datasets; the first 80% of each trains,
+	// the rest tests. Users are partitioned per feature exactly as in the
+	// paper's frequency-estimation setup, so the LDP collection is a
+	// faithful multi-class frequency query per feature.
+	features, err := dataset.Diabetes(21, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := mcim.NewRand(8)
+	est, err := mcim.NewPTSCP(eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact := make([][][]float64, len(features))
+	private := make([][][]float64, len(features))
+	type testCase struct {
+		feature int
+		label   int
+		value   int
+	}
+	var tests []testCase
+	for f, feat := range features {
+		cut := feat.N() * 4 / 5
+		train := feat.Subset(0, cut)
+		for _, p := range feat.Pairs[cut:] {
+			tests = append(tests, testCase{f, p.Class, p.Item})
+		}
+		exact[f] = train.TrueFrequencies()
+		private[f], err = est.Estimate(train, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	nbExact := fit(exact)
+	nbPrivate := fit(private)
+
+	// Score per-feature single-feature classifiers (each user only has one
+	// feature in this collection model), then report mean accuracy.
+	var accExact, accPriv, n float64
+	for _, tc := range tests {
+		n++
+		if nbSingle(nbExact, tc.feature, tc.value) == tc.label {
+			accExact++
+		}
+		if nbSingle(nbPrivate, tc.feature, tc.value) == tc.label {
+			accPriv++
+		}
+	}
+	fmt.Printf("diabetes naive Bayes, %d features, %d held-out users, ε=%v\n\n",
+		len(features), int(n), eps)
+	fmt.Printf("accuracy from exact histograms:   %.3f\n", accExact/n)
+	fmt.Printf("accuracy from ε-LDP histograms:   %.3f\n", accPriv/n)
+	fmt.Println("\nThe PTS-CP histograms are unbiased, so the model recovers the")
+	fmt.Println("dominant class structure despite every record being perturbed.")
+}
+
+// nbSingle classifies from a single feature value.
+func nbSingle(nb *naiveBayes, feature, value int) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range nb.logPrior {
+		score := nb.logPrior[c] + nb.logCond[feature][c][value]
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+// Patient data collection for disease diagnosis — the paper's second
+// motivating application. A diabetes-study population reports
+// (diagnosis-label, feature-value) pairs under ε-LDP; the analyst needs
+// classwise feature histograms to train a diagnostic model. All four
+// frequency-estimation frameworks run on every feature and are scored by
+// RMSE against the ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcim "repro"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const (
+		eps   = 2.0
+		scale = 0.5
+		seed  = 11
+	)
+	features, err := dataset.Diabetes(seed, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := dataset.DiabetesSpec()
+	fmt.Printf("diabetes study: %d features, %d users/feature, ε=%v\n\n",
+		len(features), features[0].N(), eps)
+
+	pts, err := mcim.NewPTS(eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptscp, err := mcim.NewPTSCP(eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frameworks := []mcim.FrequencyEstimator{
+		mcim.NewHEC(eps), mcim.NewPTJ(eps), pts, ptscp,
+	}
+
+	fmt.Printf("%-16s %-8s", "feature", "domain")
+	for _, fw := range frameworks {
+		fmt.Printf(" %-10s", fw.Name())
+	}
+	fmt.Println(" (RMSE, lower is better)")
+	rng := mcim.NewRand(3)
+	totals := make([]float64, len(frameworks))
+	for fi, feat := range features {
+		truth := feat.TrueFrequencies()
+		fmt.Printf("%-16s %-8d", spec.Features[fi].Name, feat.Items)
+		for wi, fw := range frameworks {
+			est, err := fw.Estimate(feat, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rmse := metrics.RMSE(est, truth)
+			totals[wi] += rmse
+			fmt.Printf(" %-10.1f", rmse)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s %-8s", "MEAN", "")
+	for wi := range frameworks {
+		fmt.Printf(" %-10.1f", totals[wi]/float64(len(features)))
+	}
+	fmt.Println()
+	fmt.Println("\nHEC wastes most users on classes they do not hold (invalid data);")
+	fmt.Println("PTS-CP voids exactly the reports whose label moved, and calibrates")
+	fmt.Println("the rest with Eq. (4) — unbiased classwise histograms.")
+}

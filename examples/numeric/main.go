@@ -1,0 +1,72 @@
+// Numerical items — the paper's future-work extension, implemented here:
+// classwise MEAN estimation under ε-LDP on the (label, value) pair.
+// A lab-test population reports (diagnosis, normalized lab value); the
+// analyst needs per-diagnosis means. Compares the HEC strawman, separate
+// perturbation (PTS-Mean) and the correlated mechanism (CP-Mean), whose
+// deniable invalidity symbol is the numerical analogue of the validity
+// flag.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcim "repro"
+)
+
+func main() {
+	const eps = 2.0
+	rng := mcim.NewRand(31)
+
+	// Three diagnosis groups with distinct normalized lab-value profiles.
+	centers := []float64{0.55, -0.35, 0.05}
+	sizes := []int{60000, 25000, 15000}
+	data := &mcim.NumericDataset{Classes: 3, Name: "lab-values"}
+	for c, mu := range centers {
+		for i := 0; i < sizes[c]; i++ {
+			x := mu + 0.25*rng.NormFloat64()
+			if x > 1 {
+				x = 1
+			}
+			if x < -1 {
+				x = -1
+			}
+			data.Values = append(data.Values, mcim.NumericValue{Class: c, X: x})
+		}
+	}
+	truth, _ := data.TrueMeans()
+
+	pts, err := mcim.NewPTSMean(eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := mcim.NewCPMeanEstimator(eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	estimators := []mcim.MeanEstimator{mcim.NewHECMean(eps), pts, cp}
+
+	fmt.Printf("population: %d users, 3 diagnosis groups, ε=%v\n\n", data.N(), eps)
+	fmt.Printf("%-10s %-10s", "group", "true mean")
+	for _, e := range estimators {
+		fmt.Printf(" %-10s", e.Name())
+	}
+	fmt.Println()
+	results := make([][]float64, len(estimators))
+	for i, e := range estimators {
+		res, err := e.EstimateMeans(data, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[i] = res
+	}
+	for c := range centers {
+		fmt.Printf("%-10d %-10.3f", c, truth[c])
+		for i := range estimators {
+			fmt.Printf(" %-10.3f", results[i][c])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nHEC-Mean shrinks toward 0 (2/3 of each group is substituted noise);")
+	fmt.Println("CP-Mean's difference estimator cancels mis-routed users exactly.")
+}

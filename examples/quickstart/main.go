@@ -1,0 +1,53 @@
+// Quickstart: estimate classwise item frequencies under ε-LDP with the
+// paper's best frequency framework (PTS with correlated perturbation), and
+// compare against the ground truth the server never sees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcim "repro"
+)
+
+func main() {
+	// A toy population: 2 classes (say, two user groups), 8 items.
+	// Group 0 loves item 2, group 1 loves item 5.
+	rng := mcim.NewRand(42)
+	data := &mcim.Dataset{Classes: 2, Items: 8, Name: "quickstart"}
+	for i := 0; i < 20000; i++ {
+		pair := mcim.Pair{Class: 0, Item: 2}
+		switch {
+		case i%3 == 1:
+			pair = mcim.Pair{Class: 1, Item: 5}
+		case i%7 == 0:
+			pair = mcim.Pair{Class: i % 2, Item: i % 8}
+		}
+		data.Pairs = append(data.Pairs, pair)
+	}
+
+	// Build the PTS-CP estimator: total budget ε=2, half for the label.
+	est, err := mcim.NewPTSCP(2.0, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the full perturb-aggregate-calibrate pipeline.
+	freq, err := est.Estimate(data, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := data.TrueFrequencies()
+	fmt.Printf("%-6s %-5s %-10s %-10s\n", "class", "item", "true", "estimated")
+	for c := 0; c < data.Classes; c++ {
+		for i := 0; i < data.Items; i++ {
+			if truth[c][i] < 100 {
+				continue // print only the interesting cells
+			}
+			fmt.Printf("%-6d %-5d %-10.0f %-10.0f\n", c, i, truth[c][i], freq[c][i])
+		}
+	}
+	fmt.Println("\nEvery report satisfied 2.0-LDP on the (label, item) pair;")
+	fmt.Println("the estimates above are unbiased (paper Eq. 4, Theorem 3).")
+}

@@ -1,0 +1,243 @@
+// Package collect implements a small HTTP collection pipeline around the
+// correlated perturbation mechanism — the way LDP frequency oracles are
+// deployed in practice (RAPPOR in Chrome, Apple's HCMS): clients perturb
+// locally and POST sparse reports; the server accumulates them and serves
+// calibrated classwise estimates.
+//
+// The wire format is JSON with reports carried as set-bit indices, which is
+// the natural sparse encoding of an OUE-style bit vector (expected
+// (d+1)/(e^ε+1) + 1 set bits per report).
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// WireConfig describes the collection round so clients can self-configure.
+type WireConfig struct {
+	Classes int     `json:"classes"`
+	Items   int     `json:"items"`
+	Epsilon float64 `json:"epsilon"`
+	Split   float64 `json:"split"`
+}
+
+// WireReport is one perturbed report on the wire. Bits holds the set-bit
+// indices of the (d+1)-length correlated-perturbation item vector.
+type WireReport struct {
+	Label int   `json:"label"`
+	Bits  []int `json:"bits"`
+}
+
+// WireEstimates is the server's calibrated output.
+type WireEstimates struct {
+	Reports     int         `json:"reports"`
+	Frequencies [][]float64 `json:"frequencies"` // [class][item]
+	ClassSizes  []float64   `json:"class_sizes"`
+}
+
+// Server accumulates correlated-perturbation reports over HTTP.
+// It is safe for concurrent use.
+type Server struct {
+	cp  *core.CP
+	cfg WireConfig
+
+	mu  sync.Mutex
+	acc *core.CPAccumulator
+}
+
+// NewServer builds a collection server for c classes and d items at budget
+// eps with label-budget fraction split.
+func NewServer(c, d int, eps, split float64) (*Server, error) {
+	cp, err := core.NewCP(c, d, eps, split)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cp:  cp,
+		cfg: WireConfig{Classes: c, Items: d, Epsilon: eps, Split: split},
+		acc: cp.NewAccumulator(),
+	}, nil
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET  /config    → WireConfig
+//	POST /report    → accept one WireReport
+//	GET  /estimates → WireEstimates (calibrated Eq. 4 frequencies)
+//	GET  /healthz   → 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /config", s.handleConfig)
+	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("GET /estimates", s.handleEstimates)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.cfg)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var rep WireReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cpRep, err := s.decode(rep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.acc.Add(cpRep)
+	n := s.acc.Total()
+	s.mu.Unlock()
+	writeJSON(w, map[string]int{"reports": n})
+}
+
+// decode validates a wire report and rebuilds the bit vector.
+func (s *Server) decode(rep WireReport) (core.CPReport, error) {
+	if rep.Label < 0 || rep.Label >= s.cfg.Classes {
+		return core.CPReport{}, fmt.Errorf("collect: label %d outside [0,%d)", rep.Label, s.cfg.Classes)
+	}
+	bits := bitvec.New(s.cfg.Items + 1)
+	for _, b := range rep.Bits {
+		if b < 0 || b > s.cfg.Items {
+			return core.CPReport{}, fmt.Errorf("collect: bit %d outside [0,%d]", b, s.cfg.Items)
+		}
+		bits.Set(b)
+	}
+	return core.CPReport{Label: rep.Label, Bits: bits}, nil
+}
+
+func (s *Server) handleEstimates(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	est := s.acc.EstimateAll()
+	sizes := make([]float64, s.cfg.Classes)
+	for c := range sizes {
+		sizes[c] = s.acc.EstimateClassSize(c)
+	}
+	n := s.acc.Total()
+	s.mu.Unlock()
+	writeJSON(w, WireEstimates{Reports: n, Frequencies: est, ClassSizes: sizes})
+}
+
+// Reports returns the number of reports accumulated so far.
+func (s *Server) Reports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.Total()
+}
+
+// Snapshot serializes the aggregation state (aggregate counts only — no
+// individual reports are retained) so the server can checkpoint across
+// restarts.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.MarshalBinary()
+}
+
+// Restore replaces the aggregation state with a snapshot taken from a
+// server with the same configuration.
+func (s *Server) Restore(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.UnmarshalBinary(data)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client perturbs pairs locally and submits them to a collection server.
+// The raw pair never leaves the client.
+type Client struct {
+	base string
+	http *http.Client
+	cp   *core.CP
+	rng  *xrand.Rand
+}
+
+// NewClient fetches the server's configuration from baseURL and prepares a
+// local perturber seeded with seed.
+func NewClient(baseURL string, hc *http.Client, seed uint64) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(baseURL + "/config")
+	if err != nil {
+		return nil, fmt.Errorf("collect: fetch config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: config status %s", resp.Status)
+	}
+	var cfg WireConfig
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("collect: decode config: %w", err)
+	}
+	cp, err := core.NewCP(cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{base: baseURL, http: hc, cp: cp, rng: xrand.New(seed)}, nil
+}
+
+// Submit perturbs the pair under the correlated perturbation mechanism and
+// POSTs the report.
+func (c *Client) Submit(pair core.Pair) error {
+	rep := c.cp.Perturb(pair, c.rng)
+	wire := WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("collect: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("collect: submit status %s", resp.Status)
+	}
+	return nil
+}
+
+// Estimates fetches the server's current calibrated estimates.
+func (c *Client) Estimates() (*WireEstimates, error) {
+	resp, err := c.http.Get(c.base + "/estimates")
+	if err != nil {
+		return nil, fmt.Errorf("collect: estimates: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: estimates status %s", resp.Status)
+	}
+	var est WireEstimates
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		return nil, err
+	}
+	return &est, nil
+}

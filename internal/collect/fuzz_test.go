@@ -1,0 +1,40 @@
+package collect
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecode drives the server-side report decoder with arbitrary JSON: it
+// must never panic, and accepted reports must be in-domain.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"label":0,"bits":[0,4]}`))
+	f.Add([]byte(`{"label":-1,"bits":[]}`))
+	f.Add([]byte(`{"label":3,"bits":[99]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"label":1,"bits":[0,0,0,0]}`))
+	f.Add([]byte(`{"label":1,"bits":null}`))
+	srv, err := NewServer(3, 8, 1, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rep WireReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return // malformed JSON is rejected upstream
+		}
+		cpRep, err := srv.decode(rep)
+		if err != nil {
+			return
+		}
+		if cpRep.Label < 0 || cpRep.Label >= 3 {
+			t.Fatalf("accepted out-of-domain label %d", cpRep.Label)
+		}
+		if cpRep.Bits.Len() != 9 {
+			t.Fatalf("decoded vector length %d", cpRep.Bits.Len())
+		}
+		// Accepted reports must be safe to accumulate.
+		acc := srv.cp.NewAccumulator()
+		acc.Add(cpRep)
+	})
+}

@@ -1,0 +1,51 @@
+package collect
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// TestServerCheckpointRestart simulates a server restart mid-collection:
+// snapshot, rebuild, restore, continue — estimates must match a server that
+// never restarted.
+func TestServerCheckpointRestart(t *testing.T) {
+	srvA, tsA := newTestServer(t, 2, 6, 3)
+	client, err := NewClient(tsA.URL, tsA.Client(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := client.Submit(core.Pair{Class: r.Intn(2), Item: r.Intn(6)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit(800)
+	blob, err := srvA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": fresh server with the same configuration.
+	srvB, err := NewServer(2, 6, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if srvB.Reports() != 800 {
+		t.Fatalf("restored server has %d reports", srvB.Reports())
+	}
+	// Mismatched configuration must refuse the snapshot.
+	srvC, err := NewServer(2, 7, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srvC.Restore(blob); err == nil {
+		t.Fatal("mismatched server accepted snapshot")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/xrand"
+)
+
+// TestCIMatchesAnalysisVariance pins the inlined Eq. (5) to the analysis
+// package's implementation.
+func TestCIMatchesAnalysisVariance(t *testing.T) {
+	p := analysis.CPParams{
+		P1: 0.71, Q1: 0.08, P2: 0.5, Q2: 0.21,
+		F: 1500, N: 9000, Total: 30000,
+	}
+	want := analysis.CPVariance(p)
+	got := cpVarianceEq5(p.P1, p.Q1, p.P2, p.Q2, p.F, p.N, p.Total)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("inlined variance %v, analysis %v", got, want)
+	}
+}
+
+// TestCICoverage runs repeated collections and checks the 1.96σ interval
+// covers the truth at roughly the nominal 95% rate.
+func TestCICoverage(t *testing.T) {
+	const c, d = 3, 4
+	const f, n, total = 3000, 8000, 20000
+	cp, err := NewCP(c, d, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(700)
+	const trials = 120
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		acc := cp.NewAccumulator()
+		for i := 0; i < f; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 0, Item: 0}, r))
+		}
+		for i := 0; i < n-f; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 0, Item: 1 + i%(d-1)}, r))
+		}
+		for i := 0; i < total-n; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 1 + i%(c-1), Item: i % d}, r))
+		}
+		iv, err := acc.EstimateWithCI(0, 0, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo <= f && f <= iv.Hi {
+			covered++
+		}
+		if iv.Hi < iv.Lo || iv.StdDev <= 0 {
+			t.Fatalf("malformed interval %+v", iv)
+		}
+	}
+	rate := float64(covered) / trials
+	// Binomial(120, .95) 5σ band ≈ ±0.10; Eq. (5)'s ignored covariances
+	// keep this approximate.
+	if rate < 0.85 {
+		t.Fatalf("coverage %.2f too low", rate)
+	}
+}
+
+func TestCIRejectsBadZ(t *testing.T) {
+	cp, _ := NewCP(2, 3, 1, 0.5)
+	acc := cp.NewAccumulator()
+	if _, err := acc.EstimateWithCI(0, 0, 0); err == nil {
+		t.Fatal("z=0 accepted")
+	}
+	if _, err := acc.EstimateWithCI(0, 0, -1); err == nil {
+		t.Fatal("z<0 accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel evaluates the paper's complexity analysis: the Section VI-A
+// per-user communication and user/server time and space costs for frequency
+// estimation, and the Table II costs for top-k mining. All values are in
+// abstract units (bits for communication, domain-element operations for
+// time, counters for space), matching the O(·) expressions the paper
+// reports; the experiment harness prints them side by side with the paper's
+// formulas.
+type CostModel struct {
+	Classes int // c
+	Items   int // d
+	Users   int // N
+	K       int // top-k parameter
+	M       int // prefix-extension length per iteration (paper's m)
+}
+
+// Cost is one framework's cost row.
+type Cost struct {
+	Framework string
+	// Frequency estimation (Section VI-A).
+	FreqCommUser  float64
+	FreqTimeUser  float64
+	FreqTimeServe float64
+	FreqSpaceUser float64
+	FreqSpaceServ float64
+	// Top-k mining (Table II). User-side first line, server-side second.
+	TopKCommUser  float64
+	TopKTimeUser  float64
+	TopKTimeServe float64
+	TopKSpaceUser float64
+	TopKSpaceServ float64
+}
+
+func (m *CostModel) validate() error {
+	if m.Classes <= 0 || m.Items <= 0 || m.Users <= 0 {
+		return fmt.Errorf("core: cost model requires positive c, d, N (got %d, %d, %d)",
+			m.Classes, m.Items, m.Users)
+	}
+	if m.K <= 0 {
+		return fmt.Errorf("core: cost model requires positive k (got %d)", m.K)
+	}
+	if m.M <= 0 {
+		return fmt.Errorf("core: cost model requires positive m (got %d)", m.M)
+	}
+	return nil
+}
+
+// Frequency returns the Section VI-A frequency-estimation costs for the
+// four frameworks (OUE as the item mechanism, so O(d) per-user payloads).
+func (m *CostModel) Frequency() ([]Cost, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	c := float64(m.Classes)
+	d := float64(m.Items)
+	n := float64(m.Users)
+	rows := []Cost{
+		{Framework: "HEC", FreqCommUser: d, FreqTimeUser: d, FreqTimeServe: n * d, FreqSpaceUser: d, FreqSpaceServ: c * d},
+		{Framework: "PTJ", FreqCommUser: c * d, FreqTimeUser: c * d, FreqTimeServe: n * c * d, FreqSpaceUser: c * d, FreqSpaceServ: c * d},
+		{Framework: "PTS", FreqCommUser: d, FreqTimeUser: d, FreqTimeServe: n * d, FreqSpaceUser: d, FreqSpaceServ: c * d},
+		{Framework: "PTS-CP", FreqCommUser: d, FreqTimeUser: d, FreqTimeServe: n * d, FreqSpaceUser: d, FreqSpaceServ: c * d},
+	}
+	return rows, nil
+}
+
+// TopK returns the Table II top-k mining costs. The first three rows are
+// the fundamental frameworks running PEM with extension length m; the
+// PTJ† / PTS† rows are the paper's optimized methods.
+func (m *CostModel) TopK() ([]Cost, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	c := float64(m.Classes)
+	d := float64(m.Items)
+	n := float64(m.Users)
+	k := float64(m.K)
+	em := float64(m.M)
+	twoMK := math.Exp2(em) * k // 2^m·k bucket count per PEM iteration
+	logD := math.Log2(d)
+	logCD := math.Log2(c * d)
+	logDm := logD / em
+	logCDm := logCD / em
+	rows := []Cost{
+		{
+			Framework:     "HEC/PTS+PEM",
+			TopKCommUser:  twoMK * logD,
+			TopKTimeUser:  twoMK,
+			TopKSpaceUser: twoMK * logD,
+			TopKTimeServe: twoMK * (c*(em+math.Log2(k))*logDm + n),
+			TopKSpaceServ: math.Exp2(em) * c * k * logD,
+		},
+		{
+			Framework:     "PTJ+PEM",
+			TopKCommUser:  math.Exp2(em) * c * k * logCD,
+			TopKTimeUser:  math.Exp2(em) * c * k,
+			TopKSpaceUser: math.Exp2(em) * c * k * logCD,
+			TopKTimeServe: math.Exp2(em) * c * k * ((em+math.Log2(c*k))*logCDm + n),
+			TopKSpaceServ: math.Exp2(em) * c * k * logCD,
+		},
+		{
+			Framework:     "PTJ+opt",
+			TopKCommUser:  c * k,
+			TopKTimeUser:  c * k,
+			TopKSpaceUser: c * d,
+			TopKTimeServe: c * k * (math.Log2(c*k)*math.Log2(d/k) + n),
+			TopKSpaceServ: c * d,
+		},
+		{
+			Framework:     "PTS+opt",
+			TopKCommUser:  c * k,
+			TopKTimeUser:  c * k,
+			TopKSpaceUser: d,
+			TopKTimeServe: c * k * (math.Log2(c*k)*math.Log2(d/k) + n),
+			TopKSpaceServ: c * d,
+		},
+	}
+	return rows, nil
+}

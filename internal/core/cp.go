@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// CP is the correlated perturbation mechanism (Section IV-B). The total
+// budget ε is split into ε₁ for the label and ε₂ for the item (the paper
+// uses ε₁ = ε₂ = ε/2 by default). The label is perturbed first with
+// GRR(ε₁); the item is then perturbed *conditioned on the label outcome*:
+// if the perturbed label differs from the true label the item has become
+// meaningless for that class, so it is marked Invalid and the validity
+// perturbation VP(ε₂) encodes only the flag; otherwise VP(ε₂) encodes the
+// item. Sequential composition gives ε₁+ε₂ = ε LDP for the pair
+// (Theorem 2).
+type CP struct {
+	c, d  int
+	eps   float64
+	eps1  float64
+	eps2  float64
+	label *fo.GRR
+	item  *VP
+}
+
+// CPReport is one perturbed label-item report.
+type CPReport struct {
+	Label int
+	Bits  *bitvec.Vector // d+1 bits: items plus validity flag
+}
+
+// NewCP builds a correlated perturbation mechanism over c classes and d
+// items with total budget eps split as ε₁ = split·ε for the label and
+// ε₂ = (1−split)·ε for the item. The paper's default is split = 0.5.
+func NewCP(c, d int, eps, split float64) (*CP, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("core: CP with %d classes", c)
+	}
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("core: CP budget split %v must be in (0,1)", split)
+	}
+	eps1 := eps * split
+	eps2 := eps - eps1
+	label, err := fo.NewGRR(c, eps1)
+	if err != nil {
+		return nil, fmt.Errorf("core: CP label mechanism: %w", err)
+	}
+	item, err := NewVP(d, eps2)
+	if err != nil {
+		return nil, fmt.Errorf("core: CP item mechanism: %w", err)
+	}
+	return &CP{c: c, d: d, eps: eps, eps1: eps1, eps2: eps2, label: label, item: item}, nil
+}
+
+// Classes returns c.
+func (cp *CP) Classes() int { return cp.c }
+
+// Items returns d.
+func (cp *CP) Items() int { return cp.d }
+
+// Epsilon returns the total budget ε = ε₁ + ε₂.
+func (cp *CP) Epsilon() float64 { return cp.eps }
+
+// Epsilon1 returns the label budget ε₁.
+func (cp *CP) Epsilon1() float64 { return cp.eps1 }
+
+// Epsilon2 returns the item budget ε₂.
+func (cp *CP) Epsilon2() float64 { return cp.eps2 }
+
+// Probabilities returns (p₁, q₁, p₂, q₂) from Eqs. (2) and (3).
+func (cp *CP) Probabilities() (p1, q1, p2, q2 float64) {
+	return cp.label.P(), cp.label.Q(), cp.item.P(), cp.item.Q()
+}
+
+// Perturb applies the correlated perturbation to one pair.
+func (cp *CP) Perturb(pair Pair, r *xrand.Rand) CPReport {
+	if pair.Class < 0 || pair.Class >= cp.c {
+		panic(fmt.Sprintf("core: CP class %d outside [0,%d)", pair.Class, cp.c))
+	}
+	perturbed := cp.label.PerturbValue(pair.Class, r)
+	item := pair.Item
+	if perturbed != pair.Class {
+		// The label moved: the item no longer belongs to the reported
+		// class, so it is submitted as invalid (Section IV-B).
+		item = Invalid
+	}
+	return CPReport{Label: perturbed, Bits: cp.item.Perturb(item, r)}
+}
+
+// CPAccumulator aggregates correlated-perturbation reports. For each class
+// it keeps the raw 1-bit item counts of reports whose perturbed label is
+// that class AND whose perturbed flag bit is 0 (the VP drop rule), plus the
+// raw per-class label counts ñ used by the calibration.
+type CPAccumulator struct {
+	cp          *CP
+	itemCounts  [][]int64 // [class][item] kept-report bit counts
+	labelCounts []int64   // ñ(C): reports with perturbed label C
+	total       int       // N: all reports
+}
+
+// NewAccumulator returns an empty aggregator for cp's reports.
+func (cp *CP) NewAccumulator() *CPAccumulator {
+	ic := make([][]int64, cp.c)
+	for i := range ic {
+		ic[i] = make([]int64, cp.d)
+	}
+	return &CPAccumulator{cp: cp, itemCounts: ic, labelCounts: make([]int64, cp.c)}
+}
+
+// Add folds one report into the aggregate.
+func (a *CPAccumulator) Add(rep CPReport) {
+	if rep.Label < 0 || rep.Label >= a.cp.c {
+		panic(fmt.Sprintf("core: CP report label %d outside [0,%d)", rep.Label, a.cp.c))
+	}
+	if rep.Bits.Len() != a.cp.d+1 {
+		panic(fmt.Sprintf("core: CP report bits %d != %d", rep.Bits.Len(), a.cp.d+1))
+	}
+	a.total++
+	a.labelCounts[rep.Label]++
+	if rep.Bits.Get(a.cp.d) {
+		return // flag set: dropped by the VP rule
+	}
+	counts := a.itemCounts[rep.Label]
+	rep.Bits.ForEachSet(func(i int) {
+		if i < a.cp.d {
+			counts[i]++
+		}
+	})
+}
+
+// Merge folds another accumulator of the same mechanism into this one.
+func (a *CPAccumulator) Merge(o *CPAccumulator) error {
+	if o.cp.c != a.cp.c || o.cp.d != a.cp.d {
+		return fmt.Errorf("core: CP merge domain mismatch")
+	}
+	for c := range a.itemCounts {
+		for i := range a.itemCounts[c] {
+			a.itemCounts[c][i] += o.itemCounts[c][i]
+		}
+		a.labelCounts[c] += o.labelCounts[c]
+	}
+	a.total += o.total
+	return nil
+}
+
+// Total returns N, the number of reports received.
+func (a *CPAccumulator) Total() int { return a.total }
+
+// RawPairCount returns f̃(C, I), the kept-report bit count.
+func (a *CPAccumulator) RawPairCount(c, i int) int64 { return a.itemCounts[c][i] }
+
+// RawLabelCount returns ñ(C), the perturbed-label count.
+func (a *CPAccumulator) RawLabelCount(c int) int64 { return a.labelCounts[c] }
+
+// EstimateClassSize returns n̂ = (ñ − N·q₁)/(p₁−q₁), the unbiased estimate
+// of the number of users with label C.
+func (a *CPAccumulator) EstimateClassSize(c int) float64 {
+	p1, q1 := a.cp.label.P(), a.cp.label.Q()
+	return (float64(a.labelCounts[c]) - float64(a.total)*q1) / (p1 - q1)
+}
+
+// Estimate returns the calibrated frequency f̂(C, I) of Eq. (4):
+//
+//	f̂ = (f̃ − N·q₁·q₂·(1−p₂)) / (p₁(1−q₂)(p₂−q₂))
+//	    − n̂·q₂·(p₁(1−q₂) − q₁(1−p₂)) / (p₁(1−q₂)(p₂−q₂))
+//
+// which Theorem 3 proves unbiased.
+func (a *CPAccumulator) Estimate(c, i int) float64 {
+	p1, q1, p2, q2 := a.cp.Probabilities()
+	den := p1 * (1 - q2) * (p2 - q2)
+	nHat := a.EstimateClassSize(c)
+	fTilde := float64(a.itemCounts[c][i])
+	return (fTilde-float64(a.total)*q1*q2*(1-p2))/den -
+		nHat*q2*(p1*(1-q2)-q1*(1-p2))/den
+}
+
+// EstimateAll returns the full calibrated c×d frequency matrix.
+func (a *CPAccumulator) EstimateAll() [][]float64 {
+	out := NewMatrix(a.cp.c, a.cp.d)
+	p1, q1, p2, q2 := a.cp.Probabilities()
+	den := p1 * (1 - q2) * (p2 - q2)
+	for c := 0; c < a.cp.c; c++ {
+		nHat := a.EstimateClassSize(c)
+		corr := nHat * q2 * (p1*(1-q2) - q1*(1-p2)) / den
+		for i := 0; i < a.cp.d; i++ {
+			out[c][i] = (float64(a.itemCounts[c][i])-float64(a.total)*q1*q2*(1-p2))/den - corr
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/xrand"
+)
+
+func mustCP(t *testing.T, c, d int, eps, split float64) *CP {
+	t.Helper()
+	cp, err := NewCP(c, d, eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestCPBudgetSplit(t *testing.T) {
+	cp := mustCP(t, 4, 10, 2, 0.5)
+	if math.Abs(cp.Epsilon1()-1) > 1e-12 || math.Abs(cp.Epsilon2()-1) > 1e-12 {
+		t.Fatalf("split budgets %v + %v", cp.Epsilon1(), cp.Epsilon2())
+	}
+	if math.Abs(cp.Epsilon1()+cp.Epsilon2()-cp.Epsilon()) > 1e-12 {
+		t.Fatal("budgets do not compose to ε")
+	}
+	cp2 := mustCP(t, 4, 10, 2, 0.25)
+	if math.Abs(cp2.Epsilon1()-0.5) > 1e-12 {
+		t.Fatalf("asymmetric split ε₁ = %v", cp2.Epsilon1())
+	}
+}
+
+func TestCPConstructorErrors(t *testing.T) {
+	if _, err := NewCP(0, 10, 1, 0.5); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	if _, err := NewCP(4, 0, 1, 0.5); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	if _, err := NewCP(4, 10, 0, 0.5); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	for _, s := range []float64{0, 1, -0.3, 1.5} {
+		if _, err := NewCP(4, 10, 1, s); err == nil {
+			t.Fatalf("split %v accepted", s)
+		}
+	}
+}
+
+// TestCPCorrelation verifies the defining property: the item report is
+// flagged invalid exactly when the perturbed label differs from the truth.
+// We check the aggregate rates: P(flag survives AND label moved) etc.
+func TestCPLabelItemCorrelation(t *testing.T) {
+	cp := mustCP(t, 3, 5, 2, 0.5)
+	p1, _, p2, q2 := cp.Probabilities()
+	r := xrand.New(300)
+	const n = 100000
+	labelKept := 0
+	flagWhenMoved := 0
+	moved := 0
+	for i := 0; i < n; i++ {
+		rep := cp.Perturb(Pair{Class: 1, Item: 2}, r)
+		if rep.Label == 1 {
+			labelKept++
+		} else {
+			moved++
+			if rep.Bits.Get(cp.Items()) {
+				flagWhenMoved++
+			}
+		}
+	}
+	if math.Abs(float64(labelKept)-p1*n) > 5*math.Sqrt(p1*(1-p1)*n) {
+		t.Fatalf("label retention %d want %v", labelKept, p1*n)
+	}
+	// When the label moved, the encoding had flag=1, so the perturbed flag
+	// is 1 with probability p₂.
+	want := p2 * float64(moved)
+	if math.Abs(float64(flagWhenMoved)-want) > 5*math.Sqrt(want*(1-p2)) {
+		t.Fatalf("flag-on-move %d want %v", flagWhenMoved, want)
+	}
+	_ = q2
+}
+
+// TestCPRawCountExpectation checks E[f̃(C,I)] against the closed form the
+// Eq. (4) calibration inverts.
+func TestCPRawCountExpectation(t *testing.T) {
+	const c, d = 3, 6
+	const f, n, total = 3000, 8000, 20000
+	cp := mustCP(t, c, d, 2, 0.5)
+	p1, q1, p2, q2 := cp.Probabilities()
+	r := xrand.New(301)
+	acc := cp.NewAccumulator()
+	feed := func(cl, it, count int) {
+		for i := 0; i < count; i++ {
+			acc.Add(cp.Perturb(Pair{Class: cl, Item: it}, r))
+		}
+	}
+	feed(0, 0, f)           // target pair
+	feed(0, 1, n-f)         // same class, other item
+	feed(1, 0, (total-n)/2) // other classes (same item — irrelevant under CP)
+	feed(2, 3, total-n-(total-n)/2)
+	want := analysis.CPExpectedRawCount(analysis.CPParams{
+		P1: p1, Q1: q1, P2: p2, Q2: q2, F: f, N: n, Total: total,
+	})
+	got := float64(acc.RawPairCount(0, 0))
+	if math.Abs(got-want) > 5*math.Sqrt(want) {
+		t.Fatalf("raw count %v want %v", got, want)
+	}
+}
+
+// TestCPEstimateUnbiased is the Theorem 3 check: the Eq. (4) calibration is
+// unbiased, with tolerance from the Eq. (5) variance.
+func TestCPEstimateUnbiased(t *testing.T) {
+	const c, d = 4, 5
+	const f, n, total = 2000, 6000, 16000
+	cp := mustCP(t, c, d, 2, 0.5)
+	p1, q1, p2, q2 := cp.Probabilities()
+	r := xrand.New(302)
+	const trials = 80
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		acc := cp.NewAccumulator()
+		for i := 0; i < f; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 0, Item: 0}, r))
+		}
+		for i := 0; i < n-f; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 0, Item: 1 + i%(d-1)}, r))
+		}
+		for i := 0; i < total-n; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 1 + i%(c-1), Item: i % d}, r))
+		}
+		sum += acc.Estimate(0, 0)
+	}
+	mean := sum / trials
+	variance := analysis.CPVariance(analysis.CPParams{
+		P1: p1, Q1: q1, P2: p2, Q2: q2, F: f, N: n, Total: total,
+	})
+	tol := 5 * math.Sqrt(variance/trials)
+	if math.Abs(mean-f) > tol {
+		t.Fatalf("CP estimate mean %v truth %d (tol %v)", mean, f, tol)
+	}
+}
+
+// TestCPClassSizeEstimate checks n̂ = (ñ − N·q₁)/(p₁−q₁).
+func TestCPClassSizeEstimate(t *testing.T) {
+	cp := mustCP(t, 3, 4, 2, 0.5)
+	r := xrand.New(303)
+	const n0, n1, n2 = 10000, 6000, 2000
+	const trials = 40
+	sums := [3]float64{}
+	for tr := 0; tr < trials; tr++ {
+		acc := cp.NewAccumulator()
+		for i := 0; i < n0; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 0, Item: i % 4}, r))
+		}
+		for i := 0; i < n1; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 1, Item: i % 4}, r))
+		}
+		for i := 0; i < n2; i++ {
+			acc.Add(cp.Perturb(Pair{Class: 2, Item: i % 4}, r))
+		}
+		for cl := 0; cl < 3; cl++ {
+			sums[cl] += acc.EstimateClassSize(cl)
+		}
+	}
+	want := [3]float64{n0, n1, n2}
+	for cl := range sums {
+		mean := sums[cl] / trials
+		if math.Abs(mean-want[cl])/want[cl] > 0.05 {
+			t.Errorf("class %d size estimate %v want %v", cl, mean, want[cl])
+		}
+	}
+}
+
+func TestCPEstimateAllMatchesEstimate(t *testing.T) {
+	cp := mustCP(t, 3, 4, 1, 0.5)
+	r := xrand.New(304)
+	acc := cp.NewAccumulator()
+	for i := 0; i < 5000; i++ {
+		acc.Add(cp.Perturb(Pair{Class: i % 3, Item: i % 4}, r))
+	}
+	all := acc.EstimateAll()
+	for cl := 0; cl < 3; cl++ {
+		for it := 0; it < 4; it++ {
+			if math.Abs(all[cl][it]-acc.Estimate(cl, it)) > 1e-9 {
+				t.Fatalf("EstimateAll mismatch at (%d,%d)", cl, it)
+			}
+		}
+	}
+}
+
+func TestCPAccumulatorMerge(t *testing.T) {
+	cp := mustCP(t, 2, 3, 1, 0.5)
+	r := xrand.New(305)
+	a := cp.NewAccumulator()
+	b := cp.NewAccumulator()
+	whole := cp.NewAccumulator()
+	for i := 0; i < 4000; i++ {
+		rep := cp.Perturb(Pair{Class: i % 2, Item: i % 3}, r)
+		if i%2 == 0 {
+			a.Add(rep)
+		} else {
+			b.Add(rep)
+		}
+		whole.Add(rep)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() {
+		t.Fatal("merged total mismatch")
+	}
+	for cl := 0; cl < 2; cl++ {
+		if a.RawLabelCount(cl) != whole.RawLabelCount(cl) {
+			t.Fatal("merged label counts mismatch")
+		}
+		for it := 0; it < 3; it++ {
+			if a.RawPairCount(cl, it) != whole.RawPairCount(cl, it) {
+				t.Fatal("merged pair counts mismatch")
+			}
+		}
+	}
+	other := mustCP(t, 2, 4, 1, 0.5)
+	if err := a.Merge(other.NewAccumulator()); err == nil {
+		t.Fatal("cross-domain merge succeeded")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// FrequencyEstimator is a multi-class frequency-estimation framework
+// (Section VI-A): it perturbs every user's pair under ε-LDP and returns the
+// calibrated c×d frequency matrix.
+type FrequencyEstimator interface {
+	// Name identifies the framework in experiment output.
+	Name() string
+	// Epsilon returns the total per-user privacy budget.
+	Epsilon() float64
+	// Estimate runs the full pipeline over the dataset.
+	Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error)
+}
+
+// ---------------------------------------------------------------------------
+// HEC — handle each class independently (Section II-D, the strawman).
+// ---------------------------------------------------------------------------
+
+// HEC partitions users uniformly at random into c groups, one per class.
+// A user whose label matches their group's class submits their item; any
+// other user submits a uniform random item for deniability. Each group runs
+// the adaptive mechanism over the item domain with the full budget ε.
+// The estimator f̂(C,I) = (c·f̃(C,I) − N·q)/(p−q) carries the invalid-data
+// bias (N−n)/d the paper's Section V quantifies — HEC is the baseline the
+// optimized frameworks beat.
+type HEC struct {
+	eps float64
+}
+
+// NewHEC builds the HEC framework with budget eps.
+func NewHEC(eps float64) *HEC { return &HEC{eps: eps} }
+
+// Name implements FrequencyEstimator.
+func (h *HEC) Name() string { return "HEC" }
+
+// Epsilon implements FrequencyEstimator.
+func (h *HEC) Epsilon() float64 { return h.eps }
+
+// Estimate implements FrequencyEstimator.
+func (h *HEC) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	c, d := data.Classes, data.Items
+	mech, err := fo.NewAdaptive(d, h.eps)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]fo.Accumulator, c)
+	for g := range accs {
+		accs[g] = mech.NewAccumulator()
+	}
+	for _, pair := range data.Pairs {
+		g := r.Intn(c)
+		item := pair.Item
+		if pair.Class != g {
+			// Invalid for this group: submit a uniform random item to
+			// keep deniability (Section II-D).
+			item = r.Intn(d)
+		}
+		accs[g].Add(mech.Perturb(item, r))
+	}
+	n := float64(data.N())
+	p, q := mech.P(), mech.Q()
+	out := NewMatrix(c, d)
+	for g := 0; g < c; g++ {
+		for i := 0; i < d; i++ {
+			// f̂ = (c·f̃ − N·q)/(p−q). The accumulator's Estimate is
+			// (f̃ − N_g·q)/(p−q) over the group's own N_g, so recompute
+			// from raw support to follow the paper's calibration exactly.
+			raw := accs[g].Estimate(i)*(p-q) + float64(accs[g].N())*q
+			out[g][i] = (float64(c)*raw - n*q) / (p - q)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTJ — perturb the pair jointly (Section III-B).
+// ---------------------------------------------------------------------------
+
+// PTJ treats the pair as one value in the Cartesian domain C × I of size
+// c·d and perturbs it with the adaptive mechanism under the full budget ε.
+// Utility is high (no budget split, no invalid data) at the price of O(c·d)
+// communication per user.
+type PTJ struct {
+	eps float64
+}
+
+// NewPTJ builds the PTJ framework with budget eps.
+func NewPTJ(eps float64) *PTJ { return &PTJ{eps: eps} }
+
+// Name implements FrequencyEstimator.
+func (f *PTJ) Name() string { return "PTJ" }
+
+// Epsilon implements FrequencyEstimator.
+func (f *PTJ) Epsilon() float64 { return f.eps }
+
+// JointIndex maps a pair to its index in the Cartesian domain.
+func JointIndex(pair Pair, d int) int { return pair.Class*d + pair.Item }
+
+// Estimate implements FrequencyEstimator.
+func (f *PTJ) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	c, d := data.Classes, data.Items
+	mech, err := fo.NewAdaptive(c*d, f.eps)
+	if err != nil {
+		return nil, err
+	}
+	acc := mech.NewAccumulator()
+	for _, pair := range data.Pairs {
+		acc.Add(mech.Perturb(JointIndex(pair, d), r))
+	}
+	est := acc.EstimateAll()
+	out := NewMatrix(c, d)
+	for ci := 0; ci < c; ci++ {
+		copy(out[ci], est[ci*d:(ci+1)*d])
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTS — perturb the pair separately (Section III-B, estimator Eq. 6).
+// ---------------------------------------------------------------------------
+
+// PTS splits the budget: the label is perturbed with GRR(ε₁) and the item —
+// independently — with OUE(ε₂) (the paper's choice for a small label domain
+// and a large item domain). The unbiased calibration is Eq. (6), which must
+// correct for labels that migrated between classes.
+type PTS struct {
+	eps   float64
+	split float64 // ε₁ = split·ε
+}
+
+// NewPTS builds the PTS framework; split is the fraction of ε spent on the
+// label (the paper's default is 0.5).
+func NewPTS(eps, split float64) (*PTS, error) {
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("core: PTS budget split %v must be in (0,1)", split)
+	}
+	return &PTS{eps: eps, split: split}, nil
+}
+
+// Name implements FrequencyEstimator.
+func (f *PTS) Name() string { return "PTS" }
+
+// Epsilon implements FrequencyEstimator.
+func (f *PTS) Epsilon() float64 { return f.eps }
+
+// Estimate implements FrequencyEstimator.
+func (f *PTS) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	c, d := data.Classes, data.Items
+	eps1 := f.eps * f.split
+	eps2 := f.eps - eps1
+	label, err := fo.NewGRR(c, eps1)
+	if err != nil {
+		return nil, err
+	}
+	item, err := fo.NewOUE(d, eps2)
+	if err != nil {
+		return nil, err
+	}
+	// f̃(C,I): bit counts of reports grouped by perturbed label.
+	pairCounts := NewMatrix(c, d)
+	labelCounts := make([]float64, c)
+	for _, pair := range data.Pairs {
+		lab := label.PerturbValue(pair.Class, r)
+		labelCounts[lab]++
+		bits := item.PerturbBits(pair.Item, r)
+		row := pairCounts[lab]
+		bits.ForEachSet(func(i int) { row[i]++ })
+	}
+	n := float64(data.N())
+	p1, q1 := label.P(), label.Q()
+	p2, q2 := item.P(), item.Q()
+	out := NewMatrix(c, d)
+	// Item marginals f̂(I) = (Σ_C f̃(C,I) − N·q₂)/(p₂−q₂).
+	itemHat := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sum := 0.0
+		for ci := 0; ci < c; ci++ {
+			sum += pairCounts[ci][i]
+		}
+		itemHat[i] = (sum - n*q2) / (p2 - q2)
+	}
+	for ci := 0; ci < c; ci++ {
+		nHat := (labelCounts[ci] - n*q1) / (p1 - q1)
+		for i := 0; i < d; i++ {
+			// Eq. (6).
+			out[ci][i] = (pairCounts[ci][i] -
+				nHat*q2*(p1-q1) -
+				itemHat[i]*q1*(p2-q2) -
+				n*q1*q2) / ((p1 - q1) * (p2 - q2))
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTS-CP — PTS with the correlated perturbation (Section IV-B, Eq. 4).
+// ---------------------------------------------------------------------------
+
+// PTSCP runs the PTS framework with the correlated perturbation mechanism:
+// the item perturbation observes the label outcome and voids the item when
+// the label moved, and the server drops flag-set reports. Eq. (4) calibrates
+// the kept counts into unbiased frequencies.
+type PTSCP struct {
+	eps   float64
+	split float64
+}
+
+// NewPTSCP builds the PTS-CP framework; split is the fraction of ε spent on
+// the label (the paper's default is 0.5).
+func NewPTSCP(eps, split float64) (*PTSCP, error) {
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("core: PTS-CP budget split %v must be in (0,1)", split)
+	}
+	return &PTSCP{eps: eps, split: split}, nil
+}
+
+// Name implements FrequencyEstimator.
+func (f *PTSCP) Name() string { return "PTS-CP" }
+
+// Epsilon implements FrequencyEstimator.
+func (f *PTSCP) Epsilon() float64 { return f.eps }
+
+// Estimate implements FrequencyEstimator.
+func (f *PTSCP) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := NewCP(data.Classes, data.Items, f.eps, f.split)
+	if err != nil {
+		return nil, err
+	}
+	acc := cp.NewAccumulator()
+	for _, pair := range data.Pairs {
+		acc.Add(cp.Perturb(pair, r))
+	}
+	return acc.EstimateAll(), nil
+}

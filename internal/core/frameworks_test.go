@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// smallDataset builds a fixed 3-class, 5-item dataset with known counts.
+func smallDataset() (*Dataset, [][]float64) {
+	counts := [][]int{
+		{4000, 1000, 500, 200, 100},
+		{300, 2500, 700, 150, 50},
+		{100, 200, 1500, 400, 80},
+	}
+	d := &Dataset{Classes: 3, Items: 5, Name: "small"}
+	truth := NewMatrix(3, 5)
+	for c, row := range counts {
+		for i, n := range row {
+			truth[c][i] = float64(n)
+			for j := 0; j < n; j++ {
+				d.Pairs = append(d.Pairs, Pair{Class: c, Item: i})
+			}
+		}
+	}
+	return d, truth
+}
+
+// meanEstimate averages est.Estimate over trials.
+func meanEstimate(t *testing.T, est FrequencyEstimator, data *Dataset, trials int, seed uint64) [][]float64 {
+	t.Helper()
+	sum := NewMatrix(data.Classes, data.Items)
+	r := xrand.New(seed)
+	for tr := 0; tr < trials; tr++ {
+		m, err := est.Estimate(data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range m {
+			for i := range m[c] {
+				sum[c][i] += m[c][i]
+			}
+		}
+	}
+	for c := range sum {
+		for i := range sum[c] {
+			sum[c][i] /= float64(trials)
+		}
+	}
+	return sum
+}
+
+// checkClose asserts |got − want| ≤ tol element-wise.
+func checkClose(t *testing.T, name string, got, want [][]float64, tol float64) {
+	t.Helper()
+	for c := range want {
+		for i := range want[c] {
+			if math.Abs(got[c][i]-want[c][i]) > tol {
+				t.Errorf("%s: cell (%d,%d) mean %.1f truth %.1f (tol %.1f)",
+					name, c, i, got[c][i], want[c][i], tol)
+			}
+		}
+	}
+}
+
+func TestPTJUnbiased(t *testing.T) {
+	data, truth := smallDataset()
+	got := meanEstimate(t, NewPTJ(2), data, 30, 400)
+	checkClose(t, "PTJ", got, truth, 160)
+}
+
+func TestPTSUnbiased(t *testing.T) {
+	data, truth := smallDataset()
+	pts, err := NewPTS(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, pts, data, 30, 401)
+	checkClose(t, "PTS", got, truth, 250)
+}
+
+func TestPTSCPUnbiased(t *testing.T) {
+	data, truth := smallDataset()
+	ptscp, err := NewPTSCP(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, ptscp, data, 30, 402)
+	checkClose(t, "PTS-CP", got, truth, 200)
+}
+
+// TestHECBias documents the strawman's invalid-data bias: the estimator's
+// expectation is f(C,I) + (N−n_C)/d, the Section V injected noise.
+func TestHECBias(t *testing.T) {
+	data, truth := smallDataset()
+	hec := NewHEC(2)
+	got := meanEstimate(t, hec, data, 40, 403)
+	n := data.ClassCounts()
+	total := float64(data.N())
+	biased := NewMatrix(data.Classes, data.Items)
+	for c := range truth {
+		for i := range truth[c] {
+			biased[c][i] = truth[c][i] + (total-float64(n[c]))/float64(data.Items)
+		}
+	}
+	checkClose(t, "HEC(bias-corrected expectation)", got, biased, 300)
+}
+
+// TestPTSCPBeatsPTSVariance verifies the headline utility claim on the
+// small dataset: PTS-CP's empirical variance is lower than PTS's at the
+// same budget.
+func TestPTSCPBeatsPTSVariance(t *testing.T) {
+	data, truth := smallDataset()
+	pts, _ := NewPTS(1, 0.5)
+	cp, _ := NewPTSCP(1, 0.5)
+	const trials = 40
+	varOf := func(est FrequencyEstimator, seed uint64) float64 {
+		r := xrand.New(seed)
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			m, err := est.Estimate(data, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range m {
+				for i := range m[c] {
+					dd := m[c][i] - truth[c][i]
+					sum += dd * dd
+				}
+			}
+		}
+		return sum / float64(trials*data.Classes*data.Items)
+	}
+	vPTS := varOf(pts, 404)
+	vCP := varOf(cp, 405)
+	if vCP >= vPTS {
+		t.Fatalf("PTS-CP variance %.1f not below PTS %.1f", vCP, vPTS)
+	}
+}
+
+func TestFrameworkNames(t *testing.T) {
+	pts, _ := NewPTS(1, 0.5)
+	cp, _ := NewPTSCP(1, 0.5)
+	for _, tc := range []struct {
+		est  FrequencyEstimator
+		want string
+	}{
+		{NewHEC(1), "HEC"},
+		{NewPTJ(1), "PTJ"},
+		{pts, "PTS"},
+		{cp, "PTS-CP"},
+	} {
+		if tc.est.Name() != tc.want {
+			t.Errorf("name %q want %q", tc.est.Name(), tc.want)
+		}
+		if tc.est.Epsilon() != 1 {
+			t.Errorf("%s epsilon %v", tc.want, tc.est.Epsilon())
+		}
+	}
+}
+
+func TestFrameworkRejectsInvalidDataset(t *testing.T) {
+	bad := &Dataset{Classes: 2, Items: 3, Pairs: []Pair{{Class: 5, Item: 0}}}
+	pts, _ := NewPTS(1, 0.5)
+	cp, _ := NewPTSCP(1, 0.5)
+	for _, est := range []FrequencyEstimator{NewHEC(1), NewPTJ(1), pts, cp} {
+		if _, err := est.Estimate(bad, xrand.New(1)); err == nil {
+			t.Errorf("%s accepted invalid dataset", est.Name())
+		}
+	}
+}
+
+func TestNewPTSSplitValidation(t *testing.T) {
+	for _, s := range []float64{0, 1, -1, 2} {
+		if _, err := NewPTS(1, s); err == nil {
+			t.Errorf("NewPTS split %v accepted", s)
+		}
+		if _, err := NewPTSCP(1, s); err == nil {
+			t.Errorf("NewPTSCP split %v accepted", s)
+		}
+	}
+}
+
+func TestJointIndex(t *testing.T) {
+	if JointIndex(Pair{Class: 2, Item: 3}, 10) != 23 {
+		t.Fatal("JointIndex wrong")
+	}
+	if JointIndex(Pair{Class: 0, Item: 9}, 10) != 9 {
+		t.Fatal("JointIndex wrong for class 0")
+	}
+}

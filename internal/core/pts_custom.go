@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// ItemMechanismFactory builds an item perturber for a domain and budget.
+// fo.NewOUE is the paper's choice; fo.NewOLH trades server time for
+// O(log g) communication, and fo.NewAdaptive picks per domain size.
+type ItemMechanismFactory func(d int, eps float64) (fo.Mechanism, error)
+
+// PTSCustom is the PTS framework with a pluggable item mechanism. The
+// Eq. (6) calibration only needs the item mechanism's support probabilities
+// (p₂, q₂), so any fo.Mechanism works: the label-migration algebra is
+// unchanged.
+type PTSCustom struct {
+	name  string
+	eps   float64
+	split float64
+	item  ItemMechanismFactory
+}
+
+// NewPTSWithItem builds a PTS variant using the given item mechanism
+// factory; split is the label-budget fraction ε₁/ε.
+func NewPTSWithItem(name string, eps, split float64, item ItemMechanismFactory) (*PTSCustom, error) {
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("core: PTS budget split %v must be in (0,1)", split)
+	}
+	if item == nil {
+		return nil, fmt.Errorf("core: nil item mechanism factory")
+	}
+	return &PTSCustom{name: name, eps: eps, split: split, item: item}, nil
+}
+
+// Name implements FrequencyEstimator.
+func (f *PTSCustom) Name() string { return f.name }
+
+// Epsilon implements FrequencyEstimator.
+func (f *PTSCustom) Epsilon() float64 { return f.eps }
+
+// Estimate implements FrequencyEstimator. Reports are routed into
+// per-perturbed-label accumulators; the raw supports are then recovered
+// from each accumulator's calibrated estimates and pushed through Eq. (6).
+func (f *PTSCustom) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	c, d := data.Classes, data.Items
+	eps1 := f.eps * f.split
+	label, err := fo.NewGRR(c, eps1)
+	if err != nil {
+		return nil, err
+	}
+	item, err := f.item(d, f.eps-eps1)
+	if err != nil {
+		return nil, err
+	}
+	if item.DomainSize() != d {
+		return nil, fmt.Errorf("core: item mechanism domain %d != %d", item.DomainSize(), d)
+	}
+	accs := make([]fo.Accumulator, c)
+	for i := range accs {
+		accs[i] = item.NewAccumulator()
+	}
+	labelCounts := make([]float64, c)
+	for _, pair := range data.Pairs {
+		lab := label.PerturbValue(pair.Class, r)
+		labelCounts[lab]++
+		accs[lab].Add(item.Perturb(pair.Item, r))
+	}
+	n := float64(data.N())
+	p1, q1 := label.P(), label.Q()
+	p2, q2 := item.P(), item.Q()
+	// Raw supports f̃(C,I) = est·(p₂−q₂) + N_C·q₂ per routed class.
+	raw := NewMatrix(c, d)
+	for ci := 0; ci < c; ci++ {
+		est := accs[ci].EstimateAll()
+		for i := 0; i < d; i++ {
+			raw[ci][i] = est[i]*(p2-q2) + labelCounts[ci]*q2
+		}
+	}
+	out := NewMatrix(c, d)
+	itemHat := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sum := 0.0
+		for ci := 0; ci < c; ci++ {
+			sum += raw[ci][i]
+		}
+		itemHat[i] = (sum - n*q2) / (p2 - q2)
+	}
+	for ci := 0; ci < c; ci++ {
+		nHat := (labelCounts[ci] - n*q1) / (p1 - q1)
+		for i := 0; i < d; i++ {
+			out[ci][i] = (raw[ci][i] -
+				nHat*q2*(p1-q1) -
+				itemHat[i]*q1*(p2-q2) -
+				n*q1*q2) / ((p1 - q1) * (p2 - q2))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fo"
+)
+
+func TestPTSCustomWithOLH(t *testing.T) {
+	data, truth := smallDataset()
+	pts, err := NewPTSWithItem("PTS-OLH", 2, 0.5, func(d int, eps float64) (fo.Mechanism, error) {
+		return fo.NewOLH(d, eps)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts.Name() != "PTS-OLH" || pts.Epsilon() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	got := meanEstimate(t, pts, data, 20, 900)
+	checkClose(t, "PTS-OLH", got, truth, 400)
+}
+
+func TestPTSCustomWithSUE(t *testing.T) {
+	data, truth := smallDataset()
+	pts, err := NewPTSWithItem("PTS-SUE", 2, 0.5, func(d int, eps float64) (fo.Mechanism, error) {
+		return fo.NewSUE(d, eps)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, pts, data, 20, 901)
+	checkClose(t, "PTS-SUE", got, truth, 400)
+}
+
+// TestPTSCustomMatchesBuiltinPTS: with the OUE factory the generalized
+// implementation must agree with the specialized one in expectation.
+func TestPTSCustomMatchesBuiltinPTS(t *testing.T) {
+	data, truth := smallDataset()
+	custom, err := NewPTSWithItem("PTS-OUE", 2, 0.5, func(d int, eps float64) (fo.Mechanism, error) {
+		return fo.NewOUE(d, eps)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := meanEstimate(t, custom, data, 30, 902)
+	checkClose(t, "PTS-OUE(custom)", got, truth, 250)
+}
+
+func TestPTSCustomValidation(t *testing.T) {
+	if _, err := NewPTSWithItem("x", 1, 0, func(d int, e float64) (fo.Mechanism, error) {
+		return fo.NewOUE(d, e)
+	}); err == nil {
+		t.Fatal("bad split accepted")
+	}
+	if _, err := NewPTSWithItem("x", 1, 0.5, nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	pts, _ := NewPTSWithItem("x", 1, 0.5, func(d int, e float64) (fo.Mechanism, error) {
+		return fo.NewOUE(d+1, e) // wrong domain
+	})
+	data, _ := smallDataset()
+	if _, err := pts.Estimate(data, nil); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+}

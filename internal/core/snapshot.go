@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// cpSnapshot is the serialized form of a CPAccumulator. Only the aggregate
+// state is stored — individual reports are never retained, so a snapshot is
+// exactly as privacy-safe as the live accumulator.
+type cpSnapshot struct {
+	Classes     int
+	Items       int
+	Epsilon     float64
+	Split       float64
+	ItemCounts  [][]int64
+	LabelCounts []int64
+	Total       int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, letting a collection
+// server checkpoint its aggregation state across restarts.
+func (a *CPAccumulator) MarshalBinary() ([]byte, error) {
+	snap := cpSnapshot{
+		Classes:     a.cp.c,
+		Items:       a.cp.d,
+		Epsilon:     a.cp.eps,
+		Split:       a.cp.eps1 / a.cp.eps,
+		ItemCounts:  a.itemCounts,
+		LabelCounts: a.labelCounts,
+		Total:       a.total,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: snapshot encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The snapshot must
+// have been taken from an accumulator with the same domain and budget — a
+// mismatch is an error, not silent corruption.
+func (a *CPAccumulator) UnmarshalBinary(data []byte) error {
+	var snap cpSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: snapshot decode: %w", err)
+	}
+	if snap.Classes != a.cp.c || snap.Items != a.cp.d {
+		return fmt.Errorf("core: snapshot domain %dx%d != accumulator %dx%d",
+			snap.Classes, snap.Items, a.cp.c, a.cp.d)
+	}
+	if snap.Epsilon != a.cp.eps || snap.Split != a.cp.eps1/a.cp.eps {
+		return fmt.Errorf("core: snapshot budget (ε=%v split=%v) != accumulator (ε=%v split=%v)",
+			snap.Epsilon, snap.Split, a.cp.eps, a.cp.eps1/a.cp.eps)
+	}
+	if len(snap.ItemCounts) != snap.Classes || len(snap.LabelCounts) != snap.Classes {
+		return fmt.Errorf("core: snapshot shape corrupt")
+	}
+	for c, row := range snap.ItemCounts {
+		if len(row) != snap.Items {
+			return fmt.Errorf("core: snapshot row %d has %d items", c, len(row))
+		}
+	}
+	if snap.Total < 0 {
+		return fmt.Errorf("core: snapshot negative total %d", snap.Total)
+	}
+	a.itemCounts = snap.ItemCounts
+	a.labelCounts = snap.LabelCounts
+	a.total = snap.Total
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDatasetValidate(t *testing.T) {
+	good := &Dataset{Classes: 2, Items: 3, Pairs: []Pair{{0, 0}, {1, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Dataset{
+		{Classes: 0, Items: 3},
+		{Classes: 2, Items: 0},
+		{Classes: 2, Items: 3, Pairs: []Pair{{2, 0}}},
+		{Classes: 2, Items: 3, Pairs: []Pair{{0, 3}}},
+		{Classes: 2, Items: 3, Pairs: []Pair{{-1, 0}}},
+		{Classes: 2, Items: 3, Pairs: []Pair{{0, -1}}},
+	}
+	for i, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestTrueFrequenciesAndCounts(t *testing.T) {
+	d := &Dataset{Classes: 2, Items: 3, Pairs: []Pair{
+		{0, 0}, {0, 0}, {0, 2}, {1, 1}, {1, 2},
+	}}
+	f := d.TrueFrequencies()
+	want := [][]float64{{2, 0, 1}, {0, 1, 1}}
+	for c := range want {
+		for i := range want[c] {
+			if f[c][i] != want[c][i] {
+				t.Fatalf("f = %v", f)
+			}
+		}
+	}
+	cc := d.ClassCounts()
+	if cc[0] != 3 || cc[1] != 2 {
+		t.Fatalf("class counts %v", cc)
+	}
+	ic := d.ItemCounts()
+	if ic[0] != 2 || ic[1] != 1 || ic[2] != 2 {
+		t.Fatalf("item counts %v", ic)
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	d := &Dataset{Classes: 2, Items: 4, Name: "x"}
+	for i := 0; i < 100; i++ {
+		d.Pairs = append(d.Pairs, Pair{Class: i % 2, Item: i % 4})
+	}
+	s := d.Shuffled(xrand.New(1))
+	if s.N() != d.N() || s.Name != d.Name {
+		t.Fatal("shuffle changed size or name")
+	}
+	counts := map[Pair]int{}
+	for _, p := range d.Pairs {
+		counts[p]++
+	}
+	for _, p := range s.Pairs {
+		counts[p]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("shuffle changed pair multiset")
+		}
+	}
+	// The original must be untouched (Shuffled copies).
+	same := true
+	for i := range d.Pairs {
+		if d.Pairs[i] != s.Pairs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("shuffle produced identity permutation (possible but unlikely)")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := &Dataset{Classes: 1, Items: 1, Pairs: make([]Pair, 10)}
+	s := d.Subset(2, 5)
+	if s.N() != 3 {
+		t.Fatalf("subset size %d", s.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range subset did not panic")
+		}
+	}()
+	d.Subset(5, 11)
+}
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if len(m) != 3 {
+		t.Fatalf("rows %d", len(m))
+	}
+	for _, row := range m {
+		if len(row) != 4 {
+			t.Fatalf("row length %d", len(row))
+		}
+	}
+	// Backing must be contiguous but rows independent for writes.
+	m[0][3] = 7
+	if m[1][0] != 0 {
+		t.Fatal("row write leaked")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := &CostModel{Classes: 5, Items: 1000, Users: 100000, K: 20, M: 1}
+	freq, err := cm.Frequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freq) != 4 {
+		t.Fatalf("%d frequency rows", len(freq))
+	}
+	var hec, ptj Cost
+	for _, row := range freq {
+		switch row.Framework {
+		case "HEC":
+			hec = row
+		case "PTJ":
+			ptj = row
+		}
+	}
+	if ptj.FreqCommUser != 5*hec.FreqCommUser {
+		t.Fatalf("PTJ comm %v vs HEC %v: expected c× blowup", ptj.FreqCommUser, hec.FreqCommUser)
+	}
+	topk, err := cm.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) != 4 {
+		t.Fatalf("%d topk rows", len(topk))
+	}
+	// The optimized methods must beat the PEM rows on user communication.
+	var pem, opt Cost
+	for _, row := range topk {
+		switch row.Framework {
+		case "PTS+opt":
+			opt = row
+		case "HEC/PTS+PEM":
+			pem = row
+		}
+	}
+	if opt.TopKCommUser >= pem.TopKCommUser {
+		t.Fatalf("optimized comm %v not below PEM %v", opt.TopKCommUser, pem.TopKCommUser)
+	}
+	bad := &CostModel{Classes: 0, Items: 1, Users: 1, K: 1, M: 1}
+	if _, err := bad.Frequency(); err == nil {
+		t.Fatal("invalid cost model accepted")
+	}
+	if _, err := bad.TopK(); err == nil {
+		t.Fatal("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func TestSYN1LatinSquare(t *testing.T) {
+	d := SYN1(1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 4 || d.Items != 4 {
+		t.Fatalf("domains %d×%d", d.Classes, d.Items)
+	}
+	f := d.TrueFrequencies()
+	// Every row and column must contain each frequency exactly once, so all
+	// class sizes and item marginals equal 1,111,000.
+	for c := 0; c < 4; c++ {
+		rowSum, colSum := 0.0, 0.0
+		for i := 0; i < 4; i++ {
+			rowSum += f[c][i]
+			colSum += f[i][c]
+		}
+		if rowSum != 1_111_000 || colSum != 1_111_000 {
+			t.Fatalf("class %d row %v col %v", c, rowSum, colSum)
+		}
+	}
+	// The tracked pairs (class 0) carry the four paper frequencies.
+	for i, want := range SYN1Frequencies {
+		if f[0][i] != float64(want) {
+			t.Fatalf("f(0,%d) = %v want %d", i, f[0][i], want)
+		}
+	}
+}
+
+func TestSYN1Scale(t *testing.T) {
+	d := SYN1(0.01)
+	f := d.TrueFrequencies()
+	if f[0][3] != 10_000 {
+		t.Fatalf("scaled f(0,3) = %v", f[0][3])
+	}
+	if f[0][0] != 10 {
+		t.Fatalf("scaled f(0,0) = %v", f[0][0])
+	}
+}
+
+func TestSYN2ClassSizes(t *testing.T) {
+	d := SYN2(1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := d.ClassCounts()
+	for c, want := range SYN2ClassSizes {
+		// Integer division of the remainder across 3 items loses at most 2.
+		if math.Abs(float64(counts[c]-want)) > 3 {
+			t.Fatalf("class %d size %d want %d", c, counts[c], want)
+		}
+	}
+	f := d.TrueFrequencies()
+	for c := 0; c < 4; c++ {
+		if f[c][0] != 10_000 {
+			t.Fatalf("tracked pair f(%d,0) = %v", c, f[c][0])
+		}
+	}
+}
+
+func TestSynTopKShape(t *testing.T) {
+	cfg := SynTopKConfig{Classes: 10, Items: 2000, Users: 50000, HeadSize: 20, Global: true}
+	d, err := SynTopK(cfg, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 50000 || d.Classes != 10 || d.Items != 2000 {
+		t.Fatalf("shape N=%d c=%d d=%d", d.N(), d.Classes, d.Items)
+	}
+	if d.Name != "SYN3" {
+		t.Fatalf("name %q", d.Name)
+	}
+	d4, err := SynTopK(SynTopKConfig{Classes: 10, Items: 2000, Users: 50000, HeadSize: 20, Global: false}, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4.Name != "SYN4" {
+		t.Fatalf("name %q", d4.Name)
+	}
+}
+
+// topOverlap returns the average top-k overlap between class pairs.
+func topOverlap(d *core.Dataset, k int) float64 {
+	f := d.TrueFrequencies()
+	tops := make([][]int, d.Classes)
+	for c := range f {
+		tops[c] = metrics.TopK(f[c], k)
+	}
+	pairs, overlap := 0, 0
+	for a := 0; a < d.Classes; a++ {
+		for b := a + 1; b < d.Classes; b++ {
+			set := map[int]bool{}
+			for _, v := range tops[a] {
+				set[v] = true
+			}
+			for _, v := range tops[b] {
+				if set[v] {
+					overlap++
+				}
+			}
+			pairs++
+		}
+	}
+	return float64(overlap) / float64(pairs)
+}
+
+// TestSynTopKOverlap verifies the defining SYN3/SYN4 property: about eight
+// of the top-20 items are shared between any two classes in SYN3 and almost
+// none in SYN4.
+func TestSynTopKOverlap(t *testing.T) {
+	big := SynTopKConfig{Classes: 10, Items: 5000, Users: 400000, HeadSize: 20, Global: true}
+	d3, err := SynTopK(big, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3 := topOverlap(d3, 20)
+	if o3 < 5 || o3 > 12 {
+		t.Fatalf("SYN3 average top-20 overlap %v, want ≈8", o3)
+	}
+	big.Global = false
+	d4, err := SynTopK(big, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4 := topOverlap(d4, 20)
+	if o4 > 2 {
+		t.Fatalf("SYN4 average top-20 overlap %v, want ≈0", o4)
+	}
+}
+
+func TestSynTopKErrors(t *testing.T) {
+	if _, err := SynTopK(SynTopKConfig{Classes: 1, Items: 100, Users: 10, HeadSize: 5}, 1, 1); err == nil {
+		t.Fatal("1 class accepted")
+	}
+	if _, err := SynTopK(SynTopKConfig{Classes: 10, Items: 50, Users: 10, HeadSize: 20}, 1, 1); err == nil {
+		t.Fatal("tiny item domain accepted")
+	}
+}
+
+func TestSynTopKDeterminism(t *testing.T) {
+	cfg := DefaultSynTopK(10, true)
+	a, err := SynTopK(cfg, 3, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynTopK(cfg, 3, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("same seed produced different pairs")
+		}
+	}
+	c, err := SynTopK(cfg, 4, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.Pairs {
+		if a.Pairs[i] != c.Pairs[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestDiabetesShape(t *testing.T) {
+	ds, err := Diabetes(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DiabetesSpec()
+	if len(ds) != len(spec.Features) {
+		t.Fatalf("%d feature datasets", len(ds))
+	}
+	for i, d := range ds {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("feature %d: %v", i, err)
+		}
+		if d.Classes != 2 {
+			t.Fatalf("feature %d classes %d", i, d.Classes)
+		}
+		if d.Items != spec.Features[i].Domain {
+			t.Fatalf("feature %d domain %d want %d", i, d.Items, spec.Features[i].Domain)
+		}
+	}
+	// The positive rate must be near the spec.
+	pos, total := 0, 0
+	for _, d := range ds {
+		for _, p := range d.Pairs {
+			total++
+			pos += p.Class
+		}
+	}
+	rate := float64(pos) / float64(total)
+	if math.Abs(rate-spec.PositiveRate) > 0.02 {
+		t.Fatalf("positive rate %v want %v", rate, spec.PositiveRate)
+	}
+}
+
+// TestMedicalLabelShiftsDistribution verifies that the two classes see
+// different item distributions — the classwise structure the frequency
+// estimators must recover.
+func TestMedicalLabelShiftsDistribution(t *testing.T) {
+	spec := MedicalSpec{
+		Name:         "test",
+		Users:        40000,
+		PositiveRate: 0.5,
+		Features:     []FeatureSpec{{Name: "f", Domain: 20, Skew: 1, Shift: 0.5}},
+	}
+	ds, err := Medical(spec, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds[0].TrueFrequencies()
+	mode0 := metrics.TopK(f[0], 1)[0]
+	mode1 := metrics.TopK(f[1], 1)[0]
+	if mode0 == mode1 {
+		t.Fatalf("label shift had no effect: both modes at %d", mode0)
+	}
+}
+
+func TestHeartShape(t *testing.T) {
+	ds, err := Heart(6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 21 {
+		t.Fatalf("%d features", len(ds))
+	}
+	maxDomain := 0
+	for _, d := range ds {
+		if d.Items > maxDomain {
+			maxDomain = d.Items
+		}
+	}
+	if maxDomain != 84 {
+		t.Fatalf("largest domain %d want 84", maxDomain)
+	}
+}
+
+func TestMedicalErrors(t *testing.T) {
+	if _, err := Medical(MedicalSpec{Name: "x", Users: 10, PositiveRate: 0.5}, 1, 1); err == nil {
+		t.Fatal("no features accepted")
+	}
+	spec := DiabetesSpec()
+	spec.PositiveRate = 1.5
+	if _, err := Medical(spec, 1, 1); err == nil {
+		t.Fatal("bad positive rate accepted")
+	}
+}
+
+func TestJDClassRatios(t *testing.T) {
+	d, err := JD(8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 5 || d.Items != 28000 {
+		t.Fatalf("shape c=%d d=%d", d.Classes, d.Items)
+	}
+	counts := d.ClassCounts()
+	spec := JDSpec()
+	for c := range counts {
+		want := int(float64(spec.ClassSizes[c]) * 0.01)
+		if math.Abs(float64(counts[c]-want)) > 2 {
+			t.Fatalf("class %d size %d want %d", c, counts[c], want)
+		}
+	}
+	// Class 1 must dwarf class 4 (the Fig. 8 imbalance).
+	if counts[1] < 10*counts[4] {
+		t.Fatalf("imbalance missing: %v", counts)
+	}
+}
+
+// TestRetailGlobalHead verifies the cross-class overlap of top items that
+// Algorithm 1's global candidate generation exploits.
+func TestRetailGlobalHead(t *testing.T) {
+	d, err := Anime(10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes != 2 || d.Items != 14000 {
+		t.Fatalf("shape c=%d d=%d", d.Classes, d.Items)
+	}
+	overlap := topOverlap(d, 20)
+	if overlap < 4 {
+		t.Fatalf("anime top-20 overlap %v, want a shared global head", overlap)
+	}
+}
+
+func TestRetailErrors(t *testing.T) {
+	if _, err := Retail(RetailSpec{Name: "x", ClassSizes: []int{10}, Items: 100}, 1, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Retail(RetailSpec{Name: "x", ClassSizes: []int{10, 10}, Items: 1}, 1, 1); err == nil {
+		t.Fatal("single item accepted")
+	}
+}
+
+func TestScaleCountPanics(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("scale %v did not panic", s)
+				}
+			}()
+			scaleCount(100, s)
+		}()
+	}
+	if scaleCount(100, 0.001) != 1 {
+		t.Fatal("scaleCount floor missing")
+	}
+}
+
+func TestNormalizedPositiveSumsExactly(t *testing.T) {
+	r := xrand.New(3)
+	sizes := normalizedPositive(7, 1, 0.5, 0.1, 12345, r)
+	sum := 0
+	for _, s := range sizes {
+		if s < 0 {
+			t.Fatalf("negative size %d", s)
+		}
+		sum += s
+	}
+	if sum != 12345 {
+		t.Fatalf("sizes sum to %d", sum)
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// FeatureSpec describes one categorical feature of a simulated medical
+// survey dataset: its domain size and how strongly the class label shifts
+// its value distribution.
+type FeatureSpec struct {
+	Name string
+	// Domain is the number of distinct (rounded) values.
+	Domain int
+	// Skew is the Zipf-like decay exponent of the value distribution; a
+	// larger skew concentrates mass on few values, as categorical survey
+	// answers do.
+	Skew float64
+	// Shift is the fraction of the domain by which the positive class's
+	// mode is displaced — this is what creates classwise structure for the
+	// frequency-estimation task to recover.
+	Shift float64
+}
+
+// MedicalSpec describes a simulated two-class medical dataset in the shape
+// the paper uses for frequency estimation: users are divided into one group
+// per feature, and each group contributes (label, feature value) pairs.
+type MedicalSpec struct {
+	Name string
+	// Users is the total user count at scale 1 (divided across features).
+	Users int
+	// PositiveRate is the fraction of users with the positive label.
+	PositiveRate float64
+	Features     []FeatureSpec
+}
+
+// DiabetesSpec mirrors the Comprehensive Diabetes Clinical dataset:
+// 100,000 individuals, eight features, continuous values rounded so the
+// largest feature domain has about 600 items, and an 8.5% diabetic rate.
+func DiabetesSpec() MedicalSpec {
+	return MedicalSpec{
+		Name:         "Diabetes",
+		Users:        100_000,
+		PositiveRate: 0.085,
+		Features: []FeatureSpec{
+			{Name: "gender", Domain: 3, Skew: 0.6, Shift: 0.10},
+			{Name: "hypertension", Domain: 2, Skew: 1.0, Shift: 0.40},
+			{Name: "heart_disease", Domain: 2, Skew: 1.2, Shift: 0.40},
+			{Name: "smoking_history", Domain: 6, Skew: 0.8, Shift: 0.20},
+			{Name: "age", Domain: 102, Skew: 0.4, Shift: 0.25},
+			{Name: "blood_glucose", Domain: 600, Skew: 0.5, Shift: 0.20},
+			{Name: "hba1c", Domain: 72, Skew: 0.6, Shift: 0.30},
+			{Name: "bmi", Domain: 400, Skew: 0.5, Shift: 0.15},
+		},
+	}
+}
+
+// HeartSpec mirrors the Heart Disease Health Indicators dataset (BRFSS
+// 2015): 253,680 responses, 21 categorical features with the largest domain
+// 84, and a 9.4% positive rate.
+func HeartSpec() MedicalSpec {
+	binary := func(name string, shift float64) FeatureSpec {
+		return FeatureSpec{Name: name, Domain: 2, Skew: 1.0, Shift: shift}
+	}
+	return MedicalSpec{
+		Name:         "Heart",
+		Users:        253_680,
+		PositiveRate: 0.094,
+		Features: []FeatureSpec{
+			binary("high_bp", 0.45),
+			binary("high_chol", 0.40),
+			binary("chol_check", 0.05),
+			{Name: "bmi", Domain: 84, Skew: 0.5, Shift: 0.15},
+			binary("smoker", 0.20),
+			binary("stroke", 0.35),
+			binary("diabetes_hist", 0.35),
+			binary("phys_activity", 0.15),
+			binary("fruits", 0.05),
+			binary("veggies", 0.05),
+			binary("heavy_alcohol", 0.10),
+			binary("healthcare", 0.05),
+			binary("no_doc_cost", 0.10),
+			{Name: "gen_health", Domain: 5, Skew: 0.7, Shift: 0.35},
+			{Name: "mental_health", Domain: 31, Skew: 0.9, Shift: 0.10},
+			{Name: "phys_health", Domain: 31, Skew: 0.9, Shift: 0.25},
+			binary("diff_walk", 0.30),
+			binary("sex", 0.08),
+			{Name: "age_group", Domain: 13, Skew: 0.3, Shift: 0.30},
+			{Name: "education", Domain: 6, Skew: 0.4, Shift: 0.10},
+			{Name: "income", Domain: 8, Skew: 0.3, Shift: 0.12},
+		},
+	}
+}
+
+// Medical builds one dataset per feature, each holding Users/len(Features)
+// users with (label, value) pairs — the paper's per-feature user-partition
+// setup for the frequency estimation experiments of Fig. 6.
+func Medical(spec MedicalSpec, seed uint64, scale float64) ([]*core.Dataset, error) {
+	if len(spec.Features) == 0 {
+		return nil, fmt.Errorf("dataset: medical spec %q has no features", spec.Name)
+	}
+	if !(spec.PositiveRate > 0 && spec.PositiveRate < 1) {
+		return nil, fmt.Errorf("dataset: medical spec %q positive rate %v outside (0,1)",
+			spec.Name, spec.PositiveRate)
+	}
+	r := xrand.New(seed)
+	perFeature := scaleCount(spec.Users/len(spec.Features), scale)
+	out := make([]*core.Dataset, 0, len(spec.Features))
+	for _, f := range spec.Features {
+		neg, err := featureSampler(f, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s/%s: %w", spec.Name, f.Name, err)
+		}
+		pos, err := featureSampler(f, f.Shift)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s/%s: %w", spec.Name, f.Name, err)
+		}
+		ds := &core.Dataset{
+			Pairs:   make([]core.Pair, 0, perFeature),
+			Classes: 2,
+			Items:   f.Domain,
+			Name:    spec.Name + "/" + f.Name,
+		}
+		for u := 0; u < perFeature; u++ {
+			label := 0
+			sampler := neg
+			if r.Bernoulli(spec.PositiveRate) {
+				label = 1
+				sampler = pos
+			}
+			ds.Pairs = append(ds.Pairs, core.Pair{Class: label, Item: sampler.Sample(r)})
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// featureSampler builds a value sampler whose mass decays Zipf-like from a
+// mode displaced by shift·domain — the positive class sees a shifted world.
+func featureSampler(f FeatureSpec, shift float64) (*xrand.Categorical, error) {
+	if f.Domain <= 0 {
+		return nil, fmt.Errorf("non-positive domain %d", f.Domain)
+	}
+	mode := int(shift * float64(f.Domain))
+	if mode >= f.Domain {
+		mode = f.Domain - 1
+	}
+	w := make([]float64, f.Domain)
+	for v := range w {
+		dist := math.Abs(float64(v - mode))
+		w[v] = math.Pow(dist+1, -f.Skew-0.5)
+	}
+	return xrand.NewCategorical(w)
+}
+
+// Diabetes builds the simulated Diabetes per-feature datasets.
+func Diabetes(seed uint64, scale float64) ([]*core.Dataset, error) {
+	return Medical(DiabetesSpec(), seed, scale)
+}
+
+// Heart builds the simulated Heart-Disease per-feature datasets.
+func Heart(seed uint64, scale float64) ([]*core.Dataset, error) {
+	return Medical(HeartSpec(), seed, scale)
+}

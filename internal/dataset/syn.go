@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// SYN1Frequencies are the label-item pair frequencies the paper sweeps in
+// the Fig. 5(a) correlation-strength analysis.
+var SYN1Frequencies = []int{1_000, 10_000, 100_000, 1_000_000}
+
+// SYN1 is the variance-analysis dataset of Fig. 5(a): four classes and four
+// items with pair counts {10³, 10⁴, 10⁵, 10⁶} arranged as a Latin square,
+// so every class size n and every item marginal f(I) is fixed at
+// 1,111,000·scale while the tracked pair frequency f(C, I) varies — exactly
+// the "fix f(I) = n, vary f(C,I)" setup the paper describes.
+func SYN1(scale float64) *core.Dataset {
+	const k = 4
+	counts := make([][]int, k)
+	for c := 0; c < k; c++ {
+		counts[c] = make([]int, k)
+		for i := 0; i < k; i++ {
+			counts[c][i] = scaleCount(SYN1Frequencies[(i-c+k)%k], scale)
+		}
+	}
+	return exactCounts("SYN1", counts, k)
+}
+
+// SYN2ClassSizes are the class sizes n the paper sweeps in Fig. 5(b).
+var SYN2ClassSizes = []int{13_000, 211_000, 1_210_000, 3_010_000}
+
+// SYN2 is the class-distribution dataset of Fig. 5(b): the tracked item's
+// pair frequency is fixed at f(C, I) = 10⁴ in every class while the class
+// sizes n vary over {1.3×10⁴, 2.11×10⁵, 1.21×10⁶, 3.01×10⁶}; the remaining
+// class mass is spread evenly over the other three items.
+func SYN2(scale float64) *core.Dataset {
+	const k = 4
+	const tracked = 10_000
+	counts := make([][]int, k)
+	for c := 0; c < k; c++ {
+		counts[c] = make([]int, k)
+		counts[c][0] = scaleCount(tracked, scale)
+		rest := SYN2ClassSizes[c] - tracked
+		for i := 1; i < k; i++ {
+			counts[c][i] = scaleCount(rest/(k-1), scale)
+		}
+	}
+	return exactCounts("SYN2", counts, k)
+}
+
+// SynTopKConfig parameterizes SYN3/SYN4 (Fig. 10): 20,000 items, 5 million
+// instances, class sizes drawn from a normal distribution, per-class item
+// popularity exponential with scale in [0.01, 0.1].
+type SynTopKConfig struct {
+	Classes int
+	Items   int
+	Users   int
+	// HeadSize is the per-class "top" window the overlap property is
+	// defined over (the paper uses the top 20).
+	HeadSize int
+	// Global controls whether classes share globally frequent items
+	// (SYN3) or have disjoint heads (SYN4).
+	Global bool
+}
+
+// DefaultSynTopK returns the paper's SYN3/SYN4 configuration for the given
+// class count.
+func DefaultSynTopK(classes int, global bool) SynTopKConfig {
+	return SynTopKConfig{
+		Classes:  classes,
+		Items:    20_000,
+		Users:    5_000_000,
+		HeadSize: 20,
+		Global:   global,
+	}
+}
+
+// SynTopK builds SYN3 (Global=true) or SYN4 (Global=false).
+//
+// Per class, item popularity follows the paper's recipe: ranks are weighted
+// by an exponential distribution whose scale parameter is drawn uniformly
+// from [0.01, 0.1] (rank fraction x has weight e^{-x/θ}), so each class has
+// a sharply decaying head. The rank-to-item assignment then realizes the
+// overlap property:
+//
+//   - SYN3: each class fills its head by sampling 13 of a shared 20-item
+//     global pool plus class-unique items; two classes then share
+//     13²/20 ≈ 8 of their top-20 on average — the paper's "average of
+//     eight overlapping items among the top 20 between any two classes".
+//   - SYN4: heads are class-unique items, so no item is globally frequent.
+//
+// Tail ranks map to the remaining items through a class-specific shuffle.
+func SynTopK(cfg SynTopKConfig, seed uint64, scale float64) (*core.Dataset, error) {
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("dataset: SynTopK needs at least 2 classes, got %d", cfg.Classes)
+	}
+	if cfg.HeadSize <= 0 || cfg.Items < cfg.HeadSize*(cfg.Classes+1) {
+		return nil, fmt.Errorf("dataset: SynTopK needs items ≥ head·(classes+1), got d=%d head=%d c=%d",
+			cfg.Items, cfg.HeadSize, cfg.Classes)
+	}
+	r := xrand.New(seed)
+	name := "SYN4"
+	if cfg.Global {
+		name = "SYN3"
+	}
+	users := scaleCount(cfg.Users, scale)
+	classSizes := normalizedPositive(cfg.Classes, 1, 0.3, 0.2, users, r)
+
+	// The shared global pool (used only by SYN3).
+	globalPool := make([]int, cfg.HeadSize)
+	for i := range globalPool {
+		globalPool[i] = i // items 0..head-1 are the global pool
+	}
+	// Class-unique item blocks start after the pool.
+	nextUnique := cfg.HeadSize
+
+	perClass := make([]*xrand.Categorical, cfg.Classes)
+	for c := 0; c < cfg.Classes; c++ {
+		// Rank weights: exponential with per-class scale θ ∈ [0.01, 0.1].
+		// The decay is applied per rank (not per rank fraction) so the
+		// designed head stays identifiable above sampling noise at every
+		// scale factor — otherwise the engineered top-20 overlap property
+		// would wash out in scaled-down runs.
+		theta := 0.01 + 0.09*r.Float64()
+		decay := 0.1 + 2*theta
+		weights := make([]float64, cfg.Items)
+		for rank := 0; rank < cfg.Items; rank++ {
+			weights[rank] = math.Exp(-float64(rank) * decay)
+		}
+		// Head items for this class.
+		head := make([]int, 0, cfg.HeadSize)
+		used := make(map[int]bool, cfg.Items)
+		if cfg.Global {
+			// 13 of the 20 global-pool items (scaled proportionally for
+			// non-default head sizes), in random positions.
+			picks := (cfg.HeadSize*13 + 10) / 20
+			if picks > cfg.HeadSize {
+				picks = cfg.HeadSize
+			}
+			for _, gi := range r.Perm(cfg.HeadSize)[:picks] {
+				head = append(head, globalPool[gi])
+			}
+		}
+		for len(head) < cfg.HeadSize {
+			head = append(head, nextUnique)
+			nextUnique++
+		}
+		r.Shuffle(len(head), func(i, j int) { head[i], head[j] = head[j], head[i] })
+		for _, h := range head {
+			used[h] = true
+		}
+		// Tail: the remaining items in class-shuffled order.
+		tail := make([]int, 0, cfg.Items-len(head))
+		for it := 0; it < cfg.Items; it++ {
+			if !used[it] {
+				tail = append(tail, it)
+			}
+		}
+		r.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+		// rankToItem: head ranks then tail ranks.
+		itemWeights := make([]float64, cfg.Items)
+		for rank, w := range weights {
+			var item int
+			if rank < len(head) {
+				item = head[rank]
+			} else {
+				item = tail[rank-len(head)]
+			}
+			itemWeights[item] = w
+		}
+		cat, err := xrand.NewCategorical(itemWeights)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: SynTopK class %d: %w", c, err)
+		}
+		perClass[c] = cat
+	}
+	return sampled(name, classSizes, perClass, cfg.Items, r), nil
+}

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mean"
+	"repro/internal/xrand"
+)
+
+// ExtMeanEpsilons is the budget sweep of the numerical-item extension
+// experiment.
+var ExtMeanEpsilons = []float64{0.5, 1, 2, 4}
+
+func init() {
+	register(&Experiment{
+		ID:            "ext1",
+		Title:         "Extension: classwise mean RMSE vs ε (numerical items, future work §IX)",
+		DefaultScale:  0.2,
+		DefaultTrials: 5,
+		Run:           runExt1,
+	})
+	register(&Experiment{
+		ID:            "ext2",
+		Title:         "Extension: measured wire bytes per user per framework (Table II companion, JD)",
+		DefaultScale:  0.01,
+		DefaultTrials: 1,
+		Run:           runExt2,
+	})
+}
+
+// ext1Dataset builds a numerical population with per-class means spread
+// over [−0.6, 0.6] and skewed class sizes.
+func ext1Dataset(classes int, users int, r *xrand.Rand) *mean.Dataset {
+	d := &mean.Dataset{Classes: classes, Name: "ext1"}
+	for c := 0; c < classes; c++ {
+		mu := -0.6 + 1.2*float64(c)/float64(classes-1)
+		size := users / (c + 1) // skewed sizes
+		for i := 0; i < size; i++ {
+			x := mu + 0.25*r.NormFloat64()
+			if x > 1 {
+				x = 1
+			}
+			if x < -1 {
+				x = -1
+			}
+			d.Values = append(d.Values, mean.Value{Class: c, X: x})
+		}
+	}
+	return d
+}
+
+func runExt1(cfg Config) (*Table, error) {
+	e, _ := ByID("ext1")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	const classes = 5
+	users := int(500_000 * cfg.Scale)
+	data := ext1Dataset(classes, users, xrand.New(cfg.Seed))
+	truth, _ := data.TrueMeans()
+	t := &Table{
+		ID:      "ext1",
+		Title:   fmt.Sprintf("Classwise mean RMSE vs ε (%d classes, N=%d)", classes, data.N()),
+		Columns: []string{"ε", "HEC-Mean", "PTS-Mean", "CP-Mean"},
+	}
+	for _, eps := range ExtMeanEpsilons {
+		pts, err := mean.NewPTSMean(eps, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := mean.NewCPMeanEstimator(eps, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		ests := []mean.Estimator{mean.NewHECMean(eps), pts, cp}
+		perTrial, err := runTrials(cfg, func(_ int, r *xrand.Rand) ([]float64, error) {
+			out := make([]float64, len(ests))
+			for ei, est := range ests {
+				got, err := est.EstimateMeans(data, r)
+				if err != nil {
+					return nil, err
+				}
+				sum := 0.0
+				for c := range truth {
+					d := got[c] - truth[c]
+					sum += d * d
+				}
+				out[ei] = math.Sqrt(sum / float64(classes))
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmtF(eps)}
+		for ei := range ests {
+			m := 0.0
+			for _, tr := range perTrial {
+				m += tr[ei]
+			}
+			row = append(row, fmtF(m/float64(len(perTrial))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: all improve with ε; HEC-Mean floor-limited by substitution bias;",
+		"CP-Mean ≤ PTS-Mean at small ε (mis-routed users cancel instead of calibrating)",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+// runExt2 measures actual serialized report sizes for each framework on the
+// Anime population — the empirical companion to Table II's communication
+// column. Frequency reports are measured in the collect wire format
+// (set-bit indices); label-bearing frameworks add the label integer.
+func runExt2(cfg Config) (*Table, error) {
+	e, _ := ByID("ext2")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := dataset.JD(cfg.Seed, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 2.0
+	r := xrand.New(cfg.Seed + 1)
+	sample := data.Pairs
+	if len(sample) > 2000 {
+		sample = sample[:2000]
+	}
+	c, d := data.Classes, data.Items
+
+	measure := func(perturb func(p core.Pair) (bits int)) float64 {
+		total := 0
+		for _, p := range sample {
+			total += perturb(p)
+		}
+		return float64(total) / float64(len(sample))
+	}
+
+	// PTJ: adaptive over c·d. If GRR is chosen the report is one integer
+	// (log2(cd) bits); if OUE, the sparse set-bit encoding.
+	ptjMech, err := newAdaptiveForExt(c*d, eps)
+	if err != nil {
+		return nil, err
+	}
+	ptjBytes := measure(func(p core.Pair) int {
+		rep := ptjMech.Perturb(core.JointIndex(p, d), r)
+		if rep.Bits == nil {
+			return 8 // one integer
+		}
+		return 4 * rep.Bits.OnesCount() // sparse index list
+	})
+
+	// PTS: GRR label (8 bytes) + OUE item sparse.
+	cpMech, err := core.NewCP(c, d, eps, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	ptsBytes := measure(func(p core.Pair) int {
+		rep := cpMech.Perturb(p, r)
+		return 8 + 4*len(rep.Bits.Ones())
+	})
+
+	// HEC: adaptive over d, no label.
+	hecMech, err := newAdaptiveForExt(d, eps)
+	if err != nil {
+		return nil, err
+	}
+	hecBytes := measure(func(p core.Pair) int {
+		rep := hecMech.Perturb(p.Item, r)
+		if rep.Bits == nil {
+			return 8
+		}
+		return 4 * rep.Bits.OnesCount()
+	})
+
+	// Collect wire format (JSON) for PTS-CP, measured end to end.
+	jsonBytes := measure(func(p core.Pair) int {
+		rep := cpMech.Perturb(p, r)
+		w := collect.WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+		return wireSize(w)
+	})
+
+	t := &Table{
+		ID:      "ext2",
+		Title:   fmt.Sprintf("Measured report size on JD (c=%d, d=%d, ε=%v)", c, d, eps),
+		Columns: []string{"framework", "bytes/user (binary)", "notes"},
+		Rows: [][]string{
+			{"HEC", fmtF(hecBytes), "item only, adaptive over d"},
+			{"PTJ", fmtF(ptjBytes), "joint domain c·d"},
+			{"PTS / PTS-CP", fmtF(ptsBytes), "label + sparse d+1 bits"},
+			{"PTS-CP (JSON wire)", fmtF(jsonBytes), "collect package format"},
+		},
+	}
+	t.Notes = append(t.Notes,
+		"sparse OUE reports carry ≈(d+1)/(e^ε+1) set-bit indices; PTJ pays the c× joint-domain blowup",
+		fmt.Sprintf("sampled %d users, trials=%d scale=%v", len(sample), cfg.Trials, cfg.Scale))
+	return t, nil
+}

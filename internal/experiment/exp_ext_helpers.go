@@ -1,0 +1,22 @@
+package experiment
+
+import (
+	"encoding/json"
+
+	"repro/internal/collect"
+	"repro/internal/fo"
+)
+
+// newAdaptiveForExt wraps fo.NewAdaptive for the wire-size measurement.
+func newAdaptiveForExt(d int, eps float64) (fo.Mechanism, error) {
+	return fo.NewAdaptive(d, eps)
+}
+
+// wireSize returns the JSON-serialized size of a wire report.
+func wireSize(w collect.WireReport) int {
+	b, err := json.Marshal(w)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

@@ -1,0 +1,495 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+// Fig7Epsilons are the privacy budgets swept in Fig. 7.
+var Fig7Epsilons = []float64{2, 4, 6, 8}
+
+// Fig9Ks are the k values swept in Fig. 9.
+var Fig9Ks = []int{10, 20, 30, 40, 50}
+
+// Fig10Classes are the class counts swept in Fig. 10.
+var Fig10Classes = []int{10, 20, 30, 40, 50}
+
+// minerSpec labels a miner configuration for experiment output.
+type minerSpec struct {
+	label string
+	miner topk.Miner
+}
+
+// fig7Miners is the five-curve lineup of Figs. 7–10: the three fundamental
+// frameworks plus the optimized PTJ and PTS variants.
+func fig7Miners() []minerSpec {
+	return []minerSpec{
+		{"HEC", topk.NewHEC(topk.Baseline())},
+		{"PTJ", topk.NewPTJ(topk.Baseline())},
+		{"PTJ-Shuf+VP", topk.NewPTJ(topk.Options{Shuffling: true, VP: true})},
+		{"PTS", topk.NewPTS(topk.Baseline())},
+		{"PTS-Shuf+VP+CP", topk.NewPTS(topk.Optimized())},
+	}
+}
+
+// minerScores holds per-miner, class-averaged F1 and NCR.
+type minerScores struct {
+	f1  []float64
+	ncr []float64
+}
+
+// mineAveraged runs every miner over cfg.Trials trials (dataset order
+// reshuffled per trial) and returns class-averaged F1 and NCR per miner.
+func mineAveraged(cfg Config, data *core.Dataset, specs []minerSpec, k int, eps float64) (minerScores, error) {
+	truth := truthTopK(data, k)
+	perTrial, err := runTrials(cfg, func(_ int, r *xrand.Rand) (minerScores, error) {
+		shuffled := data.Shuffled(r)
+		s := minerScores{
+			f1:  make([]float64, len(specs)),
+			ncr: make([]float64, len(specs)),
+		}
+		for mi, spec := range specs {
+			res, err := spec.miner.Mine(shuffled, k, eps, r)
+			if err != nil {
+				return s, fmt.Errorf("%s: %w", spec.label, err)
+			}
+			for c := range truth {
+				s.f1[mi] += metrics.F1(res.PerClass[c], truth[c])
+				s.ncr[mi] += metrics.NCR(res.PerClass[c], truth[c])
+			}
+			s.f1[mi] /= float64(len(truth))
+			s.ncr[mi] /= float64(len(truth))
+		}
+		return s, nil
+	})
+	if err != nil {
+		return minerScores{}, err
+	}
+	avg := minerScores{
+		f1:  make([]float64, len(specs)),
+		ncr: make([]float64, len(specs)),
+	}
+	for _, tr := range perTrial {
+		for mi := range specs {
+			avg.f1[mi] += tr.f1[mi]
+			avg.ncr[mi] += tr.ncr[mi]
+		}
+	}
+	for mi := range specs {
+		avg.f1[mi] /= float64(len(perTrial))
+		avg.ncr[mi] /= float64(len(perTrial))
+	}
+	return avg, nil
+}
+
+// truthTopK returns per-class ground-truth top-k item lists.
+func truthTopK(data *core.Dataset, k int) [][]int {
+	f := data.TrueFrequencies()
+	out := make([][]int, data.Classes)
+	for c := range f {
+		out[c] = metrics.TopK(f[c], k)
+	}
+	return out
+}
+
+func init() {
+	for _, spec := range []struct {
+		id, metric, ds string
+	}{
+		{"fig7a", "F1", "Anime"},
+		{"fig7b", "NCR", "Anime"},
+		{"fig7c", "F1", "JD"},
+		{"fig7d", "NCR", "JD"},
+	} {
+		spec := spec
+		register(&Experiment{
+			ID:            spec.id,
+			Title:         fmt.Sprintf("Fig. 7: top-k %s vs ε (%s, k=20)", spec.metric, spec.ds),
+			DefaultScale:  0.02,
+			DefaultTrials: 3,
+			Run: func(cfg Config) (*Table, error) {
+				return runFig7(cfg, spec.id, spec.metric, spec.ds)
+			},
+		})
+	}
+	register(&Experiment{
+		ID:            "fig8",
+		Title:         "Fig. 8: per-class F1 on JD (ε=8, k=20)",
+		DefaultScale:  0.02,
+		DefaultTrials: 3,
+		Run:           runFig8,
+	})
+	register(&Experiment{
+		ID:            "fig9",
+		Title:         "Fig. 9: F1/NCR vs k on JD (ε=4)",
+		DefaultScale:  0.02,
+		DefaultTrials: 3,
+		Run:           runFig9,
+	})
+	for _, spec := range []struct {
+		id     string
+		global bool
+		metric string
+	}{
+		{"fig10a", true, "F1"},
+		{"fig10b", true, "NCR"},
+		{"fig10c", false, "F1"},
+		{"fig10d", false, "NCR"},
+	} {
+		spec := spec
+		name := "SYN4"
+		if spec.global {
+			name = "SYN3"
+		}
+		register(&Experiment{
+			ID:            spec.id,
+			Title:         fmt.Sprintf("Fig. 10: top-k %s vs class count (%s, ε=4, k=20)", spec.metric, name),
+			DefaultScale:  0.01,
+			DefaultTrials: 2,
+			Run: func(cfg Config) (*Table, error) {
+				return runFig10(cfg, spec.id, spec.metric, spec.global)
+			},
+		})
+	}
+	register(&Experiment{
+		ID:            "table3",
+		Title:         "Table III: ablation study on PTJ and PTS (Anime, ε=5, k=20)",
+		DefaultScale:  0.02,
+		DefaultTrials: 3,
+		Run:           runTable3,
+	})
+	register(&Experiment{
+		ID:            "fig11",
+		Title:         "Fig. 11: privacy budget allocation p=ε₁/ε (SYN4, ε=4, k=20)",
+		DefaultScale:  0.01,
+		DefaultTrials: 2,
+		Run:           runFig11,
+	})
+	for _, spec := range []struct {
+		id, ds, param string
+	}{
+		{"fig12a", "Anime", "a"},
+		{"fig12b", "JD", "a"},
+		{"fig12c", "Anime", "b"},
+		{"fig12d", "JD", "b"},
+	} {
+		spec := spec
+		register(&Experiment{
+			ID:            spec.id,
+			Title:         fmt.Sprintf("Fig. 12: parameter %s on %s (ε=4, k=20)", spec.param, spec.ds),
+			DefaultScale:  0.02,
+			DefaultTrials: 3,
+			Run: func(cfg Config) (*Table, error) {
+				return runFig12(cfg, spec.id, spec.ds, spec.param)
+			},
+		})
+	}
+}
+
+// loadRetail builds the Anime or JD dataset for an experiment config.
+func loadRetail(name string, cfg Config) (*core.Dataset, error) {
+	switch name {
+	case "Anime":
+		return dataset.Anime(cfg.Seed, cfg.Scale)
+	case "JD":
+		return dataset.JD(cfg.Seed, cfg.Scale)
+	}
+	return nil, fmt.Errorf("experiment: unknown retail dataset %q", name)
+}
+
+func runFig7(cfg Config, id, metric, ds string) (*Table, error) {
+	e, _ := ByID(id)
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := loadRetail(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	specs := fig7Miners()
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s vs ε on %s (k=20, N=%d)", metric, ds, data.N()),
+		Columns: []string{"ε"},
+	}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.label)
+	}
+	const k = 20
+	for _, eps := range Fig7Epsilons {
+		scores, err := mineAveraged(cfg, data, specs, k, eps)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmtF(eps)}
+		for mi := range specs {
+			v := scores.f1[mi]
+			if metric == "NCR" {
+				v = scores.ncr[mi]
+			}
+			row = append(row, fmtF(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: all rise with ε; optimized variants above their bases; PTS gains most",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+func runFig8(cfg Config) (*Table, error) {
+	e, _ := ByID("fig8")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := loadRetail("JD", cfg)
+	if err != nil {
+		return nil, err
+	}
+	const k, eps = 20, 8
+	specs := fig7Miners()
+	truth := truthTopK(data, k)
+	perTrial, err := runTrials(cfg, func(_ int, r *xrand.Rand) ([][]float64, error) {
+		shuffled := data.Shuffled(r)
+		out := make([][]float64, len(specs)) // [miner][class]F1
+		for mi, spec := range specs {
+			res, err := spec.miner.Mine(shuffled, k, eps, r)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.label, err)
+			}
+			out[mi] = make([]float64, data.Classes)
+			for c := range truth {
+				out[mi][c] = metrics.F1(res.PerClass[c], truth[c])
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Per-class F1 on JD (ε=8, k=20)",
+		Columns: []string{"class", "size"},
+	}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.label)
+	}
+	sizes := data.ClassCounts()
+	for c := 0; c < data.Classes; c++ {
+		row := []string{itoa(c + 1), itoa(sizes[c])}
+		for mi := range specs {
+			mean := 0.0
+			for _, tr := range perTrial {
+				mean += tr[mi][c]
+			}
+			row = append(row, fmtF(mean/float64(len(perTrial))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: classes 2,3 strong; 4,5 starved; optimized PTS nonzero where PTJ fails",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+func runFig9(cfg Config) (*Table, error) {
+	e, _ := ByID("fig9")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := loadRetail("JD", cfg)
+	if err != nil {
+		return nil, err
+	}
+	specs := fig7Miners()
+	t := &Table{
+		ID:      "fig9",
+		Title:   "F1 and NCR vs k on JD (ε=4)",
+		Columns: []string{"k", "metric"},
+	}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.label)
+	}
+	for _, k := range Fig9Ks {
+		scores, err := mineAveraged(cfg, data, specs, k, 4)
+		if err != nil {
+			return nil, err
+		}
+		rowF1 := []string{itoa(k), "F1"}
+		rowNCR := []string{itoa(k), "NCR"}
+		for mi := range specs {
+			rowF1 = append(rowF1, fmtF(scores.f1[mi]))
+			rowNCR = append(rowNCR, fmtF(scores.ncr[mi]))
+		}
+		t.Rows = append(t.Rows, rowF1, rowNCR)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: PTS utility falls with k; PTJ rises mildly with k",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+func runFig10(cfg Config, id, metric string, global bool) (*Table, error) {
+	e, _ := ByID(id)
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	specs := fig7Miners()
+	name := "SYN4"
+	if global {
+		name = "SYN3"
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s vs class count on %s (ε=4, k=20)", metric, name),
+		Columns: []string{"classes"},
+	}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.label)
+	}
+	for _, classes := range Fig10Classes {
+		data, err := dataset.SynTopK(dataset.DefaultSynTopK(classes, global), cfg.Seed, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := mineAveraged(cfg, data, specs, 20, 4)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{itoa(classes)}
+		for mi := range specs {
+			v := scores.f1[mi]
+			if metric == "NCR" {
+				v = scores.ncr[mi]
+			}
+			row = append(row, fmtF(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	note := "expected shape: all fall with class count"
+	if !global {
+		note += "; PTS collapses without globally frequent items"
+	}
+	t.Notes = append(t.Notes, note,
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+func runTable3(cfg Config) (*Table, error) {
+	e, _ := ByID("table3")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := loadRetail("Anime", cfg)
+	if err != nil {
+		return nil, err
+	}
+	const k, eps = 20, 5
+	ptjVariants := []minerSpec{
+		{"PTJ baseline", topk.NewPTJ(topk.Baseline())},
+		{"PTJ+VP", topk.NewPTJ(topk.Options{VP: true})},
+		{"PTJ+Shuffling", topk.NewPTJ(topk.Options{Shuffling: true})},
+		{"PTJ all", topk.NewPTJ(topk.Options{Shuffling: true, VP: true})},
+	}
+	ptsVariants := []minerSpec{
+		{"PTS baseline", topk.NewPTS(topk.Baseline())},
+		{"PTS+Global", topk.NewPTS(topk.Options{Global: true})},
+		{"PTS+VP", topk.NewPTS(topk.Options{VP: true})},
+		{"PTS+Shuffling", topk.NewPTS(topk.Options{Shuffling: true})},
+		{"PTS all", topk.NewPTS(topk.Optimized())},
+	}
+	specs := append(append([]minerSpec{}, ptjVariants...), ptsVariants...)
+	scores, err := mineAveraged(cfg, data, specs, k, eps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table3",
+		Title:   "Ablation on PTJ and PTS (Anime, ε=5, k=20)",
+		Columns: []string{"variant", "F1", "NCR"},
+	}
+	for mi, s := range specs {
+		t.Rows = append(t.Rows, []string{s.label, fmtF(scores.f1[mi]), fmtF(scores.ncr[mi])})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: every optimization helps its framework; 'all' best; PTS gains larger",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+// Fig11Splits is the swept label-budget proportion p = ε₁/ε.
+var Fig11Splits = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+func runFig11(cfg Config) (*Table, error) {
+	e, _ := ByID("fig11")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	classCounts := []int{5, 10, 20}
+	t := &Table{
+		ID:      "fig11",
+		Title:   "F1 vs budget split p=ε₁/ε on SYN4 (ε=4, k=20)",
+		Columns: []string{"p", "5 classes", "10 classes", "20 classes"},
+	}
+	cells := make([][]string, len(Fig11Splits))
+	for i, p := range Fig11Splits {
+		cells[i] = []string{fmtF(p)}
+		_ = p
+	}
+	for _, classes := range classCounts {
+		data, err := dataset.SynTopK(dataset.DefaultSynTopK(classes, false), cfg.Seed, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range Fig11Splits {
+			opt := topk.Optimized()
+			opt.Split = p
+			scores, err := mineAveraged(cfg, data, []minerSpec{{"PTS", topk.NewPTS(opt)}}, 20, 4)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = append(cells[i], fmtF(scores.f1[0]))
+		}
+	}
+	t.Rows = cells
+	t.Notes = append(t.Notes,
+		"expected shape: F1 rises then falls in p, peaking for p in [0.4, 0.6]",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}
+
+// Fig12As and Fig12Bs are the swept values of Algorithm 1's sample fraction
+// a and Algorithm 2's noise threshold b.
+var (
+	Fig12As = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	Fig12Bs = []float64{1.5, 2, 2.5, 3, 3.5, 4}
+)
+
+func runFig12(cfg Config, id, ds, param string) (*Table, error) {
+	e, _ := ByID(id)
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data, err := loadRetail(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	values := Fig12As
+	if param == "b" {
+		values = Fig12Bs
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("F1 vs parameter %s on %s (ε=4, k=20)", param, ds),
+		Columns: []string{param, "PTS-Shuf+VP+CP F1"},
+	}
+	for _, v := range values {
+		opt := topk.Optimized()
+		if param == "a" {
+			opt.A = v
+		} else {
+			opt.B = v
+		}
+		scores, err := mineAveraged(cfg, data, []minerSpec{{"PTS", topk.NewPTS(opt)}}, 20, 4)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmtF(v), fmtF(scores.f1[0])})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: mild dataset-dependent variation; defaults a=0.2, b=2 competitive",
+		fmt.Sprintf("trials=%d scale=%v", cfg.Trials, cfg.Scale))
+	return t, nil
+}

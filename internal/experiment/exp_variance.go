@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func init() {
+	register(&Experiment{
+		ID:            "fig5a",
+		Title:         "Fig. 5(a): empirical variance vs correlation strength (SYN1, ε=1)",
+		DefaultScale:  0.02,
+		DefaultTrials: 100,
+		Run:           runFig5a,
+	})
+	register(&Experiment{
+		ID:            "fig5b",
+		Title:         "Fig. 5(b): empirical variance vs class amount n (SYN2, ε=1)",
+		DefaultScale:  0.02,
+		DefaultTrials: 100,
+		Run:           runFig5b,
+	})
+}
+
+// trackedVariance runs PTS and PTS-CP over the dataset for cfg.Trials
+// trials and returns, for each tracked (class, item) pair, the empirical
+// variance (1/t)Σ(f̂ − f)² of both estimators — the paper's Fig. 5 metric.
+func trackedVariance(cfg Config, data *core.Dataset, tracked []core.Pair) (ptsVar, cpVar []float64, err error) {
+	const eps = 1
+	truth := data.TrueFrequencies()
+	pts, err := core.NewPTS(eps, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp, err := core.NewPTSCP(eps, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	type pairEst struct{ pts, cp []float64 }
+	ests, err := runTrials(cfg, func(_ int, r *xrand.Rand) (pairEst, error) {
+		mPTS, err := pts.Estimate(data, r)
+		if err != nil {
+			return pairEst{}, err
+		}
+		mCP, err := cp.Estimate(data, r)
+		if err != nil {
+			return pairEst{}, err
+		}
+		pe := pairEst{}
+		for _, tp := range tracked {
+			pe.pts = append(pe.pts, mPTS[tp.Class][tp.Item])
+			pe.cp = append(pe.cp, mCP[tp.Class][tp.Item])
+		}
+		return pe, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ptsVar = make([]float64, len(tracked))
+	cpVar = make([]float64, len(tracked))
+	for i, tp := range tracked {
+		ref := truth[tp.Class][tp.Item]
+		ptsSeries := make([]float64, len(ests))
+		cpSeries := make([]float64, len(ests))
+		for t, e := range ests {
+			ptsSeries[t] = e.pts[i]
+			cpSeries[t] = e.cp[i]
+		}
+		ptsVar[i] = metrics.MSEAround(ptsSeries, ref)
+		cpVar[i] = metrics.MSEAround(cpSeries, ref)
+	}
+	return ptsVar, cpVar, nil
+}
+
+func runFig5a(cfg Config) (*Table, error) {
+	e, _ := ByID("fig5a")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data := dataset.SYN1(cfg.Scale)
+	truth := data.TrueFrequencies()
+	n := float64(data.N())
+	classCounts := data.ClassCounts()
+	itemCounts := data.ItemCounts()
+	// Track the four class-0 pairs, whose frequencies sweep 10³..10⁶ while
+	// n and f(I) stay fixed — PMI varies, the paper's x-axis.
+	tracked := make([]core.Pair, 4)
+	for i := range tracked {
+		tracked[i] = core.Pair{Class: 0, Item: i}
+	}
+	ptsVar, cpVar, err := trackedVariance(cfg, data, tracked)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5a",
+		Title:   "Empirical Var[f̂] vs PMI (SYN1)",
+		Columns: []string{"f(C,I)", "PMI", "Var PTS", "Var PTS-CP", "Eq.(5) theory"},
+	}
+	for i, tp := range tracked {
+		f := truth[tp.Class][tp.Item]
+		pmi := analysis.PMI(f/n, float64(classCounts[tp.Class])/n, float64(itemCounts[tp.Item])/n)
+		cpTheory := analysis.CPVariance(analysis.CPParams{
+			P1: grrP(data.Classes, 0.5), Q1: grrQ(data.Classes, 0.5),
+			P2: 0.5, Q2: oueQ(0.5),
+			F: f, N: float64(classCounts[tp.Class]), Total: n,
+		})
+		t.Rows = append(t.Rows, []string{
+			fmtF(f), fmtF(pmi), fmtF(ptsVar[i]), fmtF(cpVar[i]), fmtF(cpTheory),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: variance ~flat in PMI (n and N dominate); PTS-CP below PTS",
+		"ε=1, ε₁=ε₂=0.5, trials="+itoa(cfg.Trials)+", scale="+fmtF(cfg.Scale))
+	return t, nil
+}
+
+func runFig5b(cfg Config) (*Table, error) {
+	e, _ := ByID("fig5b")
+	cfg = cfg.withDefaults(e.DefaultScale, e.DefaultTrials)
+	data := dataset.SYN2(cfg.Scale)
+	truth := data.TrueFrequencies()
+	n := float64(data.N())
+	classCounts := data.ClassCounts()
+	// Track item 0 in each class: f(C,I) fixed at 10⁴·scale, n varies.
+	tracked := make([]core.Pair, data.Classes)
+	for c := range tracked {
+		tracked[c] = core.Pair{Class: c, Item: 0}
+	}
+	ptsVar, cpVar, err := trackedVariance(cfg, data, tracked)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5b",
+		Title:   "Empirical Var[f̂] vs class amount n (SYN2)",
+		Columns: []string{"n", "f(C,I)", "Var PTS", "Var PTS-CP", "Eq.(5) theory"},
+	}
+	for i, tp := range tracked {
+		f := truth[tp.Class][tp.Item]
+		cpTheory := analysis.CPVariance(analysis.CPParams{
+			P1: grrP(data.Classes, 0.5), Q1: grrQ(data.Classes, 0.5),
+			P2: 0.5, Q2: oueQ(0.5),
+			F: f, N: float64(classCounts[tp.Class]), Total: n,
+		})
+		t.Rows = append(t.Rows, []string{
+			itoa(classCounts[tp.Class]), fmtF(f),
+			fmtF(ptsVar[i]), fmtF(cpVar[i]), fmtF(cpTheory),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: variance grows ~linearly with n; PTS-CP below PTS",
+		"ε=1, trials="+itoa(cfg.Trials)+", scale="+fmtF(cfg.Scale))
+	return t, nil
+}

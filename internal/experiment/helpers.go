@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"math"
+	"strconv"
+)
+
+// grrP returns GRR's retention probability for domain c at budget eps.
+func grrP(c int, eps float64) float64 {
+	e := math.Exp(eps)
+	return e / (e + float64(c) - 1)
+}
+
+// grrQ returns GRR's flip probability for domain c at budget eps.
+func grrQ(c int, eps float64) float64 {
+	e := math.Exp(eps)
+	return 1 / (e + float64(c) - 1)
+}
+
+// oueQ returns OUE's 0-bit flip probability at budget eps.
+func oueQ(eps float64) float64 { return 1 / (math.Exp(eps) + 1) }
+
+// itoa is strconv.Itoa, shortened for table-cell call sites.
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,240 @@
+// Package experiment implements the evaluation harness: every table and
+// figure in the paper's Section VII is a registered, named experiment that
+// generates its workload, runs the relevant frameworks over multiple trials
+// in parallel, and renders the same rows/series the paper reports.
+//
+// Experiments are deterministic given (Seed, Scale, Trials): trial t of an
+// experiment derives its generator from the root seed, so results are
+// reproducible bit-for-bit on any machine.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed is the root seed; every dataset and trial derives from it.
+	Seed uint64
+	// Scale shrinks dataset sizes relative to the paper (0 < Scale ≤ 1).
+	// Zero means "use the experiment's default".
+	Scale float64
+	// Trials is the number of repetitions averaged; zero means default.
+	Trials int
+	// Workers bounds trial parallelism; zero means GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults merges cfg with the experiment's defaults.
+func (c Config) withDefaults(defScale float64, defTrials int) Config {
+	if c.Seed == 0 {
+		c.Seed = 20250413 // arXiv submission date of the paper
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = defScale
+	}
+	if c.Trials <= 0 {
+		c.Trials = defTrials
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells with commas are
+// quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig7a".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// DefaultScale and DefaultTrials size the run for a laptop-class box.
+	DefaultScale  float64
+	DefaultTrials int
+	// Run executes the experiment.
+	Run func(cfg Config) (*Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Experiment{}
+)
+
+// register adds an experiment; duplicate IDs panic at init time.
+func register(e *Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment registered under id.
+func ByID(id string) (*Experiment, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (see List)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiment IDs in sorted order.
+func List() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns all experiments sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, 0)
+	for _, id := range List() {
+		e, _ := ByID(id)
+		out = append(out, e)
+	}
+	return out
+}
+
+// runTrials executes fn for each trial in a bounded worker pool and returns
+// the per-trial results in trial order. Each trial gets an independent
+// generator derived from the root seed, so parallel execution is
+// deterministic regardless of scheduling.
+func runTrials[T any](cfg Config, fn func(trial int, r *xrand.Rand) (T, error)) ([]T, error) {
+	type slot struct {
+		v   T
+		err error
+	}
+	results := make([]slot, cfg.Trials)
+	// Pre-derive one seed per trial from the root so goroutines never share
+	// generator state.
+	seeds := make([]uint64, cfg.Trials)
+	root := xrand.New(cfg.Seed)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := fn(i, xrand.New(seeds[i]))
+			results[i] = slot{v: v, err: err}
+		}(i)
+	}
+	wg.Wait()
+	out := make([]T, cfg.Trials)
+	for i, s := range results {
+		if s.err != nil {
+			return nil, fmt.Errorf("experiment: trial %d: %w", i, s.err)
+		}
+		out[i] = s.v
+	}
+	return out, nil
+}
+
+// fmtF renders a float with sensible precision for table cells.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation must be registered.
+	want := []string{
+		"table1", "table2", "table3",
+		"fig5a", "fig5b",
+		"fig6a", "fig6b",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8", "fig9",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"ext1", "ext2",
+	}
+	for _, id := range want {
+		e, err := ByID(id)
+		if err != nil {
+			t.Errorf("missing experiment %s", id)
+			continue
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if len(List()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(List()), len(want), List())
+	}
+	if len(All()) != len(want) {
+		t.Errorf("All() returned %d", len(All()))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(0.25, 7)
+	if c.Scale != 0.25 || c.Trials != 7 || c.Seed == 0 || c.Workers <= 0 {
+		t.Fatalf("defaults %+v", c)
+	}
+	c2 := Config{Seed: 5, Scale: 0.5, Trials: 2, Workers: 3}.withDefaults(0.25, 7)
+	if c2.Seed != 5 || c2.Scale != 0.5 || c2.Trials != 2 || c2.Workers != 3 {
+		t.Fatalf("explicit config overridden: %+v", c2)
+	}
+	c3 := Config{Scale: 1.5}.withDefaults(0.25, 7)
+	if c3.Scale != 0.25 {
+		t.Fatalf("scale >1 not clamped to default: %v", c3.Scale)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note1"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"demo", "a", "bb", "333", "note: note1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{
+		Columns: []string{"x", "y"},
+		Rows:    [][]string{{"a,b", `quo"te`}},
+	}
+	got := tb.CSV()
+	want := "x,y\n\"a,b\",\"quo\"\"te\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q want %q", got, want)
+	}
+}
+
+func TestRunTrialsDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		cfg := Config{Seed: 3, Trials: 8, Workers: workers, Scale: 1}
+		out, err := runTrials(cfg, func(i int, r *xrand.Rand) (float64, error) {
+			return r.Float64() + float64(i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run(1)
+	b := run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunTrialsPropagatesError(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 3, Workers: 2}
+	sentinel := errors.New("boom")
+	_, err := runTrials(cfg, func(i int, _ *xrand.Rand) (int, error) {
+		if i == 1 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestFmtF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.500",
+		12.34:   "12.3",
+		1234567: "1.23e+06",
+	}
+	for in, want := range cases {
+		if got := fmtF(in); got != want {
+			t.Errorf("fmtF(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+// TestTable1Runs executes the cheapest experiments end to end.
+func TestTable1Runs(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+			t.Fatalf("%s produced empty table", id)
+		}
+	}
+}
+
+// TestFig5aTiny runs the variance experiment at a tiny scale and asserts the
+// PTS-CP variance stays below PTS — the Fig. 5 invariant.
+func TestFig5aTiny(t *testing.T) {
+	e, err := ByID("fig5a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Run(Config{Scale: 0.005, Trials: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("fig5a rows %d", len(tb.Rows))
+	}
+	// Columns: f, PMI, Var PTS, Var PTS-CP, theory.
+	wins := 0
+	for _, row := range tb.Rows {
+		var pts, cp float64
+		if _, err := sscan(row[2], &pts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[3], &cp); err != nil {
+			t.Fatal(err)
+		}
+		if cp < pts {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Fatalf("PTS-CP below PTS in only %d/4 rows", wins)
+	}
+}
+
+// TestFig6aTiny runs the RMSE experiment minimally and asserts the HEC ≫
+// PTS ordering.
+func TestFig6aTiny(t *testing.T) {
+	e, err := ByID("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Run(Config{Scale: 0.05, Trials: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: ε, HEC, PTJ, PTS, PTS-CP. Check the last (largest ε) row.
+	row := tb.Rows[len(tb.Rows)-1]
+	var hec, pts float64
+	if _, err := sscan(row[1], &hec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(row[3], &pts); err != nil {
+		t.Fatal(err)
+	}
+	if hec <= pts {
+		t.Fatalf("HEC RMSE %v not above PTS %v", hec, pts)
+	}
+}
+
+// TestFig7aTiny exercises the top-k experiment pipeline end to end.
+func TestFig7aTiny(t *testing.T) {
+	e, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Run(Config{Scale: 0.002, Trials: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(Fig7Epsilons) {
+		t.Fatalf("fig7a rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for i, cell := range row[1:] {
+			var v float64
+			if _, err := sscan(cell, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("F1 cell %d out of range: %v", i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunTiny executes every registered experiment at minimal
+// scale — a regression net over the whole harness: each artifact must
+// produce a non-empty, well-formed table with its configuration note.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny sweep still costs a few seconds")
+	}
+	// Per-experiment minimal configs: variance/topk experiments need a few
+	// trials or users to produce meaningful cells, tables are free.
+	cfgs := map[string]Config{
+		"table1": {},
+		"table2": {},
+		"fig5a":  {Scale: 0.002, Trials: 4},
+		"fig5b":  {Scale: 0.002, Trials: 4},
+		"fig6a":  {Scale: 0.03, Trials: 1},
+		"fig6b":  {Scale: 0.02, Trials: 1},
+		"fig7a":  {Scale: 0.002, Trials: 1},
+		"fig7b":  {Scale: 0.002, Trials: 1},
+		"fig7c":  {Scale: 0.002, Trials: 1},
+		"fig7d":  {Scale: 0.002, Trials: 1},
+		"fig8":   {Scale: 0.002, Trials: 1},
+		"fig9":   {Scale: 0.002, Trials: 1},
+		"fig10a": {Scale: 0.001, Trials: 1},
+		"fig10b": {Scale: 0.001, Trials: 1},
+		"fig10c": {Scale: 0.001, Trials: 1},
+		"fig10d": {Scale: 0.001, Trials: 1},
+		"table3": {Scale: 0.002, Trials: 1},
+		"fig11":  {Scale: 0.001, Trials: 1},
+		"fig12a": {Scale: 0.002, Trials: 1},
+		"fig12b": {Scale: 0.002, Trials: 1},
+		"fig12c": {Scale: 0.002, Trials: 1},
+		"fig12d": {Scale: 0.002, Trials: 1},
+		"ext1":   {Scale: 0.01, Trials: 1},
+		"ext2":   {Scale: 0.002, Trials: 1},
+	}
+	for _, id := range List() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			cfg, ok := cfgs[id]
+			if !ok {
+				t.Fatalf("experiment %s has no tiny config — add one", id)
+			}
+			cfg.Seed = 7
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != id {
+				t.Errorf("table ID %q", tb.ID)
+			}
+			if len(tb.Columns) < 2 || len(tb.Rows) == 0 {
+				t.Fatalf("degenerate table: %d cols %d rows", len(tb.Columns), len(tb.Rows))
+			}
+			for ri, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", ri, len(row), len(tb.Columns))
+				}
+				for _, cell := range row {
+					if cell == "" {
+						t.Fatalf("row %d has empty cell", ri)
+					}
+				}
+			}
+			// Every experiment records its configuration in the notes.
+			found := false
+			for _, n := range tb.Notes {
+				if strings.Contains(n, "trials=") || strings.Contains(n, "paper row") ||
+					strings.Contains(n, "units:") {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("table notes missing configuration record")
+			}
+			// Rendering must not panic and must include the title.
+			if out := tb.Render(); !strings.Contains(out, tb.Title) {
+				t.Error("render missing title")
+			}
+			if csv := tb.CSV(); !strings.Contains(csv, tb.Columns[0]) {
+				t.Error("csv missing header")
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+package experiment
+
+import "fmt"
+
+// sscan parses one numeric table cell (test helper).
+func sscan(cell string, v *float64) (int, error) {
+	return fmt.Sscanf(cell, "%g", v)
+}

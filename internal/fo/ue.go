@@ -1,0 +1,185 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// UE is the unary-encoding family: the value is one-hot encoded into d bits
+// and each bit is flipped independently, 1-bits reported as 1 with
+// probability p and 0-bits as 1 with probability q. The privacy budget is
+// ε = ln(p(1−q)/((1−p)q)) (Theorem 1 of the paper, from Wang et al.).
+//
+// Two standard members:
+//
+//   - SUE (symmetric, basic RAPPOR): p = e^{ε/2}/(e^{ε/2}+1), q = 1−p.
+//   - OUE (optimized): p = 1/2, q = 1/(e^ε+1), which minimizes estimator
+//     variance for small counts and is the paper's default item perturber.
+type UE struct {
+	name string
+	d    int
+	eps  float64
+	p    float64
+	q    float64
+}
+
+// NewOUE builds the Optimized Unary Encoding mechanism.
+func NewOUE(d int, eps float64) (*UE, error) {
+	if err := validate(d, eps); err != nil {
+		return nil, err
+	}
+	return &UE{name: "OUE", d: d, eps: eps, p: 0.5, q: 1 / (math.Exp(eps) + 1)}, nil
+}
+
+// NewSUE builds the Symmetric Unary Encoding (basic one-time RAPPOR)
+// mechanism.
+func NewSUE(d int, eps float64) (*UE, error) {
+	if err := validate(d, eps); err != nil {
+		return nil, err
+	}
+	e2 := math.Exp(eps / 2)
+	return &UE{name: "SUE", d: d, eps: eps, p: e2 / (e2 + 1), q: 1 / (e2 + 1)}, nil
+}
+
+// NewUE builds a unary-encoding mechanism with explicit bit probabilities.
+// The effective budget ln(p(1−q)/((1−p)q)) is computed from them. It returns
+// an error unless 0 < q < p < 1.
+func NewUE(d int, p, q float64) (*UE, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("fo: domain size %d must be positive", d)
+	}
+	if !(0 < q && q < p && p < 1) {
+		return nil, fmt.Errorf("fo: UE requires 0 < q < p < 1, got p=%v q=%v", p, q)
+	}
+	eps := math.Log(p * (1 - q) / ((1 - p) * q))
+	return &UE{name: "UE", d: d, eps: eps, p: p, q: q}, nil
+}
+
+// Name implements Mechanism.
+func (u *UE) Name() string { return u.name }
+
+// Epsilon implements Mechanism.
+func (u *UE) Epsilon() float64 { return u.eps }
+
+// DomainSize implements Mechanism.
+func (u *UE) DomainSize() int { return u.d }
+
+// P returns the probability a 1-bit is reported as 1.
+func (u *UE) P() float64 { return u.p }
+
+// Q returns the probability a 0-bit is reported as 1.
+func (u *UE) Q() float64 { return u.q }
+
+// Perturb implements Mechanism.
+func (u *UE) Perturb(v int, r *xrand.Rand) Report {
+	checkDomain(v, u.d)
+	return Report{Bits: u.PerturbBits(v, r)}
+}
+
+// PerturbBits one-hot encodes v and flips every bit, returning the perturbed
+// vector. Exposed for the validity-perturbation mechanism, which reuses the
+// same bit-flip kernel over an extended vector.
+//
+// The 0-bit flips are sampled by geometric skipping, so the expected cost is
+// O(d·q + 1) instead of O(d) — the difference between feasible and
+// infeasible for PTJ's joint c·d domains. The output distribution is
+// exactly the per-bit Bernoulli one.
+func (u *UE) PerturbBits(v int, r *xrand.Rand) *bitvec.Vector {
+	checkDomain(v, u.d)
+	b := bitvec.New(u.d)
+	for pos := r.GeometricSkip(u.q); pos < u.d; {
+		if pos != v {
+			b.Set(pos)
+		}
+		skip := r.GeometricSkip(u.q)
+		if skip >= u.d-pos { // also guards MaxInt overflow
+			break
+		}
+		pos += 1 + skip
+	}
+	b.SetBool(v, r.Bernoulli(u.p))
+	return b
+}
+
+// PerturbEncoded applies the per-bit flip kernel to an already-encoded
+// vector (any number of 1 bits). Used by validity perturbation where the
+// encoding carries a validity flag in the last position. Like PerturbBits
+// it runs in O(d·q + ones) expected time via geometric skipping.
+func (u *UE) PerturbEncoded(encoded *bitvec.Vector, r *xrand.Rand) *bitvec.Vector {
+	n := encoded.Len()
+	out := bitvec.New(n)
+	for pos := r.GeometricSkip(u.q); pos < n; {
+		if !encoded.Get(pos) {
+			out.Set(pos)
+		}
+		skip := r.GeometricSkip(u.q)
+		if skip >= n-pos {
+			break
+		}
+		pos += 1 + skip
+	}
+	encoded.ForEachSet(func(i int) { out.SetBool(i, r.Bernoulli(u.p)) })
+	return out
+}
+
+// NewAccumulator implements Mechanism.
+func (u *UE) NewAccumulator() Accumulator {
+	return &ueAccumulator{m: u, counts: make([]int64, u.d)}
+}
+
+// EstimatorVariance implements Mechanism.
+func (u *UE) EstimatorVariance(n int, trueCount float64) float64 {
+	f := trueCount
+	nf := float64(n) - f
+	return (f*u.p*(1-u.p) + nf*u.q*(1-u.q)) / ((u.p - u.q) * (u.p - u.q))
+}
+
+type ueAccumulator struct {
+	m      *UE
+	counts []int64
+	n      int
+}
+
+func (a *ueAccumulator) Add(rep Report) {
+	if rep.Bits == nil {
+		panic("fo: UE accumulator received a report without bits")
+	}
+	if rep.Bits.Len() != a.m.d {
+		panic(fmt.Sprintf("fo: UE report length %d != domain %d", rep.Bits.Len(), a.m.d))
+	}
+	rep.Bits.AddInto(a.counts)
+	a.n++
+}
+
+func (a *ueAccumulator) Merge(other Accumulator) error {
+	o, ok := other.(*ueAccumulator)
+	if !ok {
+		return fmt.Errorf("fo: cannot merge %T into UE accumulator", other)
+	}
+	if o.m.d != a.m.d {
+		return fmt.Errorf("fo: UE merge domain mismatch %d != %d", o.m.d, a.m.d)
+	}
+	for i, c := range o.counts {
+		a.counts[i] += c
+	}
+	a.n += o.n
+	return nil
+}
+
+func (a *ueAccumulator) N() int { return a.n }
+
+func (a *ueAccumulator) Estimate(v int) float64 {
+	checkDomain(v, a.m.d)
+	return (float64(a.counts[v]) - float64(a.n)*a.m.q) / (a.m.p - a.m.q)
+}
+
+func (a *ueAccumulator) EstimateAll() []float64 {
+	out := make([]float64, a.m.d)
+	for v := range out {
+		out[v] = a.Estimate(v)
+	}
+	return out
+}

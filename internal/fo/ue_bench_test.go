@@ -1,0 +1,100 @@
+package fo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// naivePerturbBits is the textbook O(d) per-bit implementation, kept as the
+// reference for the geometric-skipping fast path: the ablation benchmarks
+// below quantify the design choice and the equivalence test pins the
+// distribution.
+func naivePerturbBits(u *UE, v int, r *xrand.Rand) *bitvec.Vector {
+	b := bitvec.New(u.DomainSize())
+	for i := 0; i < u.DomainSize(); i++ {
+		if i == v {
+			b.SetBool(i, r.Bernoulli(u.P()))
+		} else {
+			b.SetBool(i, r.Bernoulli(u.Q()))
+		}
+	}
+	return b
+}
+
+// TestSkippingMatchesNaiveDistribution compares per-bit 1-frequencies of
+// the fast path against the naive reference.
+func TestSkippingMatchesNaiveDistribution(t *testing.T) {
+	const d = 40
+	const trials = 60000
+	u, err := NewOUE(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(500)
+	fast := make([]float64, d)
+	naive := make([]float64, d)
+	for i := 0; i < trials; i++ {
+		u.PerturbBits(7, r).ForEachSet(func(b int) { fast[b]++ })
+		naivePerturbBits(u, 7, r).ForEachSet(func(b int) { naive[b]++ })
+	}
+	for b := 0; b < d; b++ {
+		want := u.Q() * trials
+		if b == 7 {
+			want = u.P() * trials
+		}
+		tol := 5 * math.Sqrt(want)
+		if math.Abs(fast[b]-want) > tol {
+			t.Errorf("fast path bit %d: %v want %v", b, fast[b], want)
+		}
+		if math.Abs(naive[b]-want) > tol {
+			t.Errorf("naive bit %d: %v want %v", b, naive[b], want)
+		}
+	}
+}
+
+// The design-choice ablation: geometric skipping vs per-bit Bernoulli over
+// a large domain. At ε=4 the skip path touches ~d/55 positions.
+func BenchmarkUEPerturbSkipping16k(b *testing.B) {
+	u, err := NewOUE(16384, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.PerturbBits(i%16384, r)
+	}
+}
+
+func BenchmarkUEPerturbNaive16k(b *testing.B) {
+	u, err := NewOUE(16384, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		naivePerturbBits(u, i%16384, r)
+	}
+}
+
+func BenchmarkUEAggregate16k(b *testing.B) {
+	u, err := NewOUE(16384, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	reports := make([]Report, 64)
+	for i := range reports {
+		reports[i] = u.Perturb(i, r)
+	}
+	acc := u.NewAccumulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(reports[i%len(reports)])
+	}
+}

@@ -1,0 +1,277 @@
+// Package mean extends multi-class item mining to numerical items — the
+// extension the paper names as future work ("we aim to study multi-class
+// item mining on more data types, such as numerical items"). Each user
+// holds (C, x) with a class label C and a value x ∈ [−1, 1]; the server
+// estimates the classwise means under ε-LDP on the whole pair.
+//
+// Three frameworks mirror the categorical designs:
+//
+//   - HECMean: user partition per class, mismatched users submit a uniform
+//     random value for deniability (the strawman; biased by invalid data).
+//   - PTSMean: label via GRR(ε₁), value via stochastic rounding + binary
+//     randomized response at ε₂, independently; calibration must undo
+//     cross-class label migration.
+//   - CPMean: the correlated design. The label is perturbed first; when it
+//     moves, the value input becomes the invalidity symbol ⊥, and the
+//     rounded sign is perturbed by a 3-ary GRR over {−, +, ⊥} — the
+//     numerical analogue of the validity flag. The difference estimator
+//     (n⁺ − n⁻)/(p₁(p₂ − q₂)) is exactly unbiased for the class sum, and
+//     mis-routed users cancel instead of biasing.
+package mean
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// Value is one user's (label, value) pair with the value in [−1, 1].
+type Value struct {
+	Class int
+	X     float64
+}
+
+// Dataset is a numerical multi-class population.
+type Dataset struct {
+	Values  []Value
+	Classes int
+	Name    string
+}
+
+// Validate checks domains and value ranges.
+func (d *Dataset) Validate() error {
+	if d.Classes <= 0 {
+		return fmt.Errorf("mean: dataset %q has %d classes", d.Name, d.Classes)
+	}
+	for i, v := range d.Values {
+		if v.Class < 0 || v.Class >= d.Classes {
+			return fmt.Errorf("mean: value %d class %d outside [0,%d)", i, v.Class, d.Classes)
+		}
+		if v.X < -1 || v.X > 1 || math.IsNaN(v.X) {
+			return fmt.Errorf("mean: value %d x=%v outside [-1,1]", i, v.X)
+		}
+	}
+	return nil
+}
+
+// N returns the user count.
+func (d *Dataset) N() int { return len(d.Values) }
+
+// TrueMeans returns the exact classwise means (0 for empty classes) and
+// class sizes.
+func (d *Dataset) TrueMeans() (means []float64, sizes []int) {
+	sums := make([]float64, d.Classes)
+	sizes = make([]int, d.Classes)
+	for _, v := range d.Values {
+		sums[v.Class] += v.X
+		sizes[v.Class]++
+	}
+	means = make([]float64, d.Classes)
+	for c := range means {
+		if sizes[c] > 0 {
+			means[c] = sums[c] / float64(sizes[c])
+		}
+	}
+	return means, sizes
+}
+
+// Estimator is a multi-class mean-estimation framework.
+type Estimator interface {
+	// Name identifies the framework in output.
+	Name() string
+	// Epsilon returns the per-user budget.
+	Epsilon() float64
+	// EstimateMeans returns classwise mean estimates.
+	EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error)
+}
+
+// roundSign stochastically rounds x ∈ [−1,1] to ±1 with E[sign] = x.
+func roundSign(x float64, r *xrand.Rand) int {
+	if r.Bernoulli((1 + x) / 2) {
+		return +1
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Binary randomized response on the rounded sign (the SR mechanism).
+// ---------------------------------------------------------------------------
+
+// SR is the single-value mean oracle: stochastic rounding to ±1 followed by
+// binary randomized response with retention probability p = e^ε/(e^ε+1).
+// The calibrated per-user output y = sign/(2p−1) satisfies E[y] = x.
+type SR struct {
+	eps float64
+	p   float64
+}
+
+// NewSR builds the stochastic-rounding mean oracle.
+func NewSR(eps float64) (*SR, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mean: SR budget %v must be positive and finite", eps)
+	}
+	e := math.Exp(eps)
+	return &SR{eps: eps, p: e / (e + 1)}, nil
+}
+
+// Epsilon returns the budget.
+func (s *SR) Epsilon() float64 { return s.eps }
+
+// P returns the sign retention probability.
+func (s *SR) P() float64 { return s.p }
+
+// Perturb rounds and flips, returning the reported sign ±1.
+func (s *SR) Perturb(x float64, r *xrand.Rand) int {
+	sign := roundSign(x, r)
+	if !r.Bernoulli(s.p) {
+		sign = -sign
+	}
+	return sign
+}
+
+// Calibrate converts a sum of reported signs over n users into an unbiased
+// sum estimate: E[sign] = x(2p−1).
+func (s *SR) Calibrate(signSum float64) float64 {
+	return signSum / (2*s.p - 1)
+}
+
+// SumVariance returns the variance of the calibrated sum over n users
+// (worst case x=0: Var[sign] ≤ 1).
+func (s *SR) SumVariance(n int) float64 {
+	d := 2*s.p - 1
+	return float64(n) / (d * d)
+}
+
+// ---------------------------------------------------------------------------
+// HECMean — strawman.
+// ---------------------------------------------------------------------------
+
+// HECMean partitions users into c groups; a user whose label mismatches
+// their group's class submits a uniform random value in [−1,1] for
+// deniability. Group means are calibrated as if all members were valid, so
+// invalid users drag every class mean toward 0 — the numerical analogue of
+// the Section II-D invalid-data problem.
+type HECMean struct {
+	eps float64
+}
+
+// NewHECMean builds the HEC mean framework.
+func NewHECMean(eps float64) *HECMean { return &HECMean{eps: eps} }
+
+// Name implements Estimator.
+func (h *HECMean) Name() string { return "HEC-Mean" }
+
+// Epsilon implements Estimator.
+func (h *HECMean) Epsilon() float64 { return h.eps }
+
+// EstimateMeans implements Estimator.
+func (h *HECMean) EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	sr, err := NewSR(h.eps)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, d.Classes)
+	counts := make([]float64, d.Classes)
+	for _, v := range d.Values {
+		g := r.Intn(d.Classes)
+		x := v.X
+		if v.Class != g {
+			x = 2*r.Float64() - 1 // uniform substitute
+		}
+		sums[g] += float64(sr.Perturb(x, r))
+		counts[g]++
+	}
+	out := make([]float64, d.Classes)
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = sr.Calibrate(sums[c]) / counts[c]
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTSMean — separate perturbation with migration calibration.
+// ---------------------------------------------------------------------------
+
+// PTSMean perturbs the label with GRR(ε₁) and the value with SR(ε₂)
+// independently. Routed sums mix classes, so the calibration solves
+//
+//	E[S̃_C] = p₁·T_C + q₁·(T − T_C)
+//
+// for the class sum T_C, with T estimated by the global calibrated sum and
+// n_C by the label-count estimator.
+type PTSMean struct {
+	eps   float64
+	split float64
+}
+
+// NewPTSMean builds the PTS mean framework; split = ε₁/ε.
+func NewPTSMean(eps, split float64) (*PTSMean, error) {
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("mean: PTS split %v must be in (0,1)", split)
+	}
+	return &PTSMean{eps: eps, split: split}, nil
+}
+
+// Name implements Estimator.
+func (f *PTSMean) Name() string { return "PTS-Mean" }
+
+// Epsilon implements Estimator.
+func (f *PTSMean) Epsilon() float64 { return f.eps }
+
+// EstimateMeans implements Estimator.
+func (f *PTSMean) EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	label, err := fo.NewGRR(d.Classes, f.eps*f.split)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := NewSR(f.eps * (1 - f.split))
+	if err != nil {
+		return nil, err
+	}
+	signSums := make([]float64, d.Classes)
+	labelCounts := make([]float64, d.Classes)
+	for _, v := range d.Values {
+		lab := label.PerturbValue(v.Class, r)
+		labelCounts[lab]++
+		signSums[lab] += float64(sr.Perturb(v.X, r))
+	}
+	n := float64(d.N())
+	p1, q1 := label.P(), label.Q()
+	// Calibrated routed sums and the global sum.
+	total := 0.0
+	routed := make([]float64, d.Classes)
+	for c := range routed {
+		routed[c] = sr.Calibrate(signSums[c])
+		total += routed[c]
+	}
+	out := make([]float64, d.Classes)
+	for c := range out {
+		tC := (routed[c] - q1*total) / (p1 - q1)
+		nC := (labelCounts[c] - n*q1) / (p1 - q1)
+		if nC > 1 {
+			out[c] = clamp(tC / nC)
+		}
+	}
+	return out, nil
+}
+
+// clamp restricts a mean estimate to the value domain [−1, 1].
+func clamp(x float64) float64 {
+	if x < -1 {
+		return -1
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

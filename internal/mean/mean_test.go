@@ -1,0 +1,343 @@
+package mean
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// gaussianDataset builds a population where class c's values are normal
+// around center[c], truncated to [−1, 1].
+func gaussianDataset(centers []float64, perClass int, r *xrand.Rand) *Dataset {
+	d := &Dataset{Classes: len(centers), Name: "gauss"}
+	for c, mu := range centers {
+		for i := 0; i < perClass; i++ {
+			x := mu + 0.2*r.NormFloat64()
+			if x > 1 {
+				x = 1
+			}
+			if x < -1 {
+				x = -1
+			}
+			d.Values = append(d.Values, Value{Class: c, X: x})
+		}
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	good := &Dataset{Classes: 2, Values: []Value{{0, 0.5}, {1, -1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Dataset{
+		{Classes: 0},
+		{Classes: 2, Values: []Value{{2, 0}}},
+		{Classes: 2, Values: []Value{{0, 1.5}}},
+		{Classes: 2, Values: []Value{{0, math.NaN()}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestTrueMeans(t *testing.T) {
+	d := &Dataset{Classes: 2, Values: []Value{{0, 1}, {0, 0}, {1, -0.5}}}
+	means, sizes := d.TrueMeans()
+	if means[0] != 0.5 || means[1] != -0.5 {
+		t.Fatalf("means %v", means)
+	}
+	if sizes[0] != 2 || sizes[1] != 1 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestSRUnbiased(t *testing.T) {
+	sr, err := NewSR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(60)
+	for _, x := range []float64{-1, -0.5, 0, 0.3, 1} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(sr.Perturb(x, r))
+		}
+		est := sr.Calibrate(sum) / n
+		sigma := math.Sqrt(sr.SumVariance(n)) / n
+		if math.Abs(est-x) > 5*sigma {
+			t.Errorf("SR x=%v estimate %v (σ=%v)", x, est, sigma)
+		}
+	}
+}
+
+func TestSRConstructorErrors(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewSR(eps); err == nil {
+			t.Errorf("NewSR(%v) succeeded", eps)
+		}
+	}
+}
+
+func TestCPMeanReportDistribution(t *testing.T) {
+	m, err := NewCPMean(3, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _, p2, q2 := m.Probabilities()
+	r := xrand.New(61)
+	const n = 100000
+	var kept, plusWhenKept, bottomWhenMoved, moved int
+	for i := 0; i < n; i++ {
+		rep := m.Perturb(Value{Class: 1, X: 1}, r) // x=1 rounds to + surely
+		if rep.Label == 1 {
+			kept++
+			if rep.Symbol == Plus {
+				plusWhenKept++
+			}
+		} else {
+			moved++
+			if rep.Symbol == Bottom {
+				bottomWhenMoved++
+			}
+		}
+	}
+	if math.Abs(float64(kept)-p1*n) > 5*math.Sqrt(p1*(1-p1)*n) {
+		t.Fatalf("kept %d want %v", kept, p1*n)
+	}
+	// Kept with x=1: input +, so output + with probability p₂.
+	want := p2 * float64(kept)
+	if math.Abs(float64(plusWhenKept)-want) > 5*math.Sqrt(want) {
+		t.Fatalf("plus|kept %d want %v", plusWhenKept, want)
+	}
+	// Moved: input ⊥, output ⊥ with probability p₂ too.
+	want = p2 * float64(moved)
+	if math.Abs(float64(bottomWhenMoved)-want) > 5*math.Sqrt(want) {
+		t.Fatalf("bottom|moved %d want %v", bottomWhenMoved, want)
+	}
+	_ = q2
+}
+
+// TestCPMeanSumUnbiased verifies E[T̂_C] = T_C including cross-class
+// cancellation, with tolerance from the closed-form variance.
+func TestCPMeanSumUnbiased(t *testing.T) {
+	m, err := NewCPMean(2, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(62)
+	const nC, nOther = 20000, 40000
+	const xC, xOther = 0.6, -0.8 // other class strongly negative
+	const trials = 30
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		acc := m.NewAccumulator()
+		for i := 0; i < nC; i++ {
+			acc.Add(m.Perturb(Value{Class: 0, X: xC}, r))
+		}
+		for i := 0; i < nOther; i++ {
+			acc.Add(m.Perturb(Value{Class: 1, X: xOther}, r))
+		}
+		sum += acc.EstimateSum(0)
+	}
+	mean := sum / trials
+	want := nC * xC
+	sigma := math.Sqrt(m.SumVariance(nC, nC+nOther) / trials)
+	if math.Abs(mean-want) > 5*sigma {
+		t.Fatalf("sum estimate %v want %v (σ=%v)", mean, want, sigma)
+	}
+}
+
+// TestFrameworksRecoverMeans runs all three frameworks on a separated
+// population and checks accuracy ordering: CP-Mean and PTS-Mean near truth,
+// HEC-Mean biased toward zero.
+func TestFrameworksRecoverMeans(t *testing.T) {
+	r := xrand.New(63)
+	centers := []float64{0.7, -0.4, 0.1}
+	data := gaussianDataset(centers, 40000, r)
+	truth, _ := data.TrueMeans()
+
+	pts, err := NewPTSMean(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewCPMeanEstimator(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hec := NewHECMean(2)
+
+	for _, est := range []Estimator{pts, cp} {
+		got, err := est.EstimateMeans(data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range truth {
+			if math.Abs(got[c]-truth[c]) > 0.12 {
+				t.Errorf("%s class %d mean %v truth %v", est.Name(), c, got[c], truth[c])
+			}
+		}
+	}
+	// HEC: with c=3, 2/3 of each group is uniform noise, shrinking the
+	// estimate toward 0 by roughly 2/3.
+	got, err := hec.EstimateMeans(data, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]) >= math.Abs(truth[0]) {
+		t.Errorf("HEC-Mean class 0 %v not shrunk from %v", got[0], truth[0])
+	}
+}
+
+// TestCPMeanPrivacyExhaustive enumerates the full (label, symbol) output
+// distribution over a grid of inputs and bounds the worst-case likelihood
+// ratio by e^ε — Theorem 2 for the numerical mechanism.
+func TestCPMeanPrivacyExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		c     int
+		eps   float64
+		split float64
+	}{{2, 1, 0.5}, {3, 2, 0.5}, {4, 3, 0.3}} {
+		m, err := NewCPMean(tc.c, tc.eps, tc.split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, q1, p2, q2 := m.Probabilities()
+		labelProb := func(in, out int) float64 {
+			if in == out {
+				return p1
+			}
+			return q1
+		}
+		symProb := func(input, out int) float64 {
+			if input == out {
+				return p2
+			}
+			return q2
+		}
+		// Output probability for input (class, x).
+		outProb := func(class int, x float64, outLabel, outSym int) float64 {
+			lp := labelProb(class, outLabel)
+			if outLabel != class {
+				return lp * symProb(Bottom, outSym)
+			}
+			plus := (1 + x) / 2
+			return lp * (plus*symProb(Plus, outSym) + (1-plus)*symProb(Minus, outSym))
+		}
+		xs := []float64{-1, -0.5, 0, 0.5, 1}
+		worst := 1.0
+		for outLabel := 0; outLabel < tc.c; outLabel++ {
+			for outSym := 0; outSym < 3; outSym++ {
+				lo, hi := math.Inf(1), 0.0
+				for cl := 0; cl < tc.c; cl++ {
+					for _, x := range xs {
+						pr := outProb(cl, x, outLabel, outSym)
+						if pr < lo {
+							lo = pr
+						}
+						if pr > hi {
+							hi = pr
+						}
+					}
+				}
+				if lo > 0 && hi/lo > worst {
+					worst = hi / lo
+				}
+			}
+		}
+		if math.Log(worst) > tc.eps+1e-9 {
+			t.Errorf("c=%d ε=%v split=%v: effective ε %v", tc.c, tc.eps, tc.split, math.Log(worst))
+		}
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	m, err := NewCPMean(2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(64)
+	a, b, whole := m.NewAccumulator(), m.NewAccumulator(), m.NewAccumulator()
+	for i := 0; i < 5000; i++ {
+		rep := m.Perturb(Value{Class: i % 2, X: 0.3}, r)
+		if i%2 == 0 {
+			a.Add(rep)
+		} else {
+			b.Add(rep)
+		}
+		whole.Add(rep)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() {
+		t.Fatal("merge total mismatch")
+	}
+	for c := 0; c < 2; c++ {
+		if a.EstimateSum(c) != whole.EstimateSum(c) {
+			t.Fatal("merge sums mismatch")
+		}
+	}
+	m3, _ := NewCPMean(3, 1, 0.5)
+	if err := a.Merge(m3.NewAccumulator()); err == nil {
+		t.Fatal("cross-domain merge succeeded")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewCPMean(0, 1, 0.5); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	if _, err := NewCPMean(2, 0, 0.5); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	for _, s := range []float64{0, 1, 2} {
+		if _, err := NewCPMean(2, 1, s); err == nil {
+			t.Errorf("split %v accepted", s)
+		}
+		if _, err := NewPTSMean(1, s); err == nil {
+			t.Errorf("PTS split %v accepted", s)
+		}
+		if _, err := NewCPMeanEstimator(1, s); err == nil {
+			t.Errorf("estimator split %v accepted", s)
+		}
+	}
+}
+
+// TestClampProperty checks the mean estimates always land in [−1, 1].
+func TestClampProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		return clamp(float64(raw)/100) >= -1 && clamp(float64(raw)/100) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatorsOnEmptyClass ensures a class with no users yields a finite
+// estimate rather than NaN.
+func TestEstimatorsOnEmptyClass(t *testing.T) {
+	data := &Dataset{Classes: 3, Name: "sparse"}
+	r := xrand.New(65)
+	for i := 0; i < 2000; i++ {
+		data.Values = append(data.Values, Value{Class: 0, X: 0.5})
+	}
+	pts, _ := NewPTSMean(1, 0.5)
+	cp, _ := NewCPMeanEstimator(1, 0.5)
+	for _, est := range []Estimator{NewHECMean(1), pts, cp} {
+		got, err := est.EstimateMeans(data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s class %d estimate %v", est.Name(), c, v)
+			}
+		}
+	}
+}

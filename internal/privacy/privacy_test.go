@@ -1,0 +1,175 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+)
+
+func TestGRRRatioExact(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		for _, d := range []int{2, 5, 50} {
+			g, err := fo.NewGRR(d, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := GRRRatio(g)
+			if math.Abs(m.EffectiveEpsilon-eps) > 1e-9 {
+				t.Errorf("GRR d=%d ε=%v: effective ε %v", d, eps, m.EffectiveEpsilon)
+			}
+			if !m.Satisfies(eps) {
+				t.Errorf("GRR d=%d ε=%v violates its own budget", d, eps)
+			}
+		}
+	}
+}
+
+func TestGRRDomainOne(t *testing.T) {
+	g, err := fo.NewGRR(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := GRRRatio(g); m.Ratio != 1 {
+		t.Fatalf("single-input GRR ratio %v", m.Ratio)
+	}
+}
+
+func TestUERatioIsTheorem1(t *testing.T) {
+	// OUE: p=1/2, q=1/(e^ε+1) gives exactly ε.
+	for _, eps := range []float64{0.5, 1, 2, 3} {
+		q := 1 / (math.Exp(eps) + 1)
+		m, err := UERatio(0.5, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.EffectiveEpsilon-eps) > 1e-9 {
+			t.Errorf("OUE ε=%v: effective %v", eps, m.EffectiveEpsilon)
+		}
+	}
+	if _, err := UERatio(0.2, 0.7); err == nil {
+		t.Fatal("invalid probabilities accepted")
+	}
+}
+
+// TestVPExhaustiveMatchesTheorem1 is Theorem 1 made executable: the exact
+// worst-case ratio of the full validity-perturbation output distribution —
+// validity flag included — equals e^ε.
+func TestVPExhaustiveMatchesTheorem1(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2} {
+		for _, d := range []int{2, 3, 5} {
+			vp, err := core.NewVP(d, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := VPRatioExhaustive(vp)
+			if math.Abs(m.EffectiveEpsilon-eps) > 1e-9 {
+				t.Errorf("VP d=%d ε=%v: effective ε %v", d, eps, m.EffectiveEpsilon)
+			}
+			if !m.Satisfies(eps) {
+				t.Errorf("VP d=%d ε=%v exceeds budget: ratio %v", d, eps, m.Ratio)
+			}
+		}
+	}
+}
+
+// TestCPExhaustiveMatchesTheorem2 is Theorem 2 made executable: enumerating
+// every (label, bits) output of the correlated perturbation mechanism over
+// every input pair, the worst-case ratio never exceeds e^{ε₁+ε₂}, and the
+// bound is tight (equality within floating point).
+func TestCPExhaustiveMatchesTheorem2(t *testing.T) {
+	cases := []struct {
+		c, d  int
+		eps   float64
+		split float64
+	}{
+		{2, 2, 1, 0.5},
+		{2, 3, 2, 0.5},
+		{3, 2, 1.5, 0.5},
+		{3, 3, 2, 0.3},
+		{4, 2, 3, 0.7},
+	}
+	for _, tc := range cases {
+		cp, err := core.NewCP(tc.c, tc.d, tc.eps, tc.split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := CPRatioExhaustive(cp)
+		if !m.Satisfies(tc.eps) {
+			t.Errorf("CP c=%d d=%d ε=%v split=%v: effective ε %v exceeds budget",
+				tc.c, tc.d, tc.eps, tc.split, m.EffectiveEpsilon)
+		}
+		// Tightness: the label ratio alone achieves e^{ε₁} and the item
+		// bits e^{ε₂}; jointly the mechanism should expose (nearly) the
+		// full budget.
+		if m.EffectiveEpsilon < tc.eps-1e-6 {
+			t.Errorf("CP c=%d d=%d ε=%v: effective ε %v unexpectedly loose",
+				tc.c, tc.d, tc.eps, m.EffectiveEpsilon)
+		}
+	}
+}
+
+func TestOLHRatio(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2} {
+		o, err := fo.NewOLH(100, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := OLHRatio(o)
+		if !m.Satisfies(eps) {
+			t.Errorf("OLH ε=%v effective %v", eps, m.EffectiveEpsilon)
+		}
+		if m.EffectiveEpsilon < eps-0.2 {
+			t.Errorf("OLH ε=%v surprisingly loose: %v", eps, m.EffectiveEpsilon)
+		}
+	}
+}
+
+// TestSUEAndOUEBudgets sweeps the UE constructors and confirms the audit
+// recovers the advertised ε for both.
+func TestSUEAndOUEBudgets(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		ue, err := fo.NewSUE(10, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := UERatio(ue.P(), ue.Q())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.EffectiveEpsilon-eps) > 1e-9 {
+			t.Errorf("SUE ε=%v effective %v", eps, m.EffectiveEpsilon)
+		}
+		ou, err := fo.NewOUE(10, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err = UERatio(ou.P(), ou.Q())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.EffectiveEpsilon-eps) > 1e-9 {
+			t.Errorf("OUE ε=%v effective %v", eps, m.EffectiveEpsilon)
+		}
+	}
+}
+
+// TestEnumerateBitsCoversAll checks the enumeration helper itself.
+func TestEnumerateBitsCoversAll(t *testing.T) {
+	seen := map[string]bool{}
+	enumerateBits(3, func(bits []bool) {
+		key := ""
+		for _, b := range bits {
+			if b {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		seen[key] = true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d of 8 outputs", len(seen))
+	}
+}

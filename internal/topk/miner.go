@@ -1,0 +1,266 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// Options toggles the paper's optimizations so the Table III ablation can
+// exercise every combination. The zero value is the unoptimized baseline
+// (PEM buckets, random-substitution for invalid items, no global phase, no
+// correlated perturbation).
+type Options struct {
+	// Shuffling replaces PEM's prefix buckets with the seeded shuffled
+	// partition of surviving candidates (Fig. 4).
+	Shuffling bool
+	// VP perturbs buckets with the validity perturbation mechanism instead
+	// of substituting a random candidate for invalid items.
+	VP bool
+	// CP applies the correlated perturbation in the final iteration of the
+	// PTS scheme (subject to the noise check with threshold B).
+	CP bool
+	// Global runs Algorithm 1: a sampled user group mines global candidates
+	// for the first half of the iterations before per-class mining starts.
+	// Only the PTS framework can exploit it.
+	Global bool
+	// A is the sample fraction for the global phase (paper default 0.2).
+	A float64
+	// B is the noise-level threshold of Algorithm 2 line 8 (paper default
+	// 2): correlated perturbation is only applied when the routed user
+	// count stays below B times the estimated class size.
+	B float64
+	// Split is the label-budget fraction ε₁/ε (paper default 0.5).
+	Split float64
+}
+
+// Baseline returns the unoptimized configuration.
+func Baseline() Options { return Options{A: 0.2, B: 2, Split: 0.5} }
+
+// Optimized returns the paper's full configuration
+// (PTS-Shuffling+VP+CP with global candidates, a=0.2, b=2, ε₁=ε₂=ε/2).
+func Optimized() Options {
+	return Options{Shuffling: true, VP: true, CP: true, Global: true, A: 0.2, B: 2, Split: 0.5}
+}
+
+// withDefaults fills unset numeric parameters with the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.A <= 0 || o.A >= 1 {
+		o.A = 0.2
+	}
+	if o.B <= 0 {
+		o.B = 2
+	}
+	if o.Split <= 0 || o.Split >= 1 {
+		o.Split = 0.5
+	}
+	return o
+}
+
+// Result is the outcome of a multi-class top-k run.
+type Result struct {
+	// PerClass[c] is the mined ranking for class c, best first, at most k
+	// items (fewer when the scheme could not resolve k items, e.g. PTJ on
+	// data-starved classes).
+	PerClass [][]int
+	// UsedCP[c] reports whether the final iteration used correlated
+	// perturbation for class c (PTS only).
+	UsedCP []bool
+}
+
+// halvings returns the number of ceil-halvings to bring pool within target.
+func halvings(pool, target int) int {
+	h := 0
+	for p := pool; p > target; p = (p + 1) / 2 {
+		h++
+	}
+	return h
+}
+
+// iterationsFor returns the total iteration count for a mining run over
+// domain d: the paper's IT = log2(d/(4k)) + 1 with 4k generalized to the
+// bucket count. The final iteration ranks singleton buckets.
+func iterationsFor(d, buckets int, shuffling bool) int {
+	if shuffling {
+		return halvings(d, buckets) + 1
+	}
+	return prefixIterations(d, buckets)
+}
+
+// newSpace builds the initial candidate space for a mining run.
+func newSpace(d, buckets int, shuffling bool, r *xrand.Rand) space {
+	if shuffling {
+		return newShuffleSpace(d, buckets, r)
+	}
+	return newPrefixSpace(d, buckets)
+}
+
+// groupBounds splits n users into it near-equal contiguous groups and
+// returns the it+1 boundaries.
+func groupBounds(n, it int) []int {
+	b := make([]int, it+1)
+	for i := 0; i <= it; i++ {
+		b[i] = n * i / it
+	}
+	return b
+}
+
+// iterAgg aggregates one iteration's bucket reports. It hides the VP /
+// baseline distinction: with VP the flag-set reports are dropped, without
+// it invalid users substituted a random candidate client-side.
+type iterAgg struct {
+	useVP  bool
+	vp     *core.VP
+	vpAcc  *core.VPAccumulator
+	oue    *fo.UE
+	counts []int64
+	n      int
+}
+
+func newIterAgg(buckets int, eps float64, useVP bool) (*iterAgg, error) {
+	a := &iterAgg{useVP: useVP}
+	if useVP {
+		vp, err := core.NewVP(buckets, eps)
+		if err != nil {
+			return nil, err
+		}
+		a.vp = vp
+		a.vpAcc = vp.NewAccumulator()
+		return a, nil
+	}
+	oue, err := fo.NewOUE(buckets, eps)
+	if err != nil {
+		return nil, err
+	}
+	a.oue = oue
+	a.counts = make([]int64, buckets)
+	return a, nil
+}
+
+// add perturbs and aggregates one user's bucket; bucket == core.Invalid
+// marks an invalid item. With the baseline mechanism the caller must have
+// already substituted a random bucket, so Invalid is rejected.
+func (a *iterAgg) add(bucket int, r *xrand.Rand) {
+	if a.useVP {
+		a.vpAcc.Add(a.vp.Perturb(bucket, r))
+		return
+	}
+	if bucket == core.Invalid {
+		panic("topk: baseline aggregation received an invalid bucket")
+	}
+	bits := a.oue.PerturbBits(bucket, r)
+	bits.AddInto(a.counts)
+	a.n++
+}
+
+// scores returns per-bucket raw support counts, the pruning criterion. Raw
+// counts rank identically to calibrated estimates within one iteration
+// because the calibration is a shared affine map.
+func (a *iterAgg) scores() []float64 {
+	if a.useVP {
+		raw := a.vpAcc.RawCounts()
+		out := make([]float64, len(raw))
+		for i, c := range raw {
+			out[i] = float64(c)
+		}
+		return out
+	}
+	out := make([]float64, len(a.counts))
+	for i, c := range a.counts {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+// randomBucket picks the substitution bucket for an invalid user under the
+// baseline scheme: a uniform random candidate's bucket, which for equal
+// buckets is a uniform bucket (Section II-D deniability).
+func randomBucket(sp space, r *xrand.Rand) int {
+	return r.Intn(sp.Buckets())
+}
+
+// pruneKeep caps the paper's nominal keep count at half the actual bucket
+// count, so the candidate pool keeps halving on schedule even when it has
+// shrunk below the nominal bucket count (small pools lay out fewer,
+// singleton buckets).
+func pruneKeep(sp space, nominal int) int {
+	half := sp.Buckets() / 2
+	if half < 1 {
+		half = 1
+	}
+	if nominal < half {
+		return nominal
+	}
+	return half
+}
+
+// rankFinal converts the final singleton-bucket scores into a ranked item
+// list, skipping padding candidates.
+func rankFinal(sp space, scores []float64, limit int) []int {
+	if !sp.Singleton() {
+		panic("topk: final ranking on non-singleton space")
+	}
+	order := metrics.TopK(scores, len(scores))
+	out := make([]int, 0, limit)
+	for _, b := range order {
+		v := sp.Candidate(b)
+		if v < 0 {
+			continue
+		}
+		out = append(out, v)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// singleConfig drives one single-domain mining run (used by HEC per class
+// and by PTJ over the joint pair domain).
+type singleConfig struct {
+	domain    int
+	buckets   int
+	keep      int
+	limit     int // ranked items to return from the final iteration
+	eps       float64
+	shuffling bool
+	vp        bool
+}
+
+// mineSingle runs the iterative pruning scheme over one domain. items holds
+// each user's value, with core.Invalid for users whose value is invalid a
+// priori (HEC label mismatch). Values invalidated later by pruning are
+// handled per iteration.
+func mineSingle(items []int, cfg singleConfig, r *xrand.Rand) ([]int, error) {
+	if cfg.domain < 2 {
+		return nil, fmt.Errorf("topk: domain %d too small", cfg.domain)
+	}
+	sp := newSpace(cfg.domain, cfg.buckets, cfg.shuffling, r)
+	iters := iterationsFor(cfg.domain, cfg.buckets, cfg.shuffling)
+	bounds := groupBounds(len(items), iters)
+	for it := 0; it < iters; it++ {
+		agg, err := newIterAgg(sp.Buckets(), cfg.eps, cfg.vp)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range items[bounds[it]:bounds[it+1]] {
+			bucket := core.Invalid
+			if v != core.Invalid {
+				bucket = sp.BucketOf(v)
+			}
+			if bucket == core.Invalid && !cfg.vp {
+				bucket = randomBucket(sp, r)
+			}
+			agg.add(bucket, r)
+		}
+		if it == iters-1 {
+			return rankFinal(sp, agg.scores(), cfg.limit), nil
+		}
+		sp.Prune(agg.scores(), pruneKeep(sp, cfg.keep), r)
+	}
+	// iters >= 1 always, so the loop returns; this is unreachable.
+	return nil, fmt.Errorf("topk: empty iteration schedule")
+}

@@ -1,0 +1,349 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// Miner is a multi-class top-k mining framework.
+type Miner interface {
+	// Name identifies the framework in experiment output.
+	Name() string
+	// Mine returns the per-class top-k rankings for the dataset under the
+	// given total budget ε.
+	Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error)
+}
+
+// checkMineArgs validates the shared Mine preconditions.
+func checkMineArgs(data *core.Dataset, k int, eps float64) error {
+	if err := data.Validate(); err != nil {
+		return err
+	}
+	if k <= 0 {
+		return fmt.Errorf("topk: non-positive k %d", k)
+	}
+	if !(eps > 0) {
+		return fmt.Errorf("topk: non-positive epsilon %v", eps)
+	}
+	if data.Items < 2 {
+		return fmt.Errorf("topk: item domain %d too small", data.Items)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HEC: per-class user partition, full budget on items (the strawman).
+// ---------------------------------------------------------------------------
+
+// HEC divides the users into c groups, one per class; within a group a user
+// whose label does not match the group's class is invalid for the whole
+// run. Each group runs the single-domain mining scheme independently.
+type HEC struct {
+	Opt Options
+}
+
+// NewHEC returns the HEC top-k miner (baseline options unless overridden).
+func NewHEC(opt Options) *HEC { return &HEC{Opt: opt.withDefaults()} }
+
+// Name implements Miner.
+func (h *HEC) Name() string { return "HEC" + optSuffix(h.Opt, false) }
+
+// Mine implements Miner.
+func (h *HEC) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
+	if err := checkMineArgs(data, k, eps); err != nil {
+		return nil, err
+	}
+	c := data.Classes
+	// Random class-group assignment, then per-group item streams with
+	// label mismatches marked invalid.
+	groups := make([][]int, c)
+	for _, p := range data.Pairs {
+		g := r.Intn(c)
+		item := p.Item
+		if p.Class != g {
+			item = core.Invalid
+		}
+		groups[g] = append(groups[g], item)
+	}
+	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
+	cfg := singleConfig{
+		domain:    data.Items,
+		buckets:   4 * k,
+		keep:      2 * k,
+		limit:     k,
+		eps:       eps,
+		shuffling: h.Opt.Shuffling,
+		vp:        h.Opt.VP,
+	}
+	for g := 0; g < c; g++ {
+		ranked, err := mineSingle(groups[g], cfg, r)
+		if err != nil {
+			return nil, fmt.Errorf("topk: HEC class %d: %w", g, err)
+		}
+		res.PerClass[g] = ranked
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTJ: one mining run over the joint (class, item) pair domain.
+// ---------------------------------------------------------------------------
+
+// PTJ mines the joint Cartesian domain of size c·d with the full budget,
+// targeting the top c·k pairs, then projects the ranked pairs onto
+// per-class top-k lists. It cannot exploit globally frequent items — a pair
+// (C, I) from another class contributes nothing to (C', I) — which is why
+// it fails on data-starved classes (Fig. 8).
+type PTJ struct {
+	Opt Options
+}
+
+// NewPTJ returns the PTJ top-k miner.
+func NewPTJ(opt Options) *PTJ { return &PTJ{Opt: opt.withDefaults()} }
+
+// Name implements Miner.
+func (f *PTJ) Name() string { return "PTJ" + optSuffix(f.Opt, false) }
+
+// Mine implements Miner.
+func (f *PTJ) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
+	if err := checkMineArgs(data, k, eps); err != nil {
+		return nil, err
+	}
+	c, d := data.Classes, data.Items
+	items := make([]int, len(data.Pairs))
+	for i, p := range data.Pairs {
+		items[i] = core.JointIndex(p, d)
+	}
+	cfg := singleConfig{
+		domain:    c * d,
+		buckets:   4 * k * c,
+		keep:      2 * k * c,
+		limit:     4 * k * c, // rank the full final pool; project per class below
+		eps:       eps,
+		shuffling: f.Opt.Shuffling,
+		vp:        f.Opt.VP,
+	}
+	ranked, err := mineSingle(items, cfg, r)
+	if err != nil {
+		return nil, fmt.Errorf("topk: PTJ: %w", err)
+	}
+	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
+	for _, joint := range ranked {
+		cl, item := joint/d, joint%d
+		if len(res.PerClass[cl]) < k {
+			res.PerClass[cl] = append(res.PerClass[cl], item)
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// PTS: split budget, perturbed-label routing, Algorithms 1 and 2.
+// ---------------------------------------------------------------------------
+
+// PTS is the paper's main top-k scheme. Every user perturbs their label
+// with GRR(ε₁) and their (bucketed) item with ε₂. With Global enabled, the
+// first IT_f iterations run Algorithm 1 on an a-fraction sample: one global
+// candidate space mined by all users regardless of label, while the
+// perturbed labels estimate per-class sizes. The remaining users run
+// Algorithm 2: routed to per-class candidate spaces by perturbed label,
+// with the final iteration using correlated perturbation where the noise
+// check admits it (routed ≤ b·estimated) and validity perturbation
+// elsewhere.
+type PTS struct {
+	Opt Options
+}
+
+// NewPTS returns the PTS top-k miner.
+func NewPTS(opt Options) *PTS { return &PTS{Opt: opt.withDefaults()} }
+
+// Name implements Miner.
+func (f *PTS) Name() string { return "PTS" + optSuffix(f.Opt, true) }
+
+// optSuffix renders the enabled optimizations the way the paper labels its
+// curves, e.g. "-Shuffling+VP+CP".
+func optSuffix(o Options, pts bool) string {
+	s := ""
+	if o.Shuffling {
+		s += "+Shuffling"
+	}
+	if o.VP {
+		s += "+VP"
+	}
+	if pts && o.CP {
+		s += "+CP"
+	}
+	if pts && o.Global {
+		s += "+Global"
+	}
+	if s == "" {
+		return ""
+	}
+	return "-" + s[1:]
+}
+
+// Mine implements Miner.
+func (f *PTS) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
+	if err := checkMineArgs(data, k, eps); err != nil {
+		return nil, err
+	}
+	opt := f.Opt
+	c, d := data.Classes, data.Items
+	eps1 := eps * opt.Split
+	eps2 := eps - eps1
+	label, err := fo.NewGRR(c, eps1)
+	if err != nil {
+		return nil, err
+	}
+	// Iteration schedule. With shuffling the pool halves every iteration in
+	// both phases, so the count depends only on the per-class 4k target;
+	// with PEM and a global phase the run starts from the finer 4kc-prefix
+	// layout. IT_f = IT/2 global iterations (Algorithm 1), the rest
+	// per-class (Algorithm 2). Global phases that would leave no per-class
+	// iteration are disabled.
+	iters := iterationsFor(d, 4*k, opt.Shuffling)
+	itF := 0
+	if opt.Global {
+		if !opt.Shuffling {
+			gIters := iterationsFor(d, 4*k*c, opt.Shuffling)
+			if gIters >= 2 {
+				iters = gIters
+				itF = gIters / 2
+			}
+		} else if iters >= 2 {
+			itF = iters / 2
+		}
+	}
+
+	// Partition users: the a-sample drives the global phase, the rest the
+	// per-class phase. Without a global phase all users mine per-class.
+	n := len(data.Pairs)
+	nGlobal := 0
+	if itF > 0 {
+		nGlobal = int(float64(n) * opt.A)
+	}
+	globalUsers := data.Pairs[:nGlobal]
+	classUsers := data.Pairs[nGlobal:]
+	gBounds := groupBounds(len(globalUsers), max(itF, 1))
+	cBounds := groupBounds(len(classUsers), iters-itF)
+
+	// Label statistics for the noise check: raw routed counts and totals.
+	labelRouted := make([]int64, c)
+	labelTotal := 0
+	routeAndCount := func(p core.Pair) int {
+		lab := label.PerturbValue(p.Class, r)
+		labelRouted[lab]++
+		labelTotal++
+		return lab
+	}
+
+	// --- Phase 1: global candidate generation (Algorithm 1). ---
+	var global space
+	if itF > 0 {
+		global = newSpace(d, 4*k*c, opt.Shuffling, r)
+	}
+	for it := 0; it < itF; it++ {
+		agg, err := newIterAgg(global.Buckets(), eps2, opt.VP)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range globalUsers[gBounds[it]:gBounds[it+1]] {
+			routeAndCount(p) // labels only estimate class sizes here
+			bucket := global.BucketOf(p.Item)
+			if bucket == core.Invalid && !opt.VP {
+				bucket = randomBucket(global, r)
+			}
+			agg.add(bucket, r)
+		}
+		global.Prune(agg.scores(), pruneKeep(global, 2*k*c), r)
+	}
+
+	// --- Phase 2: per-class mining (Algorithm 2). ---
+	spaces := make([]space, c)
+	for cl := 0; cl < c; cl++ {
+		if global != nil {
+			spaces[cl] = global.Fork(4*k, r)
+		} else {
+			spaces[cl] = newSpace(d, 4*k, opt.Shuffling, r)
+		}
+	}
+	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
+	itR := iters - itF
+	for it := 0; it < itR; it++ {
+		final := it == itR-1
+		group := classUsers[cBounds[it]:cBounds[it+1]]
+		// Route first: the CP/VP decision of Algorithm 2 line 8 needs the
+		// per-class collected amounts before items are perturbed, and under
+		// CP the item perturbation is conditioned on the label outcome.
+		routed := make([]int, len(group))
+		routedCount := make([]int64, c)
+		for i, p := range group {
+			routed[i] = routeAndCount(p)
+			routedCount[routed[i]]++
+		}
+		useCP := make([]bool, c)
+		if final && opt.CP {
+			for cl := 0; cl < c; cl++ {
+				useCP[cl] = cpFeasible(routedCount[cl], int64(len(group)),
+					labelRouted[cl], int64(labelTotal), label, opt.B)
+				res.UsedCP[cl] = useCP[cl]
+			}
+		}
+		aggs := make([]*iterAgg, c)
+		for cl := 0; cl < c; cl++ {
+			aggs[cl], err = newIterAgg(spaces[cl].Buckets(), eps2, opt.VP)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, p := range group {
+			cl := routed[i]
+			bucket := spaces[cl].BucketOf(p.Item)
+			if useCP[cl] && p.Class != cl {
+				// Correlated perturbation: the label moved, so the item is
+				// submitted as invalid regardless of candidate membership.
+				bucket = core.Invalid
+			}
+			if bucket == core.Invalid && !opt.VP {
+				bucket = randomBucket(spaces[cl], r)
+			}
+			aggs[cl].add(bucket, r)
+		}
+		for cl := 0; cl < c; cl++ {
+			if final {
+				res.PerClass[cl] = rankFinal(spaces[cl], aggs[cl].scores(), k)
+			} else {
+				spaces[cl].Prune(aggs[cl].scores(), pruneKeep(spaces[cl], 2*k), r)
+			}
+		}
+	}
+	return res, nil
+}
+
+// cpFeasible implements the Algorithm 2 line 8 noise check: correlated
+// perturbation is applied only when the user amount routed to the class does
+// not exceed b times the estimated true class share. routed/groupTotal is
+// the class's routed share in the final iteration; the estimate n̂/total
+// comes from all labels perturbed so far (the global phase when enabled).
+func cpFeasible(routed, groupTotal, labelCount, labelTotal int64, label *fo.GRR, b float64) bool {
+	if groupTotal == 0 || labelTotal == 0 {
+		return true // no evidence of excess noise; default to CP
+	}
+	nHat := (float64(labelCount) - float64(labelTotal)*label.Q()) / (label.P() - label.Q())
+	if nHat <= 0 {
+		return false // class too small to estimate: CP would starve it
+	}
+	routedShare := float64(routed) / float64(groupTotal)
+	estShare := nHat / float64(labelTotal)
+	return routedShare <= b*estShare
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

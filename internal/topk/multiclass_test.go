@@ -1,0 +1,235 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// topkDataset builds a c-class dataset over domain d where each class has a
+// distinct skewed head, plus a shared global head when overlap is true.
+func topkDataset(c, d, n int, overlap bool, r *xrand.Rand) *core.Dataset {
+	data := &core.Dataset{Classes: c, Items: d, Name: "test"}
+	for u := 0; u < n; u++ {
+		cl := u % c
+		var it int
+		switch {
+		case overlap && r.Bernoulli(0.3):
+			it = r.Intn(6) // shared global head: items 0..5
+		case r.Bernoulli(0.45):
+			it = 100 + cl*10 + r.Intn(6) // class head: 6 items per class
+		default:
+			it = r.Intn(d)
+		}
+		data.Pairs = append(data.Pairs, core.Pair{Class: cl, Item: it})
+	}
+	return data.Shuffled(r)
+}
+
+// truthTopK returns per-class ground-truth top-k lists.
+func truthTopK(data *core.Dataset, k int) [][]int {
+	f := data.TrueFrequencies()
+	out := make([][]int, data.Classes)
+	for c := range f {
+		out[c] = metrics.TopK(f[c], k)
+	}
+	return out
+}
+
+// avgF1 runs the miner and averages per-class F1 against the truth.
+func avgF1(t *testing.T, m Miner, data *core.Dataset, k int, eps float64, seed uint64) float64 {
+	t.Helper()
+	res, err := m.Mine(data, k, eps, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthTopK(data, k)
+	sum := 0.0
+	for c := range truth {
+		sum += metrics.F1(res.PerClass[c], truth[c])
+	}
+	return sum / float64(data.Classes)
+}
+
+func TestPTSOptimizedRecoversTopK(t *testing.T) {
+	r := xrand.New(40)
+	data := topkDataset(3, 512, 240000, true, r)
+	f1 := avgF1(t, NewPTS(Optimized()), data, 8, 6, 41)
+	if f1 < 0.5 {
+		t.Fatalf("optimized PTS F1 %v", f1)
+	}
+}
+
+func TestPTSBaselineRuns(t *testing.T) {
+	r := xrand.New(42)
+	data := topkDataset(3, 256, 120000, true, r)
+	f1 := avgF1(t, NewPTS(Baseline()), data, 8, 6, 43)
+	if f1 < 0 || f1 > 1 {
+		t.Fatalf("baseline PTS F1 %v out of range", f1)
+	}
+}
+
+func TestPTJRecoversTopK(t *testing.T) {
+	r := xrand.New(44)
+	data := topkDataset(2, 256, 200000, false, r)
+	opt := Options{Shuffling: true, VP: true}
+	f1 := avgF1(t, NewPTJ(opt), data, 8, 6, 45)
+	if f1 < 0.4 {
+		t.Fatalf("PTJ-Shuffling+VP F1 %v", f1)
+	}
+}
+
+func TestHECRuns(t *testing.T) {
+	r := xrand.New(46)
+	data := topkDataset(3, 256, 120000, false, r)
+	res, err := NewHEC(Baseline()).Mine(data, 8, 6, xrand.New(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 3 {
+		t.Fatalf("HEC classes %d", len(res.PerClass))
+	}
+	for c, mined := range res.PerClass {
+		if len(mined) == 0 {
+			t.Fatalf("HEC class %d mined nothing", c)
+		}
+	}
+}
+
+// TestPTSOptimizedBeatsBaseline is the headline Fig. 7 claim at moderate ε.
+func TestPTSOptimizedBeatsBaseline(t *testing.T) {
+	r := xrand.New(48)
+	data := topkDataset(4, 1024, 400000, true, r)
+	base, opt := 0.0, 0.0
+	const reps = 3
+	for i := uint64(0); i < reps; i++ {
+		base += avgF1(t, NewPTS(Baseline()), data, 8, 4, 100+i)
+		opt += avgF1(t, NewPTS(Optimized()), data, 8, 4, 200+i)
+	}
+	if opt <= base {
+		t.Fatalf("optimized PTS (%.3f) not above baseline (%.3f)", opt/reps, base/reps)
+	}
+}
+
+func TestMinerNames(t *testing.T) {
+	if NewHEC(Baseline()).Name() != "HEC" {
+		t.Fatal(NewHEC(Baseline()).Name())
+	}
+	if NewPTJ(Options{Shuffling: true, VP: true}).Name() != "PTJ-Shuffling+VP" {
+		t.Fatal(NewPTJ(Options{Shuffling: true, VP: true}).Name())
+	}
+	got := NewPTS(Optimized()).Name()
+	if got != "PTS-Shuffling+VP+CP+Global" {
+		t.Fatal(got)
+	}
+	// CP/Global are PTS-only decorations.
+	if NewPTJ(Optimized()).Name() != "PTJ-Shuffling+VP" {
+		t.Fatal(NewPTJ(Optimized()).Name())
+	}
+}
+
+func TestMineArgValidation(t *testing.T) {
+	data := &core.Dataset{Classes: 2, Items: 16, Pairs: []core.Pair{{Class: 0, Item: 0}}}
+	miners := []Miner{NewHEC(Baseline()), NewPTJ(Baseline()), NewPTS(Baseline())}
+	for _, m := range miners {
+		if _, err := m.Mine(data, 0, 1, xrand.New(1)); err == nil {
+			t.Errorf("%s accepted k=0", m.Name())
+		}
+		if _, err := m.Mine(data, 2, 0, xrand.New(1)); err == nil {
+			t.Errorf("%s accepted ε=0", m.Name())
+		}
+		bad := &core.Dataset{Classes: 2, Items: 16, Pairs: []core.Pair{{Class: 9, Item: 0}}}
+		if _, err := m.Mine(bad, 2, 1, xrand.New(1)); err == nil {
+			t.Errorf("%s accepted invalid dataset", m.Name())
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.A != 0.2 || o.B != 2 || o.Split != 0.5 {
+		t.Fatalf("defaults %+v", o)
+	}
+	o2 := Options{A: 0.3, B: 1.5, Split: 0.4}.withDefaults()
+	if o2.A != 0.3 || o2.B != 1.5 || o2.Split != 0.4 {
+		t.Fatalf("explicit values overridden: %+v", o2)
+	}
+}
+
+func TestCPFeasible(t *testing.T) {
+	label, err := fo.NewGRR(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large class, routing dominated by true members: CP feasible.
+	if !cpFeasible(400, 1000, 4000, 10000, label, 2) {
+		t.Fatal("large class rejected")
+	}
+	// Tiny class flooded by mis-routed noise: infeasible.
+	if cpFeasible(300, 1000, 200, 100000, label, 2) {
+		t.Fatal("noise-flooded class accepted")
+	}
+	// No data: default to CP.
+	if !cpFeasible(0, 0, 0, 0, label, 2) {
+		t.Fatal("empty evidence rejected CP")
+	}
+}
+
+// TestPTSUsedCPReflectsNoiseCheck runs PTS on a dataset with one dominant
+// and one starved class and checks the CP/VP switch fires.
+func TestPTSUsedCPReflectsNoiseCheck(t *testing.T) {
+	r := xrand.New(50)
+	data := &core.Dataset{Classes: 2, Items: 256, Name: "skewed"}
+	for i := 0; i < 100000; i++ {
+		data.Pairs = append(data.Pairs, core.Pair{Class: 0, Item: r.Intn(16)})
+	}
+	for i := 0; i < 800; i++ {
+		data.Pairs = append(data.Pairs, core.Pair{Class: 1, Item: 100 + r.Intn(8)})
+	}
+	data = data.Shuffled(r)
+	res, err := NewPTS(Optimized()).Mine(data, 8, 1, xrand.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedCP[0] {
+		t.Fatal("dominant class did not use CP")
+	}
+	if res.UsedCP[1] {
+		t.Fatal("starved class used CP despite noise flooding")
+	}
+}
+
+// TestPTJNoGlobalBenefit: PTJ cannot resolve a class whose true pairs are
+// few, even when its items are globally frequent — the Fig. 8 phenomenon.
+// We only assert the optimized PTS finds at least as much as PTJ on the
+// starved class.
+func TestStarvedClassPTSvsPTJ(t *testing.T) {
+	r := xrand.New(52)
+	data := &core.Dataset{Classes: 2, Items: 512, Name: "starved"}
+	// Class 0: 200k users over global head {0..7}; class 1: 600 users over
+	// the same head.
+	for i := 0; i < 200000; i++ {
+		data.Pairs = append(data.Pairs, core.Pair{Class: 0, Item: r.Intn(8)})
+	}
+	for i := 0; i < 600; i++ {
+		data.Pairs = append(data.Pairs, core.Pair{Class: 1, Item: r.Intn(8)})
+	}
+	data = data.Shuffled(r)
+	truth := truthTopK(data, 8)
+	pts, err := NewPTS(Optimized()).Mine(data, 8, 4, xrand.New(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptj, err := NewPTJ(Options{Shuffling: true, VP: true}).Mine(data, 8, 4, xrand.New(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsF1 := metrics.F1(pts.PerClass[1], truth[1])
+	ptjF1 := metrics.F1(ptj.PerClass[1], truth[1])
+	if ptsF1 < ptjF1 {
+		t.Fatalf("starved class: PTS %.2f below PTJ %.2f", ptsF1, ptjF1)
+	}
+}

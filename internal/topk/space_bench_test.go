@@ -1,0 +1,60 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Ablation benches for the bucket-structure design choice: the seeded
+// shuffle relayouts the pool every prune, the prefix trie only extends its
+// index — the utility gain of shuffling (Fig. 3) costs this much.
+
+func BenchmarkShufflePrune(b *testing.B) {
+	r := xrand.New(1)
+	scores := make([]float64, 80)
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := newShuffleSpace(20000, 80, r)
+		b.StartTimer()
+		s.Prune(scores, 40, r)
+	}
+}
+
+func BenchmarkPrefixPrune(b *testing.B) {
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := newPrefixSpace(20000, 80)
+		scores := make([]float64, s.Buckets())
+		for j := range scores {
+			scores[j] = float64(j)
+		}
+		b.StartTimer()
+		s.Prune(scores, 40, r)
+	}
+}
+
+func BenchmarkShuffleBucketOf(b *testing.B) {
+	r := xrand.New(1)
+	s := newShuffleSpace(20000, 80, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BucketOf(i % 20000)
+	}
+}
+
+func BenchmarkPrefixBucketOf(b *testing.B) {
+	s := newPrefixSpace(20000, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BucketOf(i % 20000)
+	}
+}

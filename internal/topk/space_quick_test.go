@@ -1,0 +1,156 @@
+package topk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestShuffleSpaceInvariants drives random prune sequences and checks the
+// structural invariants the miner relies on:
+//
+//  1. the pool shrinks to exactly ceil(pool/2) per half-keep prune,
+//  2. every pool member maps to a valid bucket and vice versa,
+//  3. non-members always map to -1,
+//  4. bucket sizes stay within one of each other.
+func TestShuffleSpaceInvariants(t *testing.T) {
+	f := func(seed uint64, dRaw uint16, bRaw uint8) bool {
+		d := int(dRaw)%2000 + 10
+		buckets := int(bRaw)%32 + 2
+		r := xrand.New(seed)
+		s := newShuffleSpace(d, buckets, r)
+		for round := 0; ; round++ {
+			// Invariant 2-4.
+			members := map[int]bool{}
+			for _, v := range s.pool {
+				members[v] = true
+			}
+			sizes := make([]int, s.Buckets())
+			minSz, maxSz := 1<<30, 0
+			for v := 0; v < d; v++ {
+				b := s.BucketOf(v)
+				if members[v] {
+					if b < 0 || b >= s.Buckets() {
+						return false
+					}
+					sizes[b]++
+				} else if b != -1 {
+					return false
+				}
+			}
+			for _, sz := range sizes {
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			if maxSz-minSz > 1 {
+				return false
+			}
+			if s.Singleton() || round > 16 {
+				return s.Singleton() // must terminate in ≤ log2(d) rounds
+			}
+			// Invariant 1: Prune trims the pool to exactly
+			// ceil(pool·keep/buckets) — ceil-halving when keep is half the
+			// buckets, which is what the miner schedule relies on.
+			before := s.PoolSize()
+			bucketCount := s.Buckets()
+			keep := pruneKeep(s, bucketCount/2)
+			scores := make([]float64, bucketCount)
+			for i := range scores {
+				scores[i] = r.Float64()
+			}
+			s.Prune(scores, keep, r)
+			// Contract: the new pool is the kept buckets' members capped at
+			// ceil(pool·keep/buckets). The cap is what the iteration
+			// schedule relies on (never slower than ceil-halving when keep
+			// is half); the lower end is keep small buckets.
+			hi := (before*keep + bucketCount - 1) / bucketCount
+			lo := keep * (before / bucketCount)
+			if keep >= bucketCount {
+				hi, lo = before, before
+			}
+			if s.PoolSize() > hi || s.PoolSize() < lo {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixSpaceInvariants checks the trie walk: every item always maps to
+// at most one bucket, surviving prefixes cover exactly the items of kept
+// buckets, and the walk reaches leaves in totalBits − initial + 1 prunes.
+func TestPrefixSpaceInvariants(t *testing.T) {
+	f := func(seed uint64, dRaw uint16, bRaw uint8) bool {
+		d := int(dRaw)%2000 + 10
+		buckets := int(bRaw)%32 + 2
+		r := xrand.New(seed)
+		s := newPrefixSpace(d, buckets)
+		expected := prefixIterations(d, buckets)
+		rounds := 1
+		for !s.Singleton() {
+			// Each item maps to a valid bucket or none. (Zero coverage is
+			// possible: random scores may promote padding-only prefixes.)
+			for v := 0; v < d; v++ {
+				if b := s.BucketOf(v); b < -1 || b >= s.Buckets() {
+					return false
+				}
+			}
+			scores := make([]float64, s.Buckets())
+			for i := range scores {
+				scores[i] = r.Float64()
+			}
+			s.Prune(scores, pruneKeep(s, s.Buckets()/2), r)
+			rounds++
+			if rounds > expected {
+				return false
+			}
+		}
+		// At the leaves, candidates are distinct items within the domain
+		// (or -1 padding).
+		seen := map[int]bool{}
+		for b := 0; b < s.Buckets(); b++ {
+			v := s.Candidate(b)
+			if v == -1 {
+				continue
+			}
+			if v < 0 || v >= d || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return rounds == expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupBoundsProperty: groups always partition [0, n) into contiguous
+// near-equal runs.
+func TestGroupBoundsProperty(t *testing.T) {
+	f := func(nRaw uint16, itRaw uint8) bool {
+		n := int(nRaw)
+		it := int(itRaw)%20 + 1
+		b := groupBounds(n, it)
+		if b[0] != 0 || b[len(b)-1] != n || len(b) != it+1 {
+			return false
+		}
+		for i := 0; i < it; i++ {
+			sz := b[i+1] - b[i]
+			if sz < n/it || sz > n/it+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestShuffleSpaceLayout(t *testing.T) {
+	r := xrand.New(1)
+	s := newShuffleSpace(100, 8, r)
+	if s.Buckets() != 8 {
+		t.Fatalf("buckets %d", s.Buckets())
+	}
+	if s.PoolSize() != 100 {
+		t.Fatalf("pool %d", s.PoolSize())
+	}
+	// Every item maps to exactly one bucket; bucket sizes are 12 or 13.
+	sizes := make([]int, 8)
+	for v := 0; v < 100; v++ {
+		b := s.BucketOf(v)
+		if b < 0 || b >= 8 {
+			t.Fatalf("item %d bucket %d", v, b)
+		}
+		sizes[b]++
+	}
+	for j, sz := range sizes {
+		if sz != 12 && sz != 13 {
+			t.Fatalf("bucket %d size %d", j, sz)
+		}
+	}
+	if s.BucketOf(100) != -1 || s.BucketOf(-5) != -1 {
+		t.Fatal("out-of-domain items not rejected")
+	}
+}
+
+func TestShuffleSpacePruneHalves(t *testing.T) {
+	r := xrand.New(2)
+	s := newShuffleSpace(1000, 8, r)
+	scores := make([]float64, 8)
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	s.Prune(scores, 4, r)
+	if s.PoolSize() != 500 {
+		t.Fatalf("pool after prune %d want 500", s.PoolSize())
+	}
+	// Ceil-halving with odd pools.
+	s2 := newShuffleSpace(33, 4, r)
+	s2.Prune([]float64{4, 3, 2, 1}, 2, r)
+	if s2.PoolSize() != 17 {
+		t.Fatalf("pool after odd prune %d want 17", s2.PoolSize())
+	}
+}
+
+func TestShuffleSpacePruneKeepsTopBuckets(t *testing.T) {
+	r := xrand.New(3)
+	s := newShuffleSpace(40, 4, r)
+	// Record which items live in buckets 1 and 3 (the winners).
+	winners := map[int]bool{}
+	for v := 0; v < 40; v++ {
+		b := s.BucketOf(v)
+		if b == 1 || b == 3 {
+			winners[v] = true
+		}
+	}
+	s.Prune([]float64{0, 10, 0, 9}, 2, r)
+	if s.PoolSize() != 20 {
+		t.Fatalf("pool %d", s.PoolSize())
+	}
+	for v := 0; v < 40; v++ {
+		inPool := s.BucketOf(v) != -1
+		if inPool && !winners[v] {
+			t.Fatalf("loser item %d survived", v)
+		}
+	}
+}
+
+func TestShuffleSpaceSingleton(t *testing.T) {
+	r := xrand.New(4)
+	s := newShuffleSpace(6, 8, r)
+	if !s.Singleton() {
+		t.Fatal("pool below bucket count not singleton")
+	}
+	if s.Buckets() != 6 {
+		t.Fatalf("buckets %d", s.Buckets())
+	}
+	seen := map[int]bool{}
+	for b := 0; b < s.Buckets(); b++ {
+		seen[s.Candidate(b)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatal("singleton candidates not distinct")
+	}
+}
+
+func TestShuffleSpaceFork(t *testing.T) {
+	r := xrand.New(5)
+	s := newShuffleSpace(64, 16, r)
+	s.Prune(make([]float64, 16), 8, r)
+	f := s.Fork(4, r).(*shuffleSpace)
+	if f.PoolSize() != s.PoolSize() {
+		t.Fatal("fork changed pool")
+	}
+	if f.Buckets() != 4 {
+		t.Fatalf("fork buckets %d", f.Buckets())
+	}
+	// Mutating the fork must not affect the parent.
+	f.Prune(make([]float64, 4), 2, r)
+	if s.PoolSize() == f.PoolSize() {
+		t.Fatal("fork shares pool with parent")
+	}
+}
+
+func TestPrefixSpaceInitial(t *testing.T) {
+	s := newPrefixSpace(256, 16)
+	if s.Buckets() != 16 {
+		t.Fatalf("initial buckets %d", s.Buckets())
+	}
+	if s.Singleton() {
+		t.Fatal("prefix space singleton too early")
+	}
+	// Item 0b10110011: its 4-bit prefix is 0b1011 = 11.
+	if b := s.BucketOf(0b10110011); s.prefixes[b] != 0b1011 {
+		t.Fatalf("prefix of 0b10110011: bucket %d prefix %b", b, s.prefixes[b])
+	}
+}
+
+func TestPrefixSpaceWalkToLeaves(t *testing.T) {
+	s := newPrefixSpace(64, 4)
+	r := xrand.New(6)
+	iters := prefixIterations(64, 4)
+	if iters != 5 { // lengths 2,3,4,5,6
+		t.Fatalf("iterations %d", iters)
+	}
+	for it := 0; it < iters-1; it++ {
+		scores := make([]float64, s.Buckets())
+		// Always promote the bucket holding item 37's prefix.
+		scores[s.BucketOf(37)] = 100
+		s.Prune(scores, 2, r)
+	}
+	if !s.Singleton() {
+		t.Fatal("not singleton at leaf level")
+	}
+	if b := s.BucketOf(37); b == -1 || s.Candidate(b) != 37 {
+		t.Fatal("promoted item lost during prefix walk")
+	}
+}
+
+func TestPrefixSpacePaddingLeaves(t *testing.T) {
+	// Domain 10 needs 4 bits; leaves 10..15 are padding.
+	s := newPrefixSpace(10, 16)
+	if !s.Singleton() {
+		t.Fatal("16 buckets over 10 items should reach leaves immediately")
+	}
+	pad := 0
+	for b := 0; b < s.Buckets(); b++ {
+		if s.Candidate(b) == -1 {
+			pad++
+		}
+	}
+	if pad != 6 {
+		t.Fatalf("%d padding leaves, want 6", pad)
+	}
+}
+
+func TestPrefixSpaceFork(t *testing.T) {
+	s := newPrefixSpace(256, 16)
+	f := s.Fork(0, nil).(*prefixSpace)
+	r := xrand.New(7)
+	f.Prune(make([]float64, 16), 4, r)
+	if s.Buckets() == f.Buckets() {
+		t.Fatal("fork shares prefix set with parent")
+	}
+}
+
+func TestIterationsFor(t *testing.T) {
+	// Shuffled: IT = halvings to ≤ 4k, +1; the paper's log2(d/4k)+1.
+	if got := iterationsFor(1024, 64, true); got != 5 { // 1024→512→256→128→64, +1
+		t.Fatalf("shuffled iterations %d", got)
+	}
+	if got := iterationsFor(64, 64, true); got != 1 {
+		t.Fatalf("tiny domain iterations %d", got)
+	}
+	// PEM: lengths from ceil(log2 buckets) to ceil(log2 d).
+	if got := iterationsFor(1024, 64, false); got != 5 { // 6..10 bits
+		t.Fatalf("prefix iterations %d", got)
+	}
+}
+
+func TestGroupBounds(t *testing.T) {
+	b := groupBounds(10, 3)
+	if b[0] != 0 || b[3] != 10 {
+		t.Fatalf("bounds %v", b)
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		sz := b[i+1] - b[i]
+		if sz < 3 || sz > 4 {
+			t.Fatalf("group %d size %d", i, sz)
+		}
+		total += sz
+	}
+	if total != 10 {
+		t.Fatalf("groups cover %d users", total)
+	}
+}
+
+func TestHalvings(t *testing.T) {
+	if halvings(100, 100) != 0 {
+		t.Fatal("halvings at target not 0")
+	}
+	if halvings(101, 100) != 1 {
+		t.Fatal("halvings just above target not 1")
+	}
+	if halvings(800, 100) != 3 {
+		t.Fatal("halvings 800→100 not 3")
+	}
+}

@@ -1,0 +1,198 @@
+// Package xrand provides the deterministic, splittable pseudo-random
+// number generation used by every randomized component in this repository.
+//
+// All perturbation mechanisms, dataset simulators and experiment drivers
+// draw exclusively from *xrand.Rand so that a single root seed reproduces
+// every table and figure bit-for-bit. The generator is xoshiro256**
+// (Blackman & Vigna), seeded through SplitMix64; Split derives statistically
+// independent child streams, which lets the experiment harness hand each
+// simulated user its own generator without coordination.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator. It is NOT safe for
+// concurrent use; derive one per goroutine with Split.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances x and returns the next SplitMix64 output. It is the
+// recommended seeding procedure for xoshiro generators: it guarantees the
+// state is never all-zero and decorrelates nearby seeds.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+}
+
+// Split derives a child generator whose stream is statistically independent
+// of the parent's subsequent output. The parent advances by two draws.
+func (r *Rand) Split() *Rand {
+	// Mix two parent outputs through SplitMix64 so that children of
+	// successive Split calls do not share lattice structure.
+	x := r.Uint64() ^ 0xd1b54a32d192ed03
+	c := &Rand{}
+	c.s0 = splitmix64(&x)
+	c.s1 = splitmix64(&x)
+	x ^= r.Uint64()
+	c.s2 = splitmix64(&x)
+	c.s3 = splitmix64(&x)
+	if c.s0|c.s1|c.s2|c.s3 == 0 { // cannot happen via splitmix64, but be safe
+		c.s3 = 1
+	}
+	return c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's nearly
+// division-free bounded rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// 128-bit multiply-shift with rejection of the biased low region.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0,1] are
+// clamped, so Bernoulli(1.1) is always true and Bernoulli(-0.1) never.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements via swap using Fisher–Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1) by inverse
+// transform sampling.
+func (r *Rand) ExpFloat64() float64 {
+	// 1-Float64() is in (0,1], avoiding log(0).
+	return -math.Log(1 - r.Float64())
+}
+
+// GeometricSkip returns the number of failures before the first success of
+// a Bernoulli(q) sequence — the gap between consecutive 1-bits when flipping
+// a long run of 0-bits with probability q. Unary-encoding mechanisms use it
+// to perturb d-bit vectors in O(d·q) expected time instead of O(d).
+// It returns math.MaxInt when q <= 0 (no success ever) and 0 when q >= 1.
+func (r *Rand) GeometricSkip(q float64) int {
+	if q <= 0 {
+		return math.MaxInt
+	}
+	if q >= 1 {
+		return 0
+	}
+	// U in (0,1]; floor(ln U / ln(1-q)) is Geometric(q) on {0,1,...}.
+	u := 1 - r.Float64()
+	g := math.Floor(math.Log(u) / math.Log(1-q))
+	if g < 0 { // u == 1 edge
+		return 0
+	}
+	if g > float64(math.MaxInt32) {
+		return math.MaxInt
+	}
+	return int(g)
+}

@@ -1,0 +1,292 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 draws", same)
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	a1, a2 := c1.Uint64(), c2.Uint64()
+	if a1 == a2 {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+	// Splitting must be reproducible from the same parent state.
+	p2 := New(7)
+	d1 := p2.Split()
+	if d1.Uint64() != a1 {
+		t.Fatal("split streams not reproducible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const k = 10
+	const n = 100000
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(k)]++
+	}
+	want := float64(n) / k
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Intn(%d) value %d count %d too far from %v", k, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(6)
+	err := quick.Check(func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(8)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 4*math.Sqrt(p*(1-p)/n) {
+			t.Fatalf("Bernoulli(%v) frequency %v", p, got)
+		}
+	}
+}
+
+func TestBernoulliClamps(t *testing.T) {
+	r := New(9)
+	if r.Bernoulli(-0.5) {
+		t.Fatal("Bernoulli(-0.5) returned true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Fatal("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	err := quick.Check(func(n8 uint8) bool {
+		n := int(n8%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(11)
+	xs := []int{1, 2, 3, 4, 5, 5, 5}
+	ys := append([]int(nil), xs...)
+	r.Shuffle(len(ys), func(i, j int) { ys[i], ys[j] = ys[j], ys[i] })
+	counts := map[int]int{}
+	for _, x := range xs {
+		counts[x]++
+	}
+	for _, y := range ys {
+		counts[y]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("shuffle changed multiset")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("negative exponential %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v", mean)
+	}
+}
+
+// TestGeometricSkipMatchesBernoulliScan verifies that generating 1-bit
+// positions by geometric skipping has the same distribution as scanning
+// positions with independent Bernoulli(q) draws — the equivalence the
+// unary-encoding fast path relies on.
+func TestGeometricSkipMatchesBernoulliScan(t *testing.T) {
+	const q = 0.3
+	const n = 50
+	const trials = 60000
+	countSkip := make([]int, n)
+	countScan := make([]int, n)
+	r := New(14)
+	for tr := 0; tr < trials; tr++ {
+		pos := r.GeometricSkip(q)
+		for pos < n {
+			countSkip[pos]++
+			s := r.GeometricSkip(q)
+			if s >= n-pos {
+				break
+			}
+			pos += 1 + s
+		}
+	}
+	for tr := 0; tr < trials; tr++ {
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(q) {
+				countScan[i]++
+			}
+		}
+	}
+	tol := 5 * math.Sqrt(q*(1-q)*trials)
+	for i := 0; i < n; i++ {
+		if math.Abs(float64(countSkip[i]-countScan[i])) > 2*tol {
+			t.Fatalf("position %d: skip=%d scan=%d", i, countSkip[i], countScan[i])
+		}
+		if math.Abs(float64(countSkip[i])-q*trials) > tol {
+			t.Fatalf("position %d skip count %d deviates from %v", i, countSkip[i], q*trials)
+		}
+	}
+}
+
+func TestGeometricSkipEdges(t *testing.T) {
+	r := New(15)
+	if g := r.GeometricSkip(0); g != math.MaxInt {
+		t.Fatalf("GeometricSkip(0) = %d", g)
+	}
+	if g := r.GeometricSkip(-1); g != math.MaxInt {
+		t.Fatalf("GeometricSkip(-1) = %d", g)
+	}
+	if g := r.GeometricSkip(1); g != 0 {
+		t.Fatalf("GeometricSkip(1) = %d", g)
+	}
+	if g := r.GeometricSkip(2); g != 0 {
+		t.Fatalf("GeometricSkip(2) = %d", g)
+	}
+}
+
+func TestGeometricSkipMean(t *testing.T) {
+	r := New(16)
+	const q = 0.2
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.GeometricSkip(q))
+	}
+	mean := sum / n
+	want := (1 - q) / q // mean of Geometric(q) counting failures
+	if math.Abs(mean-want) > 0.08 {
+		t.Fatalf("geometric mean %v, want %v", mean, want)
+	}
+}

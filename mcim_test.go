@@ -1,0 +1,139 @@
+package mcim_test
+
+import (
+	"math"
+	"testing"
+
+	mcim "repro"
+)
+
+// TestPublicAPIFrequency exercises the facade end to end the way the README
+// quickstart does.
+func TestPublicAPIFrequency(t *testing.T) {
+	rng := mcim.NewRand(42)
+	data := &mcim.Dataset{Classes: 2, Items: 8, Name: "api"}
+	for i := 0; i < 20000; i++ {
+		p := mcim.Pair{Class: 0, Item: 2}
+		if i%3 == 0 {
+			p = mcim.Pair{Class: 1, Item: 5}
+		}
+		data.Pairs = append(data.Pairs, p)
+	}
+	est, err := mcim.NewPTSCP(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := est.Estimate(data, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := data.TrueFrequencies()
+	if math.Abs(freq[0][2]-truth[0][2]) > 2000 {
+		t.Fatalf("f(0,2) estimate %v truth %v", freq[0][2], truth[0][2])
+	}
+	if math.Abs(freq[1][5]-truth[1][5]) > 2000 {
+		t.Fatalf("f(1,5) estimate %v truth %v", freq[1][5], truth[1][5])
+	}
+}
+
+// TestPublicAPITopK exercises the miner facade.
+func TestPublicAPITopK(t *testing.T) {
+	rng := mcim.NewRand(43)
+	data := &mcim.Dataset{Classes: 2, Items: 64, Name: "api"}
+	for i := 0; i < 60000; i++ {
+		item := rng.Intn(4) // head
+		if rng.Bernoulli(0.3) {
+			item = rng.Intn(64)
+		}
+		data.Pairs = append(data.Pairs, mcim.Pair{Class: i % 2, Item: item})
+	}
+	miner := mcim.NewPTSMiner(mcim.OptimizedOptions())
+	res, err := miner.Mine(data, 4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("per-class results %d", len(res.PerClass))
+	}
+	hit := 0
+	for _, item := range res.PerClass[0] {
+		if item < 4 {
+			hit++
+		}
+	}
+	if hit < 2 {
+		t.Fatalf("top-4 recovery too weak: %v", res.PerClass[0])
+	}
+}
+
+// TestPublicAPIMechanisms smoke-tests every exported constructor.
+func TestPublicAPIMechanisms(t *testing.T) {
+	rng := mcim.NewRand(44)
+	for _, build := range []func() (mcim.Mechanism, error){
+		func() (mcim.Mechanism, error) { return mcim.NewGRR(10, 1) },
+		func() (mcim.Mechanism, error) { return mcim.NewOUE(10, 1) },
+		func() (mcim.Mechanism, error) { return mcim.NewSUE(10, 1) },
+		func() (mcim.Mechanism, error) { return mcim.NewOLH(10, 1) },
+		func() (mcim.Mechanism, error) { return mcim.NewAdaptive(10, 1) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := m.NewAccumulator()
+		for i := 0; i < 500; i++ {
+			acc.Add(m.Perturb(i%10, rng))
+		}
+		if acc.N() != 500 {
+			t.Fatalf("%s accumulated %d", m.Name(), acc.N())
+		}
+		est := acc.EstimateAll()
+		if len(est) != 10 {
+			t.Fatalf("%s estimates %d", m.Name(), len(est))
+		}
+	}
+	vp, err := mcim.NewVP(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacc := vp.NewAccumulator()
+	vacc.Add(vp.Perturb(3, rng))
+	vacc.Add(vp.Perturb(mcim.Invalid, rng))
+	if vacc.Total() != 2 {
+		t.Fatal("VP accumulator total")
+	}
+	cp, err := mcim.NewCP(3, 10, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacc := cp.NewAccumulator()
+	cacc.Add(cp.Perturb(mcim.Pair{Class: 1, Item: 2}, rng))
+	if cacc.Total() != 1 {
+		t.Fatal("CP accumulator total")
+	}
+}
+
+// TestPublicAPIMeans exercises the numerical extension facade.
+func TestPublicAPIMeans(t *testing.T) {
+	rng := mcim.NewRand(45)
+	data := &mcim.NumericDataset{Classes: 2, Name: "api"}
+	for i := 0; i < 30000; i++ {
+		x := 0.5
+		cl := 0
+		if i%2 == 0 {
+			x, cl = -0.5, 1
+		}
+		data.Values = append(data.Values, mcim.NumericValue{Class: cl, X: x})
+	}
+	cp, err := mcim.NewCPMeanEstimator(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, err := cp.EstimateMeans(data, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(means[0]-0.5) > 0.15 || math.Abs(means[1]+0.5) > 0.15 {
+		t.Fatalf("means %v", means)
+	}
+}

@@ -1,0 +1,37 @@
+package mcim
+
+import "repro/internal/mean"
+
+// Numerical-item extension (the paper's stated future work): classwise mean
+// estimation for values in [−1, 1] under ε-LDP on the (label, value) pair.
+type (
+	// NumericValue is one user's (label, value) pair.
+	NumericValue = mean.Value
+	// NumericDataset is a numerical multi-class population.
+	NumericDataset = mean.Dataset
+	// MeanEstimator is a multi-class mean-estimation framework.
+	MeanEstimator = mean.Estimator
+	// CPMean is the correlated perturbation mechanism for numerical items
+	// (sign rounding with a deniable invalidity symbol).
+	CPMean = mean.CPMean
+)
+
+// NewHECMean builds the user-partition strawman mean estimator.
+func NewHECMean(eps float64) MeanEstimator { return mean.NewHECMean(eps) }
+
+// NewPTSMean builds the separate-perturbation mean estimator; split = ε₁/ε.
+func NewPTSMean(eps, split float64) (MeanEstimator, error) {
+	return mean.NewPTSMean(eps, split)
+}
+
+// NewCPMeanEstimator builds the correlated-perturbation mean estimator;
+// split = ε₁/ε.
+func NewCPMeanEstimator(eps, split float64) (MeanEstimator, error) {
+	return mean.NewCPMeanEstimator(eps, split)
+}
+
+// NewCPMean builds the raw correlated mean mechanism for callers composing
+// custom pipelines.
+func NewCPMean(classes int, eps, split float64) (*CPMean, error) {
+	return mean.NewCPMean(classes, eps, split)
+}
