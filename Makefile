@@ -1,0 +1,44 @@
+# Local developer entry points, mirroring .github/workflows/ci.yml job for
+# job so "works on my machine" and "works in CI" are the same commands.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-json fmt fmt-fix lint fuzz ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: keeps them compiling and running
+# without turning the suite into a perf run.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=20m ./...
+
+# Snapshot the ingestion + perturbation benchmarks into BENCH_ingest.json
+# (ns/op, B/op, allocs/op, reports/s per benchmark).
+bench-json:
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt-fix:
+	gofmt -w .
+
+lint:
+	$(GO) vet ./...
+
+# Short-budget runs of the collection-server fuzz targets (-fuzz takes one
+# target per invocation).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/collect
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=10s ./internal/collect
+
+ci: fmt lint build race fuzz bench

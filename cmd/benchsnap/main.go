@@ -1,0 +1,120 @@
+// Command benchsnap converts `go test -bench` output into a machine-
+// readable JSON snapshot, so the repo's performance trajectory can be
+// tracked commit over commit. It reads benchmark output on stdin and writes
+// JSON to -out (default stdout):
+//
+//	go test -run='^$' -bench='CollectIngest|Perturb' -benchmem . | benchsnap -out BENCH_ingest.json
+//
+// Every metric column is kept, including custom b.ReportMetric units like
+// reports/s, keyed by unit with '/' flattened to '_per_'.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkCollectIngest/batched-sharded".
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the output document.
+type Snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("benchsnap: no benchmark lines on stdin")
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, *b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseLine parses one result line of the standard benchmark output format:
+//
+//	BenchmarkName-8   1234   56.7 ns/op   89 B/op   1 allocs/op   1000 reports/s
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("benchsnap: short benchmark line %q", line)
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("benchsnap: iteration count in %q: %w", line, err)
+	}
+	b := &Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchsnap: metric value in %q: %w", line, err)
+		}
+		unit := strings.ReplaceAll(fields[i+1], "/", "_per_")
+		b.Metrics[unit] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCollectIngest/single-mutex         	   35192	     33457 ns/op	     29889 reports/s	    8814 B/op	     105 allocs/op
+BenchmarkCollectIngest/batched-sharded      	     678	   1807064 ns/op	    283333 reports/s	  496883 B/op	    4031 allocs/op
+BenchmarkGRRPerturb-8   	12345678	        95.31 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	5.912s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.Pkg != "repro" {
+		t.Fatalf("header %+v", snap)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	single := snap.Benchmarks[0]
+	if single.Name != "BenchmarkCollectIngest/single-mutex" || single.Iterations != 35192 {
+		t.Fatalf("first benchmark %+v", single)
+	}
+	if single.Metrics["reports_per_s"] != 29889 {
+		t.Fatalf("reports/s metric %v", single.Metrics)
+	}
+	if single.Metrics["ns_per_op"] != 33457 || single.Metrics["allocs_per_op"] != 105 {
+		t.Fatalf("standard metrics %v", single.Metrics)
+	}
+	grr := snap.Benchmarks[2]
+	if grr.Name != "BenchmarkGRRPerturb" || grr.Procs != 8 {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", grr)
+	}
+	if grr.Metrics["ns_per_op"] != 95.31 {
+		t.Fatalf("fractional ns/op %v", grr.Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	if _, err := parseLine("BenchmarkX"); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := parseLine("BenchmarkX notanumber 12 ns/op"); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+	if _, err := parseLine("BenchmarkX 10 twelve ns/op"); err == nil {
+		t.Fatal("bad metric value accepted")
+	}
+}
+
+// TestParseLineSubBenchmarkDash guards the name/procs split: a trailing
+// -N is a procs suffix, but a dash inside a sub-benchmark name is not.
+func TestParseLineSubBenchmarkDash(t *testing.T) {
+	b, err := parseLine("BenchmarkCollectIngest/batched-sharded 678 1807064 ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkCollectIngest/batched-sharded" || b.Procs != 1 {
+		t.Fatalf("parsed %+v", b)
+	}
+}

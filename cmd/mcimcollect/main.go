@@ -34,35 +34,50 @@ func main() {
 		items    = flag.Int("items", 1000, "item domain size")
 		eps      = flag.Float64("eps", 2, "privacy budget ε")
 		split    = flag.Float64("split", 0.5, "label budget fraction ε₁/ε")
+		shards   = flag.Int("shards", 0, "accumulator shards (serve mode; 0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("maxbody", 0, "request body cap in bytes (serve mode; 0 = default 8 MiB)")
 		users    = flag.Int("users", 10000, "simulated users (simulate mode)")
+		batch    = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
 	switch {
 	case *serve:
-		srv, err := collect.NewServer(*classes, *items, *eps, *split)
+		srv, err := collect.NewServer(*classes, *items, *eps, *split,
+			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody))
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("collecting on %s (c=%d d=%d ε=%v)", *addr, *classes, *items, *eps)
+		log.Printf("collecting on %s (c=%d d=%d ε=%v, %d shards)", *addr, *classes, *items, *eps, srv.Shards())
 		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 
 	case *simulate:
-		client, err := collect.NewClient(*url, nil, *seed)
+		client, err := collect.NewClient(*url, nil, *seed, collect.WithBatchSize(*batch))
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The population domain comes from the server's config, not the
+		// local -classes/-items flags: submitting pairs outside the round's
+		// domain is a client bug.
+		cfg := client.Config()
 		r := xrand.New(*seed)
 		start := time.Now()
 		for i := 0; i < *users; i++ {
 			// A skewed synthetic population: class sizes decay, items
 			// Zipf-ish within class.
-			cl := r.Intn(*classes)
-			item := r.Intn(1 + r.Intn(*items))
-			if err := client.Submit(core.Pair{Class: cl, Item: item}); err != nil {
+			pair := core.Pair{Class: r.Intn(cfg.Classes), Item: r.Intn(1 + r.Intn(cfg.Items))}
+			if *batch > 0 {
+				err = client.Buffer(pair)
+			} else {
+				err = client.Submit(pair)
+			}
+			if err != nil {
 				log.Fatalf("user %d: %v", i, err)
 			}
+		}
+		if err := client.Flush(); err != nil {
+			log.Fatal(err)
 		}
 		est, err := client.Estimates()
 		if err != nil {

@@ -1,0 +1,252 @@
+// Command mcimload is the load generator for the collection server: it
+// drives K concurrent synthetic clients against an aggregation server and
+// reports sustained throughput (reports/sec), request latency percentiles
+// (p50/p99/max) and estimate accuracy against the synthetic ground truth —
+// the numbers that tell you whether the serving path, not the mechanism, is
+// the bottleneck.
+//
+// Self-contained run (spins up an in-process server on a loopback port):
+//
+//	mcimload -selfserve -users 200000 -clients 8 -batch 256 -shards 8
+//
+// Against an external server (mcimcollect -serve):
+//
+//	mcimload -url http://localhost:8090 -users 200000 -clients 8
+//
+// The synthetic population reuses the paper's dataset generators
+// (internal/dataset): -dataset syntopk draws the SYN3-style skewed
+// multi-class population; -dataset uniform draws uniformly, which maximizes
+// wire-format density and so stresses ingestion hardest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "", "external server URL (mutually exclusive with -selfserve)")
+		selfserve = flag.Bool("selfserve", false, "spin up an in-process server to drive")
+		shards    = flag.Int("shards", 0, "server accumulator shards (selfserve mode; 0 = GOMAXPROCS)")
+		classes   = flag.Int("classes", 5, "number of classes (selfserve mode)")
+		items     = flag.Int("items", 1000, "item domain size (selfserve mode)")
+		eps       = flag.Float64("eps", 2, "privacy budget ε (selfserve mode)")
+		split     = flag.Float64("split", 0.5, "label budget fraction ε₁/ε (selfserve mode)")
+		dsName    = flag.String("dataset", "syntopk", "synthetic population: syntopk | uniform")
+		users     = flag.Int("users", 100_000, "population size (reports to submit)")
+		clients   = flag.Int("clients", 8, "concurrent client workers")
+		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint)")
+		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays")
+		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
+	)
+	flag.Parse()
+	if (*url == "") == !*selfserve {
+		fmt.Fprintln(os.Stderr, "mcimload: exactly one of -url or -selfserve is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *clients < 1 || *users < 1 {
+		log.Fatalf("mcimload: need at least 1 client and 1 user")
+	}
+
+	base := *url
+	if *selfserve {
+		srv, err := collect.NewServer(*classes, *items, *eps, *split, collect.WithShards(*shards))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, srv.Handler()) //nolint:errcheck — dies with the process
+		base = "http://" + ln.Addr().String()
+		log.Printf("in-process server on %s (c=%d d=%d ε=%v, %d shards)", base, *classes, *items, *eps, srv.Shards())
+	}
+
+	// The population must match the server's domain, so it is generated
+	// from the fetched config (which also validates the server is up).
+	probe, err := collect.NewClient(base, nil, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := probe.Config()
+
+	// Baseline the server's report count: against a long-running server it
+	// may already hold reports from earlier rounds.
+	est0, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := est0.Reports
+
+	data, err := buildDataset(*dsName, cfg.Classes, cfg.Items, *users, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := xrand.New(*seed + 1)
+	data = data.Shuffled(r)
+	log.Printf("population %s: %d users over %d classes × %d items", data.Name, data.N(), data.Classes, data.Items)
+
+	// Partition the population over K workers and drive them concurrently.
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+		firstErr  error
+	)
+	perWorker := (data.N() + *clients - 1) / *clients
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		lo := w * perWorker
+		hi := min(lo+perWorker, data.N())
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, pairs []core.Pair) {
+			defer wg.Done()
+			lats, n, err := drive(base, pairs, *batch, *ndjson, *seed+uint64(w)*7919)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lats...)
+			requests += n
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w, data.Pairs[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+
+	fmt.Printf("drove %d clients, %d requests (batch=%d, ndjson=%v) in %v\n",
+		*clients, requests, *batch, *ndjson, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f reports/sec\n", float64(data.N())/elapsed.Seconds())
+	p50, p99, max := percentiles(latencies)
+	fmt.Printf("request latency: p50 %v  p99 %v  max %v\n",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), max.Round(time.Microsecond))
+
+	// Accuracy against ground truth: the served estimates are unbiased, so
+	// RMSE here is mechanism noise, not ingestion error — a sanity check
+	// that speed did not cost correctness.
+	est, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := est.Reports - baseline; got != data.N() {
+		log.Fatalf("server ingested %d of %d reports this run", got, data.N())
+	}
+	if baseline > 0 {
+		fmt.Printf("note: server held %d reports before this run; accuracy below reflects all %d\n", baseline, est.Reports)
+	}
+	truth := data.TrueFrequencies()
+	classCounts := data.ClassCounts()
+	relErrSum, relErrN := 0.0, 0
+	for c, want := range classCounts {
+		if want > 0 {
+			relErrSum += math.Abs(est.ClassSizes[c]-float64(want)) / float64(want)
+			relErrN++
+		}
+	}
+	fmt.Printf("accuracy: frequency RMSE %.2f over %d×%d cells, class-size mean relative error %.2f%%\n",
+		metrics.RMSE(est.Frequencies, truth), data.Classes, data.Items, 100*relErrSum/float64(relErrN))
+}
+
+// drive submits pairs from one worker, returning per-request latencies and
+// the request count.
+func drive(base string, pairs []core.Pair, batch int, ndjson bool, seed uint64) ([]time.Duration, int, error) {
+	client, err := collect.NewClient(base, nil, seed, collect.WithNDJSON(ndjson))
+	if err != nil {
+		return nil, 0, err
+	}
+	var lats []time.Duration
+	if batch < 1 {
+		// Seed-style single-report submission, one request per report.
+		for _, p := range pairs {
+			t0 := time.Now()
+			if err := client.Submit(p); err != nil {
+				return lats, len(lats), err
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		return lats, len(lats), nil
+	}
+	for lo := 0; lo < len(pairs); lo += batch {
+		hi := min(lo+batch, len(pairs))
+		t0 := time.Now()
+		ack, err := client.SubmitBatch(pairs[lo:hi])
+		if err != nil {
+			return lats, len(lats), err
+		}
+		lats = append(lats, time.Since(t0))
+		if ack.Rejected > 0 {
+			return lats, len(lats), fmt.Errorf("server rejected %d reports: %v", ack.Rejected, ack.Errors)
+		}
+	}
+	return lats, len(lats), nil
+}
+
+// buildDataset generates the synthetic population over exactly the server's
+// (classes, items) domain.
+func buildDataset(name string, classes, items, users int, seed uint64) (*core.Dataset, error) {
+	switch name {
+	case "syntopk":
+		cfg := dataset.SynTopKConfig{
+			Classes:  classes,
+			Items:    items,
+			Users:    users,
+			HeadSize: 20,
+			Global:   true,
+		}
+		// Shrink the head window for small domains so the generator's
+		// d ≥ head·(c+1) precondition holds.
+		if maxHead := items / (classes + 1); cfg.HeadSize > maxHead {
+			cfg.HeadSize = maxHead
+		}
+		if cfg.HeadSize >= 1 && classes >= 2 {
+			return dataset.SynTopK(cfg, seed, 1)
+		}
+		fallthrough // degenerate domain: uniform is the only sensible population
+	case "uniform":
+		r := xrand.New(seed)
+		d := &core.Dataset{Pairs: make([]core.Pair, users), Classes: classes, Items: items, Name: "UNIFORM"}
+		for i := range d.Pairs {
+			d.Pairs[i] = core.Pair{Class: r.Intn(classes), Item: r.Intn(items)}
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("mcimload: unknown dataset %q (want syntopk or uniform)", name)
+	}
+}
+
+// percentiles returns p50, p99 and max of the observed latencies.
+func percentiles(lats []time.Duration) (p50, p99, max time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return at(0.50), at(0.99), lats[len(lats)-1]
+}

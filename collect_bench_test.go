@@ -1,0 +1,165 @@
+// Ingestion benchmarks for the collection server: the seed single-report,
+// single-accumulator path versus the batched, sharded pipeline, over real
+// HTTP on a loopback listener. Wire bodies are pre-perturbed and
+// pre-marshalled outside the timer so the numbers isolate server-side
+// ingestion (request handling, decode, validation, accumulation), not
+// client-side perturbation cost.
+//
+// `make bench-json` snapshots these numbers (plus the perturbation
+// micro-benchmarks) into BENCH_ingest.json.
+package mcim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Ingestion benchmark shape: a telemetry-sized domain. Sparse wire reports
+// carry ~(d+1)/(e^ε₂+1)+1 ≈ 18 set bits each at these parameters.
+const (
+	benchClasses   = 5
+	benchItems     = 64
+	benchEps       = 2.0
+	benchBatchSize = 512
+)
+
+// benchWireBodies pre-marshals nBodies request bodies of batchSize reports
+// each (batchSize 1 marshals a bare WireReport, matching POST /report).
+func benchWireBodies(b *testing.B, nBodies, batchSize int) [][]byte {
+	b.Helper()
+	cp, err := core.NewCP(benchClasses, benchItems, benchEps, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(42)
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		wires := make([]collect.WireReport, batchSize)
+		for j := range wires {
+			rep := cp.Perturb(core.Pair{Class: r.Intn(benchClasses), Item: r.Intn(benchItems)}, r)
+			wires[j] = collect.WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+		}
+		var (
+			blob []byte
+			merr error
+		)
+		if batchSize == 1 {
+			blob, merr = json.Marshal(wires[0])
+		} else {
+			blob, merr = json.Marshal(wires)
+		}
+		if merr != nil {
+			b.Fatal(merr)
+		}
+		bodies[i] = blob
+	}
+	return bodies
+}
+
+// benchServer starts a collection server with the given shard count on a
+// loopback listener.
+func benchServer(b *testing.B, shards int) (*collect.Server, *httptest.Server) {
+	b.Helper()
+	srv, err := collect.NewServer(benchClasses, benchItems, benchEps, 0.5, collect.WithShards(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func benchPost(b *testing.B, hc *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %s", resp.Status)
+	}
+}
+
+// BenchmarkCollectIngest measures sustained server-side ingestion. The
+// comparable number across sub-benchmarks is the reports/s metric (ns/op is
+// per request, and a batched request carries 512 reports).
+//
+//	single-mutex:    the seed path — one report per POST /report, one
+//	                 accumulator behind one mutex.
+//	batched-sharded: the pipeline path — 512 reports per POST /reports,
+//	                 GOMAXPROCS-sharded accumulators.
+func BenchmarkCollectIngest(b *testing.B) {
+	b.Run("single-mutex", func(b *testing.B) {
+		srv, ts := benchServer(b, 1)
+		bodies := benchWireBodies(b, 1024, 1)
+		hc := ts.Client()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, hc, ts.URL+"/report", bodies[i%len(bodies)])
+		}
+		b.StopTimer()
+		reportThroughput(b, srv, b.N)
+	})
+	b.Run("batched-sharded", func(b *testing.B) {
+		srv, ts := benchServer(b, 0) // GOMAXPROCS shards
+		bodies := benchWireBodies(b, 16, benchBatchSize)
+		hc := ts.Client()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, hc, ts.URL+"/reports", bodies[i%len(bodies)])
+		}
+		b.StopTimer()
+		reportThroughput(b, srv, b.N*benchBatchSize)
+	})
+}
+
+// BenchmarkCollectIngestParallel is the concurrent-writer variant: many
+// in-flight batch requests exercising shard spreading. On multicore
+// hardware this is where sharding separates from the single mutex.
+func BenchmarkCollectIngestParallel(b *testing.B) {
+	for _, shards := range []int{1, 0} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "shards=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, ts := benchServer(b, shards)
+			bodies := benchWireBodies(b, 16, benchBatchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				hc := ts.Client()
+				i := 0
+				for pb.Next() {
+					benchPost(b, hc, ts.URL+"/reports", bodies[i%len(bodies)])
+					i++
+				}
+			})
+			b.StopTimer()
+			reportThroughput(b, srv, b.N*benchBatchSize)
+		})
+	}
+}
+
+// reportThroughput attaches the reports/s metric and sanity-checks that
+// every submitted report was ingested.
+func reportThroughput(b *testing.B, srv *collect.Server, reports int) {
+	b.Helper()
+	if got := srv.Reports(); got != reports {
+		b.Fatalf("server ingested %d of %d reports", got, reports)
+	}
+	b.ReportMetric(float64(reports)/b.Elapsed().Seconds(), "reports/s")
+}

@@ -21,8 +21,9 @@ func main() {
 		eps     = 3.0
 		users   = 5000
 	)
-	// Start the aggregation server on an ephemeral port.
-	srv, err := collect.NewServer(classes, items, eps, 0.5)
+	// Start the aggregation server on an ephemeral port. Writes spread over
+	// four accumulator shards; estimates merge them exactly on read.
+	srv, err := collect.NewServer(classes, items, eps, 0.5, collect.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,8 +35,10 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("aggregation server on %s (c=%d d=%d ε=%v)\n", base, classes, items, eps)
 
-	// Clients fetch /config, perturb locally and POST sparse reports.
-	client, err := collect.NewClient(base, nil, 77)
+	// Clients fetch /config, perturb locally and ship sparse reports in
+	// batches of 500 (one POST /reports request each) via the buffered
+	// client — the deployment shape for population-scale ingestion.
+	client, err := collect.NewClient(base, nil, 77, collect.WithBatchSize(500))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +51,14 @@ func main() {
 		cl := rng.Intn(classes)
 		item := cl*10 + rng.Intn(5) // each class concentrated on its own block
 		truth[cl][item]++
-		if err := client.Submit(mcim.Pair{Class: cl, Item: item}); err != nil {
+		if err := client.Buffer(mcim.Pair{Class: cl, Item: item}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("submitted %d reports (each ε-LDP on the full pair)\n\n", users)
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %d reports in batches of 500 (each ε-LDP on the full pair)\n\n", users)
 
 	est, err := client.Estimates()
 	if err != nil {

@@ -1,0 +1,152 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// maxBatchErrors bounds the per-item error list echoed back in a batch
+// acknowledgement so a fully malformed batch cannot produce a response
+// larger than the request.
+const maxBatchErrors = 32
+
+// NDJSONContentType is the conventional media type for newline-delimited
+// JSON batch submissions.
+const NDJSONContentType = "application/x-ndjson"
+
+// WireItemError reports one rejected item of a batch by its position in the
+// submitted stream.
+type WireItemError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// WireBatchAck acknowledges a batch submission. Ingestion is partial:
+// valid items are accumulated even when siblings are rejected, and every
+// rejection is itemized (up to a cap) so clients can drop or fix exactly
+// the offending reports. Reports echoes the server's post-ingest total.
+type WireBatchAck struct {
+	Accepted int             `json:"accepted"`
+	Rejected int             `json:"rejected"`
+	Reports  int             `json:"reports"`
+	Errors   []WireItemError `json:"errors,omitempty"`
+	// ErrorsTruncated is set when more than maxBatchErrors items were
+	// rejected and the Errors list was capped.
+	ErrorsTruncated bool `json:"errors_truncated,omitempty"`
+}
+
+// handleReportBatch ingests a batch of reports submitted either as a JSON
+// array of WireReports or as an NDJSON stream (one WireReport object per
+// line). The whole body is subject to the server's size cap (413 beyond
+// it); a syntactically unreadable envelope is a 400; individually invalid
+// items (bad label, out-of-range bit index, malformed NDJSON record) are
+// rejected per item while the rest of the batch is accepted.
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	wires, itemErrs, droppedTail, err := decodeBatch(body)
+	if err != nil {
+		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	decoded := make([]core.CPReport, 0, len(wires))
+	for _, iw := range wires {
+		rep, derr := s.decode(iw.report)
+		if derr != nil {
+			itemErrs = append(itemErrs, WireItemError{Index: iw.index, Error: derr.Error()})
+			continue
+		}
+		decoded = append(decoded, rep)
+	}
+	s.ingest(decoded)
+	var ack WireBatchAck
+	ack.Accepted = len(decoded)
+	ack.Rejected = len(itemErrs) + droppedTail
+	ack.Reports = s.Reports()
+	if len(itemErrs) > maxBatchErrors {
+		itemErrs = itemErrs[:maxBatchErrors]
+		ack.ErrorsTruncated = true
+	}
+	ack.Errors = itemErrs
+	writeJSON(w, ack)
+}
+
+// indexedWire pairs a decoded wire report with its position in the
+// submitted batch so rejections can be attributed.
+type indexedWire struct {
+	index  int
+	report WireReport
+}
+
+// decodeBatch splits a batch body into its individual wire reports. A body
+// whose first non-space byte is '[' is a JSON array; anything else is
+// treated as an NDJSON stream. The error return is reserved for envelope
+// failures (unreadable array syntax, empty body); individual record
+// failures inside an NDJSON stream come back as one itemized error plus a
+// droppedTail count of the records discarded after the truncation point,
+// so Accepted+Rejected still accounts for the whole submitted stream.
+func decodeBatch(body []byte) (wires []indexedWire, itemErrs []WireItemError, droppedTail int, err error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, nil, 0, fmt.Errorf("empty batch body")
+	}
+	if trimmed[0] == '[' {
+		var reps []WireReport
+		if err := json.Unmarshal(trimmed, &reps); err != nil {
+			return nil, nil, 0, err
+		}
+		out := make([]indexedWire, len(reps))
+		for i, wr := range reps {
+			out[i] = indexedWire{index: i, report: wr}
+		}
+		return out, nil, 0, nil
+	}
+	// NDJSON: a stream of JSON objects separated by newlines (any JSON
+	// whitespace works — json.Decoder consumes a concatenated stream).
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	for i := 0; dec.More(); i++ {
+		var wr WireReport
+		if derr := dec.Decode(&wr); derr != nil {
+			// A malformed record poisons the rest of the stream (there is
+			// no reliable resync point), so the remainder is dropped: one
+			// itemized error for the bad record, and the lines after it
+			// counted into the rejected total.
+			droppedTail = tailLines(trimmed, dec.InputOffset())
+			itemErrs = append(itemErrs, WireItemError{
+				Index: i, Error: fmt.Sprintf("malformed NDJSON record (%d subsequent records dropped): %v", droppedTail, derr),
+			})
+			break
+		}
+		wires = append(wires, indexedWire{index: i, report: wr})
+	}
+	return wires, itemErrs, droppedTail, nil
+}
+
+// tailLines counts the non-blank lines strictly after the line containing
+// offset — the NDJSON records dropped when the stream is truncated at a
+// malformed record.
+func tailLines(body []byte, offset int64) int {
+	if offset < 0 || offset >= int64(len(body)) {
+		return 0
+	}
+	rest := body[offset:]
+	// Skip to the end of the malformed record's own line.
+	if i := bytes.IndexByte(rest, '\n'); i < 0 {
+		return 0
+	} else {
+		rest = rest[i+1:]
+	}
+	n := 0
+	for _, line := range bytes.Split(rest, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,249 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// DefaultBatchSize is the buffered client's auto-flush threshold. At the
+// wire format's typical sparsity this keeps batch bodies well under the
+// server's default size cap while amortizing per-request overhead over
+// hundreds of reports.
+const DefaultBatchSize = 256
+
+// Client perturbs pairs locally and submits them to a collection server.
+// The raw pair never leaves the client. Submissions can be immediate
+// (Submit, SubmitBatch) or buffered (Buffer + Flush), in which case
+// perturbed reports accumulate locally and ship as one batch request per
+// BatchSize reports.
+//
+// A Client is not safe for concurrent use; run one per goroutine (they are
+// cheap — the mechanism parameters are shared through the fetched config).
+type Client struct {
+	base      string
+	http      *http.Client
+	cp        *core.CP
+	rng       *xrand.Rand
+	batchSize int
+	ndjson    bool
+	maxBody   int64 // server's advertised request-body cap (0 if unknown)
+	pending   []WireReport
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithBatchSize sets the buffered auto-flush threshold (reports per batch
+// request). n < 1 restores DefaultBatchSize.
+func WithBatchSize(n int) ClientOption {
+	return func(c *Client) {
+		if n < 1 {
+			n = DefaultBatchSize
+		}
+		c.batchSize = n
+	}
+}
+
+// WithNDJSON makes batch submissions use the NDJSON stream encoding instead
+// of a JSON array. The server accepts both; NDJSON suits producers that
+// append records incrementally.
+func WithNDJSON(on bool) ClientOption {
+	return func(c *Client) { c.ndjson = on }
+}
+
+// NewClient fetches the server's configuration from baseURL and prepares a
+// local perturber seeded with seed.
+func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOption) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(baseURL + "/config")
+	if err != nil {
+		return nil, fmt.Errorf("collect: fetch config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: config status %s", resp.Status)
+	}
+	var cfg WireConfig
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("collect: decode config: %w", err)
+	}
+	cp, err := core.NewCP(cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{base: baseURL, http: hc, cp: cp, rng: xrand.New(seed), batchSize: DefaultBatchSize, maxBody: cfg.MaxBodyBytes}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Config returns the server-side collection round parameters the client
+// fetched at construction. Pairs submitted through this client must lie in
+// the (Classes, Items) domain it describes.
+func (c *Client) Config() WireConfig {
+	return WireConfig{
+		Classes:      c.cp.Classes(),
+		Items:        c.cp.Items(),
+		Epsilon:      c.cp.Epsilon(),
+		Split:        c.cp.Epsilon1() / c.cp.Epsilon(),
+		MaxBodyBytes: c.maxBody,
+	}
+}
+
+// perturb applies the correlated perturbation locally and encodes the
+// result for the wire.
+func (c *Client) perturb(pair core.Pair) WireReport {
+	rep := c.cp.Perturb(pair, c.rng)
+	return WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+}
+
+// Submit perturbs the pair under the correlated perturbation mechanism and
+// POSTs the report immediately as a single-report request.
+func (c *Client) Submit(pair core.Pair) error {
+	body, err := json.Marshal(c.perturb(pair))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("collect: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("collect: submit status %s", resp.Status)
+	}
+	return nil
+}
+
+// SubmitBatch perturbs every pair and ships the whole batch as one
+// POST /reports request, returning the server's acknowledgement. Reports a
+// client perturbs are always in-domain, so a non-zero Rejected count in the
+// acknowledgement indicates a client/server configuration mismatch.
+func (c *Client) SubmitBatch(pairs []core.Pair) (*WireBatchAck, error) {
+	wires := make([]WireReport, len(pairs))
+	for i, p := range pairs {
+		wires[i] = c.perturb(p)
+	}
+	return c.postBatch(wires)
+}
+
+// Buffer perturbs the pair and appends the report to the local batch
+// buffer, flushing automatically when BatchSize reports have accumulated.
+// Call Flush after the last Buffer to ship the remainder.
+func (c *Client) Buffer(pair core.Pair) error {
+	c.pending = append(c.pending, c.perturb(pair))
+	if len(c.pending) >= c.batchSize {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Pending returns the number of buffered reports not yet shipped.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Flush ships any buffered reports as one batch request. It is a no-op
+// when the buffer is empty. When the server answers with an error status it
+// definitively did not ingest the batch, so the buffer is kept for a retry;
+// on a transport error (where the request may have been ingested before the
+// response was lost) the buffer is dropped instead — resubmitting perturbed
+// reports that did land would double-count them.
+func (c *Client) Flush() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	wires := c.pending
+	c.pending = nil
+	ack, err := c.postBatch(wires)
+	var se *statusError
+	if errors.As(err, &se) {
+		c.pending = wires // not ingested: keep for retry
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	if ack.Rejected > 0 {
+		return fmt.Errorf("collect: server rejected %d of %d buffered reports", ack.Rejected, len(wires))
+	}
+	return nil
+}
+
+// statusError is a batch submission the server answered with a non-200
+// status — the batch was definitively not ingested.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// postBatch encodes wires per the client's batch encoding and POSTs them to
+// /reports.
+func (c *Client) postBatch(wires []WireReport) (*WireBatchAck, error) {
+	var (
+		buf         bytes.Buffer
+		contentType string
+	)
+	if c.ndjson {
+		contentType = NDJSONContentType
+		enc := json.NewEncoder(&buf)
+		for _, wr := range wires {
+			if err := enc.Encode(wr); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		contentType = "application/json"
+		if err := json.NewEncoder(&buf).Encode(wires); err != nil {
+			return nil, err
+		}
+	}
+	bodyLen := buf.Len()
+	resp, err := c.http.Post(c.base+"/reports", contentType, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("collect: submit batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusRequestEntityTooLarge {
+			return nil, &statusError{resp.StatusCode, fmt.Sprintf(
+				"collect: batch of %d reports (%d bytes) exceeds the server's %d-byte body cap; reduce the batch size",
+				len(wires), bodyLen, c.maxBody)}
+		}
+		return nil, &statusError{resp.StatusCode, "collect: submit batch status " + resp.Status}
+	}
+	var ack WireBatchAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("collect: decode batch ack: %w", err)
+	}
+	return &ack, nil
+}
+
+// Estimates fetches the server's current calibrated estimates.
+func (c *Client) Estimates() (*WireEstimates, error) {
+	resp, err := c.http.Get(c.base + "/estimates")
+	if err != nil {
+		return nil, fmt.Errorf("collect: estimates: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: estimates status %s", resp.Status)
+	}
+	var est WireEstimates
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		return nil, err
+	}
+	return &est, nil
+}

@@ -1,4 +1,4 @@
-// Package collect implements a small HTTP collection pipeline around the
+// Package collect implements the HTTP collection pipeline around the
 // correlated perturbation mechanism — the way LDP frequency oracles are
 // deployed in practice (RAPPOR in Chrome, Apple's HCMS): clients perturb
 // locally and POST sparse reports; the server accumulates them and serves
@@ -7,31 +7,50 @@
 // The wire format is JSON with reports carried as set-bit indices, which is
 // the natural sparse encoding of an OUE-style bit vector (expected
 // (d+1)/(e^ε+1) + 1 set bits per report).
+//
+// The ingestion path is built for population-scale traffic: reports can be
+// submitted one per request (POST /report) or, preferably, in batches
+// (POST /reports, JSON array or NDJSON stream), and the server spreads
+// writes over N independently locked accumulator shards so concurrent
+// batches never serialize on a single mutex. Shards are merged on read,
+// which is exact: accumulators are integer counters, so the merged
+// estimates are bit-identical to a single-accumulator server fed the same
+// report stream.
 package collect
 
 import (
-	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
-	"repro/internal/xrand"
 )
 
+// DefaultMaxBodyBytes caps request bodies: generous enough for batches of
+// thousands of sparse reports, small enough to bound per-request memory.
+const DefaultMaxBodyBytes = 8 << 20
+
 // WireConfig describes the collection round so clients can self-configure.
+// MaxBodyBytes advertises the server's request-body cap so batching clients
+// can size their batches to fit.
 type WireConfig struct {
-	Classes int     `json:"classes"`
-	Items   int     `json:"items"`
-	Epsilon float64 `json:"epsilon"`
-	Split   float64 `json:"split"`
+	Classes      int     `json:"classes"`
+	Items        int     `json:"items"`
+	Epsilon      float64 `json:"epsilon"`
+	Split        float64 `json:"split"`
+	MaxBodyBytes int64   `json:"max_body_bytes,omitempty"`
 }
 
 // WireReport is one perturbed report on the wire. Bits holds the set-bit
-// indices of the (d+1)-length correlated-perturbation item vector.
+// indices of the (d+1)-length correlated-perturbation item vector; index d
+// is the validity flag. Label must be in [0, classes) and every bit index
+// in [0, items]. Reports violating either bound are rejected per item.
 type WireReport struct {
 	Label int   `json:"label"`
 	Bits  []int `json:"bits"`
@@ -44,40 +63,92 @@ type WireEstimates struct {
 	ClassSizes  []float64   `json:"class_sizes"`
 }
 
-// Server accumulates correlated-perturbation reports over HTTP.
-// It is safe for concurrent use.
-type Server struct {
-	cp  *core.CP
-	cfg WireConfig
-
+// shard is one independently locked accumulator.
+type shard struct {
 	mu  sync.Mutex
 	acc *core.CPAccumulator
 }
 
+// Server accumulates correlated-perturbation reports over HTTP.
+// It is safe for concurrent use: writes land on one of its shards (picked
+// round-robin per request so concurrent ingestion scales with cores), and
+// reads merge all shards into a point-in-time aggregate.
+type Server struct {
+	cp      *core.CP
+	cfg     WireConfig
+	maxBody int64
+
+	next   atomic.Uint64 // round-robin shard cursor
+	total  atomic.Int64  // reports ingested; cheap read for acks vs locking every shard
+	shards []*shard
+}
+
+// ServerOption configures a Server beyond the mechanism parameters.
+type ServerOption func(*Server)
+
+// WithShards sets the number of accumulator shards. More shards means less
+// write contention under concurrent ingestion; estimates are unaffected
+// (shards merge exactly). n < 1 restores the default of
+// runtime.GOMAXPROCS(0).
+func WithShards(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.shards = make([]*shard, n)
+	}
+}
+
+// WithMaxBodyBytes caps the accepted request body size for report
+// submissions. Oversized requests are rejected with 413. n < 1 restores
+// DefaultMaxBodyBytes.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = DefaultMaxBodyBytes
+		}
+		s.maxBody = n
+	}
+}
+
 // NewServer builds a collection server for c classes and d items at budget
 // eps with label-budget fraction split.
-func NewServer(c, d int, eps, split float64) (*Server, error) {
+func NewServer(c, d int, eps, split float64, opts ...ServerOption) (*Server, error) {
 	cp, err := core.NewCP(c, d, eps, split)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cp:  cp,
-		cfg: WireConfig{Classes: c, Items: d, Epsilon: eps, Split: split},
-		acc: cp.NewAccumulator(),
-	}, nil
+	s := &Server{
+		cp:      cp,
+		cfg:     WireConfig{Classes: c, Items: d, Epsilon: eps, Split: split},
+		maxBody: DefaultMaxBodyBytes,
+		shards:  make([]*shard, runtime.GOMAXPROCS(0)),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.cfg.MaxBodyBytes = s.maxBody
+	for i := range s.shards {
+		s.shards[i] = &shard{acc: cp.NewAccumulator()}
+	}
+	return s, nil
 }
+
+// Shards returns the number of accumulator shards.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Handler returns the HTTP routes:
 //
 //	GET  /config    → WireConfig
 //	POST /report    → accept one WireReport
+//	POST /reports   → accept a batch of WireReports (JSON array or NDJSON)
 //	GET  /estimates → WireEstimates (calibrated Eq. 4 frequencies)
 //	GET  /healthz   → 200 ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /config", s.handleConfig)
 	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("POST /reports", s.handleReportBatch)
 	mux.HandleFunc("GET /estimates", s.handleEstimates)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -89,10 +160,25 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.cfg)
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+// readBody drains the request body under the server's size cap, answering
+// 413 (and returning false) when the cap is exceeded.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("collect: body exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var rep WireReport
@@ -105,11 +191,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	s.acc.Add(cpRep)
-	n := s.acc.Total()
-	s.mu.Unlock()
-	writeJSON(w, map[string]int{"reports": n})
+	s.ingest([]core.CPReport{cpRep})
+	writeJSON(w, map[string]int{"reports": s.Reports()})
+}
+
+// ingest folds decoded reports into one shard under a single lock
+// acquisition. The shard is picked round-robin so concurrent requests spread
+// across shards instead of contending on one mutex.
+func (s *Server) ingest(reps []core.CPReport) {
+	if len(reps) == 0 {
+		return
+	}
+	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	for _, rep := range reps {
+		sh.acc.Add(rep)
+	}
+	sh.mu.Unlock()
+	s.total.Add(int64(len(reps)))
 }
 
 // decode validates a wire report and rebuilds the bit vector.
@@ -127,40 +226,64 @@ func (s *Server) decode(rep WireReport) (core.CPReport, error) {
 	return core.CPReport{Label: rep.Label, Bits: bits}, nil
 }
 
-func (s *Server) handleEstimates(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	est := s.acc.EstimateAll()
-	sizes := make([]float64, s.cfg.Classes)
-	for c := range sizes {
-		sizes[c] = s.acc.EstimateClassSize(c)
+// merged returns a point-in-time merge of all shards. The result is exact:
+// shard accumulators hold integer counts, so merging then estimating equals
+// estimating a single accumulator fed the same stream.
+func (s *Server) merged() *core.CPAccumulator {
+	out := s.cp.NewAccumulator()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := out.Merge(sh.acc)
+		sh.mu.Unlock()
+		if err != nil {
+			panic("collect: shard merge: " + err.Error()) // identical mechanism by construction
+		}
 	}
-	n := s.acc.Total()
-	s.mu.Unlock()
-	writeJSON(w, WireEstimates{Reports: n, Frequencies: est, ClassSizes: sizes})
+	return out
 }
 
-// Reports returns the number of reports accumulated so far.
+func (s *Server) handleEstimates(w http.ResponseWriter, _ *http.Request) {
+	acc := s.merged()
+	sizes := make([]float64, s.cfg.Classes)
+	for c := range sizes {
+		sizes[c] = acc.EstimateClassSize(c)
+	}
+	writeJSON(w, WireEstimates{Reports: acc.Total(), Frequencies: acc.EstimateAll(), ClassSizes: sizes})
+}
+
+// Reports returns the number of reports accumulated so far. It reads a
+// single atomic counter, so request acknowledgements do not serialize on
+// the shard locks.
 func (s *Server) Reports() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.acc.Total()
+	return int(s.total.Load())
 }
 
 // Snapshot serializes the aggregation state (aggregate counts only — no
 // individual reports are retained) so the server can checkpoint across
-// restarts.
+// restarts. The snapshot is the merged view; shard layout is not preserved.
 func (s *Server) Snapshot() ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.acc.MarshalBinary()
+	return s.merged().MarshalBinary()
 }
 
 // Restore replaces the aggregation state with a snapshot taken from a
-// server with the same configuration.
+// server with the same configuration. The restored counts land on one
+// shard; subsequent ingestion spreads over all shards as usual.
 func (s *Server) Restore(data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.acc.UnmarshalBinary(data)
+	restored := s.cp.NewAccumulator()
+	if err := restored.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if i == 0 {
+			sh.acc = restored
+		} else {
+			sh.acc = s.cp.NewAccumulator()
+		}
+		sh.mu.Unlock()
+	}
+	s.total.Store(int64(restored.Total()))
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -168,76 +291,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-}
-
-// Client perturbs pairs locally and submits them to a collection server.
-// The raw pair never leaves the client.
-type Client struct {
-	base string
-	http *http.Client
-	cp   *core.CP
-	rng  *xrand.Rand
-}
-
-// NewClient fetches the server's configuration from baseURL and prepares a
-// local perturber seeded with seed.
-func NewClient(baseURL string, hc *http.Client, seed uint64) (*Client, error) {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Get(baseURL + "/config")
-	if err != nil {
-		return nil, fmt.Errorf("collect: fetch config: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("collect: config status %s", resp.Status)
-	}
-	var cfg WireConfig
-	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
-		return nil, fmt.Errorf("collect: decode config: %w", err)
-	}
-	cp, err := core.NewCP(cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{base: baseURL, http: hc, cp: cp, rng: xrand.New(seed)}, nil
-}
-
-// Submit perturbs the pair under the correlated perturbation mechanism and
-// POSTs the report.
-func (c *Client) Submit(pair core.Pair) error {
-	rep := c.cp.Perturb(pair, c.rng)
-	wire := WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
-	body, err := json.Marshal(wire)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Post(c.base+"/report", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("collect: submit: %w", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("collect: submit status %s", resp.Status)
-	}
-	return nil
-}
-
-// Estimates fetches the server's current calibrated estimates.
-func (c *Client) Estimates() (*WireEstimates, error) {
-	resp, err := c.http.Get(c.base + "/estimates")
-	if err != nil {
-		return nil, fmt.Errorf("collect: estimates: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("collect: estimates status %s", resp.Status)
-	}
-	var est WireEstimates
-	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
-		return nil, err
-	}
-	return &est, nil
 }

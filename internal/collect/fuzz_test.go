@@ -38,3 +38,44 @@ func FuzzDecode(f *testing.F) {
 		acc.Add(cpRep)
 	})
 }
+
+// FuzzDecodeBatch drives the batch splitter (JSON array and NDJSON paths)
+// with arbitrary bodies: it must never panic, and every item it yields must
+// survive the per-item decoder or produce an itemized error.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(`[{"label":0,"bits":[0,4]},{"label":1,"bits":[]}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{`))
+	f.Add([]byte("{\"label\":0,\"bits\":[1]}\n{\"label\":2,\"bits\":[7]}\n"))
+	f.Add([]byte("{\"label\":0}\n{bad}\n{\"label\":1}"))
+	f.Add([]byte("   \n\t "))
+	srv, err := NewServer(3, 8, 1, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wires, itemErrs, droppedTail, err := decodeBatch(data)
+		if err != nil {
+			return // envelope rejected wholesale
+		}
+		if droppedTail < 0 {
+			t.Fatalf("negative dropped tail %d", droppedTail)
+		}
+		for _, ie := range itemErrs {
+			if ie.Index < 0 {
+				t.Fatalf("negative error index %d", ie.Index)
+			}
+		}
+		for _, iw := range wires {
+			if iw.index < 0 {
+				t.Fatalf("negative item index %d", iw.index)
+			}
+			cpRep, err := srv.decode(iw.report)
+			if err != nil {
+				continue
+			}
+			acc := srv.cp.NewAccumulator()
+			acc.Add(cpRep)
+		}
+	})
+}
