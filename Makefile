@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt fmt-fix lint fuzz ci
+.PHONY: all build test race bench bench-json fmt fmt-fix lint staticcheck fuzz ci
 
 all: build test
 
@@ -35,10 +35,17 @@ fmt-fix:
 lint:
 	$(GO) vet ./...
 
+# Pinned so local and CI runs agree; `go run` fetches the tool on demand
+# (network required on first use).
+STATICCHECK_VERSION ?= 2025.1.1
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
 # Short-budget runs of the collection-server fuzz targets (-fuzz takes one
 # target per invocation).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/collect
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=10s ./internal/collect
 
-ci: fmt lint build race fuzz bench
+ci: fmt lint staticcheck build race fuzz bench

@@ -1,10 +1,16 @@
 // Command mcimcollect runs the HTTP collection pipeline: an aggregation
-// server for correlated-perturbation reports, and a client mode that
-// simulates a user population submitting to it.
+// server for any of the frequency-estimation frameworks (hec, ptj, pts,
+// ptscp), and a client mode that simulates a user population submitting to
+// it. The server advertises its framework in /config; clients reconstruct
+// the matching encoder from it, so the simulate mode needs no framework
+// flag of its own.
 //
-// Server:
+// Server (pick the framework with -framework):
 //
-//	mcimcollect -serve -addr :8090 -classes 5 -items 1000 -eps 2
+//	mcimcollect -serve -addr :8090 -framework ptscp -classes 5 -items 1000 -eps 2
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests and logging the final ingested-report count.
 //
 // Simulated clients (each user perturbs locally; raw pairs never leave the
 // process):
@@ -13,10 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/collect"
@@ -26,41 +37,47 @@ import (
 
 func main() {
 	var (
-		serve    = flag.Bool("serve", false, "run the aggregation server")
-		simulate = flag.Bool("simulate", false, "run a simulated client population")
-		addr     = flag.String("addr", ":8090", "server listen address")
-		url      = flag.String("url", "http://localhost:8090", "server URL (simulate mode)")
-		classes  = flag.Int("classes", 5, "number of classes")
-		items    = flag.Int("items", 1000, "item domain size")
-		eps      = flag.Float64("eps", 2, "privacy budget ε")
-		split    = flag.Float64("split", 0.5, "label budget fraction ε₁/ε")
-		shards   = flag.Int("shards", 0, "accumulator shards (serve mode; 0 = GOMAXPROCS)")
-		maxBody  = flag.Int64("maxbody", 0, "request body cap in bytes (serve mode; 0 = default 8 MiB)")
-		users    = flag.Int("users", 10000, "simulated users (simulate mode)")
-		batch    = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
+		serve     = flag.Bool("serve", false, "run the aggregation server")
+		simulate  = flag.Bool("simulate", false, "run a simulated client population")
+		addr      = flag.String("addr", ":8090", "server listen address")
+		url       = flag.String("url", "http://localhost:8090", "server URL (simulate mode)")
+		framework = flag.String("framework", "ptscp", "frequency-estimation framework (serve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
+		classes   = flag.Int("classes", 5, "number of classes")
+		items     = flag.Int("items", 1000, "item domain size")
+		eps       = flag.Float64("eps", 2, "privacy budget ε")
+		split     = flag.Float64("split", 0.5, "label budget fraction ε₁/ε (pts, ptscp)")
+		shards    = flag.Int("shards", 0, "accumulator shards (serve mode; 0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (serve mode; 0 = default 8 MiB)")
+		users     = flag.Int("users", 10000, "simulated users (simulate mode)")
+		batch     = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout (serve mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *serve:
-		srv, err := collect.NewServer(*classes, *items, *eps, *split,
+		proto, err := core.NewProtocol(*framework, *classes, *items, *eps, *split)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := collect.NewServer(proto,
 			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody))
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("collecting on %s (c=%d d=%d ε=%v, %d shards)", *addr, *classes, *items, *eps, srv.Shards())
-		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		runServer(*addr, srv, *drain)
 
 	case *simulate:
 		client, err := collect.NewClient(*url, nil, *seed, collect.WithBatchSize(*batch))
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The population domain comes from the server's config, not the
-		// local -classes/-items flags: submitting pairs outside the round's
-		// domain is a client bug.
+		// The population domain (and the framework encoder) comes from the
+		// server's config, not the local flags: submitting pairs outside the
+		// round's domain is a client bug.
 		cfg := client.Config()
+		log.Printf("server speaks %s (c=%d d=%d ε=%v)", cfg.Protocol, cfg.Classes, cfg.Items, cfg.Epsilon)
 		r := xrand.New(*seed)
 		start := time.Now()
 		for i := 0; i < *users; i++ {
@@ -92,4 +109,36 @@ func main() {
 	default:
 		flag.Usage()
 	}
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains in-flight requests and
+// logs the final ingested-report count.
+func runServer(addr string, srv *collect.Server, drain time.Duration) {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
+		srv.Protocol().Name(), addr, srv.Protocol().Classes(), srv.Protocol().Items(),
+		srv.Protocol().Epsilon(), srv.Shards())
+
+	select {
+	case err := <-errc:
+		// Listener failure before any signal.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (draining for up to %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("final total: %d reports ingested", srv.Reports())
 }

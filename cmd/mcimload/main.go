@@ -5,11 +5,13 @@
 // the numbers that tell you whether the serving path, not the mechanism, is
 // the bottleneck.
 //
-// Self-contained run (spins up an in-process server on a loopback port):
+// Self-contained run (spins up an in-process server on a loopback port;
+// -framework picks which of hec/ptj/pts/ptscp it aggregates):
 //
-//	mcimload -selfserve -users 200000 -clients 8 -batch 256 -shards 8
+//	mcimload -selfserve -framework ptscp -users 200000 -clients 8 -batch 256 -shards 8
 //
-// Against an external server (mcimcollect -serve):
+// Against an external server (mcimcollect -serve), where the framework is
+// negotiated from the server's /config:
 //
 //	mcimload -url http://localhost:8090 -users 200000 -clients 8
 //
@@ -42,6 +44,7 @@ func main() {
 	var (
 		url       = flag.String("url", "", "external server URL (mutually exclusive with -selfserve)")
 		selfserve = flag.Bool("selfserve", false, "spin up an in-process server to drive")
+		framework = flag.String("framework", "ptscp", "frequency-estimation framework (selfserve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
 		shards    = flag.Int("shards", 0, "server accumulator shards (selfserve mode; 0 = GOMAXPROCS)")
 		classes   = flag.Int("classes", 5, "number of classes (selfserve mode)")
 		items     = flag.Int("items", 1000, "item domain size (selfserve mode)")
@@ -66,7 +69,11 @@ func main() {
 
 	base := *url
 	if *selfserve {
-		srv, err := collect.NewServer(*classes, *items, *eps, *split, collect.WithShards(*shards))
+		proto, err := core.NewProtocol(*framework, *classes, *items, *eps, *split)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := collect.NewServer(proto, collect.WithShards(*shards))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,7 +83,8 @@ func main() {
 		}
 		go http.Serve(ln, srv.Handler()) //nolint:errcheck — dies with the process
 		base = "http://" + ln.Addr().String()
-		log.Printf("in-process server on %s (c=%d d=%d ε=%v, %d shards)", base, *classes, *items, *eps, srv.Shards())
+		log.Printf("in-process %s server on %s (c=%d d=%d ε=%v, %d shards)",
+			proto.Name(), base, *classes, *items, *eps, srv.Shards())
 	}
 
 	// The population must match the server's domain, so it is generated
@@ -101,7 +109,8 @@ func main() {
 	}
 	r := xrand.New(*seed + 1)
 	data = data.Shuffled(r)
-	log.Printf("population %s: %d users over %d classes × %d items", data.Name, data.N(), data.Classes, data.Items)
+	log.Printf("population %s: %d users over %d classes × %d items (%s wire)",
+		data.Name, data.N(), data.Classes, data.Items, cfg.Protocol)
 
 	// Partition the population over K workers and drive them concurrently.
 	var (

@@ -32,21 +32,29 @@ const (
 	benchBatchSize = 512
 )
 
+// benchProtocol builds the ptscp protocol at the benchmark shape.
+func benchProtocol(b *testing.B) *core.Protocol {
+	b.Helper()
+	p, err := core.NewProtocol("ptscp", benchClasses, benchItems, benchEps, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 // benchWireBodies pre-marshals nBodies request bodies of batchSize reports
 // each (batchSize 1 marshals a bare WireReport, matching POST /report).
 func benchWireBodies(b *testing.B, nBodies, batchSize int) [][]byte {
 	b.Helper()
-	cp, err := core.NewCP(benchClasses, benchItems, benchEps, 0.5)
-	if err != nil {
-		b.Fatal(err)
-	}
+	proto := benchProtocol(b)
+	enc := proto.Encoder()
 	r := xrand.New(42)
 	bodies := make([][]byte, nBodies)
 	for i := range bodies {
 		wires := make([]collect.WireReport, batchSize)
 		for j := range wires {
-			rep := cp.Perturb(core.Pair{Class: r.Intn(benchClasses), Item: r.Intn(benchItems)}, r)
-			wires[j] = collect.WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+			rep := enc.Encode(core.Pair{Class: r.Intn(benchClasses), Item: r.Intn(benchItems)}, r)
+			wires[j] = proto.EncodeReport(rep)
 		}
 		var (
 			blob []byte
@@ -69,7 +77,7 @@ func benchWireBodies(b *testing.B, nBodies, batchSize int) [][]byte {
 // loopback listener.
 func benchServer(b *testing.B, shards int) (*collect.Server, *httptest.Server) {
 	b.Helper()
-	srv, err := collect.NewServer(benchClasses, benchItems, benchEps, 0.5, collect.WithShards(shards))
+	srv, err := collect.NewServer(benchProtocol(b), collect.WithShards(shards))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -21,9 +21,14 @@ func main() {
 		eps     = 3.0
 		users   = 5000
 	)
-	// Start the aggregation server on an ephemeral port. Writes spread over
-	// four accumulator shards; estimates merge them exactly on read.
-	srv, err := collect.NewServer(classes, items, eps, 0.5, collect.WithShards(4))
+	// Start the aggregation server on an ephemeral port, speaking the
+	// paper's PTS-CP protocol. Writes spread over four accumulator shards;
+	// estimates merge them exactly on read.
+	proto, err := mcim.NewProtocol("ptscp", classes, items, eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := collect.NewServer(proto, collect.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}

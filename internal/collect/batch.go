@@ -55,9 +55,9 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	decoded := make([]core.CPReport, 0, len(wires))
+	decoded := make([]core.Report, 0, len(wires))
 	for _, iw := range wires {
-		rep, derr := s.decode(iw.report)
+		rep, derr := s.proto.DecodeReport(iw.report)
 		if derr != nil {
 			itemErrs = append(itemErrs, WireItemError{Index: iw.index, Error: derr.Error()})
 			continue

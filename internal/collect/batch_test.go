@@ -152,7 +152,7 @@ func TestBatchEndpointMalformedEnvelope(t *testing.T) {
 }
 
 func TestBatchEndpointOversizedBody(t *testing.T) {
-	srv, err := NewServer(2, 4, 1, 0.5, WithMaxBodyBytes(256))
+	srv, err := NewServer(mustProtocol(t, "ptscp", 2, 4, 1, 0.5), WithMaxBodyBytes(256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,50 +235,52 @@ func TestBufferedClientFlush(t *testing.T) {
 	}
 }
 
-// TestShardedMatchesSingleAccumulator is the merge property test: the same
-// report stream split round-robin over many shards and merged on read must
-// produce estimates bit-identical to a single-accumulator server.
+// TestShardedMatchesSingleAccumulator is the merge property test: for every
+// canonical protocol, the same report stream split round-robin over many
+// shards and merged on read must produce estimates bit-identical to a
+// single-aggregator server.
 func TestShardedMatchesSingleAccumulator(t *testing.T) {
 	const c, d, n = 3, 12, 4000
-	sharded, err := NewServer(c, d, 2, 0.5, WithShards(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	single, err := NewServer(c, d, 2, 0.5, WithShards(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Identical perturbed wire stream into both servers.
-	cp, err := core.NewCP(c, d, 2, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := xrand.New(6)
-	for i := 0; i < n; i++ {
-		rep := cp.Perturb(core.Pair{Class: r.Intn(c), Item: r.Intn(d)}, r)
-		wire := WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
-		for _, srv := range []*Server{sharded, single} {
-			dec, err := srv.decode(wire)
+	for _, name := range core.ProtocolNames() {
+		t.Run(name, func(t *testing.T) {
+			proto := mustProtocol(t, name, c, d, 2, 0.5)
+			sharded, err := NewServer(proto, WithShards(8))
 			if err != nil {
 				t.Fatal(err)
 			}
-			srv.ingest([]core.CPReport{dec})
-		}
-	}
-	accS, accU := sharded.merged(), single.merged()
-	if accS.Total() != n || accU.Total() != n {
-		t.Fatalf("totals %d/%d, want %d", accS.Total(), accU.Total(), n)
-	}
-	fs, fu := accS.EstimateAll(), accU.EstimateAll()
-	for cl := 0; cl < c; cl++ {
-		if s, u := accS.EstimateClassSize(cl), accU.EstimateClassSize(cl); s != u {
-			t.Fatalf("class %d size %v != %v", cl, s, u)
-		}
-		for i := 0; i < d; i++ {
-			if fs[cl][i] != fu[cl][i] {
-				t.Fatalf("f(%d,%d): sharded %v != single %v", cl, i, fs[cl][i], fu[cl][i])
+			single, err := NewServer(proto, WithShards(1))
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			// Identical perturbed wire stream into both servers.
+			enc := proto.Encoder()
+			r := xrand.New(6)
+			for i := 0; i < n; i++ {
+				wire := proto.EncodeReport(enc.Encode(core.Pair{Class: r.Intn(c), Item: r.Intn(d)}, r))
+				for _, srv := range []*Server{sharded, single} {
+					dec, err := srv.proto.DecodeReport(wire)
+					if err != nil {
+						t.Fatal(err)
+					}
+					srv.ingest([]core.Report{dec})
+				}
+			}
+			accS, accU := sharded.merged(), single.merged()
+			if accS.N() != n || accU.N() != n {
+				t.Fatalf("totals %d/%d, want %d", accS.N(), accU.N(), n)
+			}
+			fs, fu := accS.Estimates(), accU.Estimates()
+			for cl := 0; cl < c; cl++ {
+				if s, u := accS.ClassSizes()[cl], accU.ClassSizes()[cl]; s != u {
+					t.Fatalf("class %d size %v != %v", cl, s, u)
+				}
+				for i := 0; i < d; i++ {
+					if fs[cl][i] != fu[cl][i] {
+						t.Fatalf("f(%d,%d): sharded %v != single %v", cl, i, fs[cl][i], fu[cl][i])
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -286,7 +288,7 @@ func TestShardedMatchesSingleAccumulator(t *testing.T) {
 // many goroutines; run with -race. Nothing may be lost or double-counted,
 // and the merged estimates must stay well-formed.
 func TestShardedConcurrentBatchIngest(t *testing.T) {
-	srv, err := NewServer(3, 16, 2, 0.5, WithShards(4))
+	srv, err := NewServer(mustProtocol(t, "ptscp", 3, 16, 2, 0.5), WithShards(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,8 +338,8 @@ func TestShardedConcurrentBatchIngest(t *testing.T) {
 	}
 	acc := srv.merged()
 	total := 0.0
-	for cl := 0; cl < 3; cl++ {
-		total += acc.EstimateClassSize(cl)
+	for _, sz := range acc.ClassSizes() {
+		total += sz
 	}
 	// Class-size estimates are unbiased and sum (up to calibration noise)
 	// to the population.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/xrand"
@@ -19,21 +20,24 @@ import (
 const DefaultBatchSize = 256
 
 // Client perturbs pairs locally and submits them to a collection server.
-// The raw pair never leaves the client. Submissions can be immediate
+// The raw pair never leaves the client: it runs the real client half
+// (core.Encoder) of the protocol the server advertises in /config, so the
+// same Client speaks every framework. Submissions can be immediate
 // (Submit, SubmitBatch) or buffered (Buffer + Flush), in which case
 // perturbed reports accumulate locally and ship as one batch request per
 // BatchSize reports.
 //
 // A Client is not safe for concurrent use; run one per goroutine (they are
-// cheap — the mechanism parameters are shared through the fetched config).
+// cheap — the protocol parameters are shared through the fetched config).
 type Client struct {
 	base      string
 	http      *http.Client
-	cp        *core.CP
+	proto     *core.Protocol
+	enc       core.Encoder
 	rng       *xrand.Rand
 	batchSize int
 	ndjson    bool
-	maxBody   int64 // server's advertised request-body cap (0 if unknown)
+	cfg       WireConfig
 	pending   []WireReport
 }
 
@@ -58,8 +62,9 @@ func WithNDJSON(on bool) ClientOption {
 	return func(c *Client) { c.ndjson = on }
 }
 
-// NewClient fetches the server's configuration from baseURL and prepares a
-// local perturber seeded with seed.
+// NewClient fetches the server's configuration from baseURL and prepares
+// the matching local protocol encoder seeded with seed. Servers that
+// predate the protocol field are assumed to speak ptscp.
 func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOption) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
@@ -76,11 +81,22 @@ func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOptio
 	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
 		return nil, fmt.Errorf("collect: decode config: %w", err)
 	}
-	cp, err := core.NewCP(cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
-	if err != nil {
-		return nil, err
+	if cfg.Protocol == "" {
+		cfg.Protocol = "ptscp"
 	}
-	c := &Client{base: baseURL, http: hc, cp: cp, rng: xrand.New(seed), batchSize: DefaultBatchSize, maxBody: cfg.MaxBodyBytes}
+	proto, err := core.NewProtocol(cfg.Protocol, cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
+	if err != nil {
+		return nil, fmt.Errorf("collect: server protocol: %w", err)
+	}
+	c := &Client{
+		base:      baseURL,
+		http:      hc,
+		proto:     proto,
+		enc:       proto.Encoder(),
+		rng:       xrand.New(seed),
+		batchSize: DefaultBatchSize,
+		cfg:       cfg,
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -90,25 +106,19 @@ func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOptio
 // Config returns the server-side collection round parameters the client
 // fetched at construction. Pairs submitted through this client must lie in
 // the (Classes, Items) domain it describes.
-func (c *Client) Config() WireConfig {
-	return WireConfig{
-		Classes:      c.cp.Classes(),
-		Items:        c.cp.Items(),
-		Epsilon:      c.cp.Epsilon(),
-		Split:        c.cp.Epsilon1() / c.cp.Epsilon(),
-		MaxBodyBytes: c.maxBody,
-	}
-}
+func (c *Client) Config() WireConfig { return c.cfg }
 
-// perturb applies the correlated perturbation locally and encodes the
-// result for the wire.
+// Protocol returns the protocol the client encodes for.
+func (c *Client) Protocol() *core.Protocol { return c.proto }
+
+// perturb runs the protocol's client half locally and encodes the result
+// for the wire.
 func (c *Client) perturb(pair core.Pair) WireReport {
-	rep := c.cp.Perturb(pair, c.rng)
-	return WireReport{Label: rep.Label, Bits: rep.Bits.Ones()}
+	return c.proto.EncodeReport(c.enc.Encode(pair, c.rng))
 }
 
-// Submit perturbs the pair under the correlated perturbation mechanism and
-// POSTs the report immediately as a single-report request.
+// Submit perturbs the pair under the protocol's encoder and POSTs the
+// report immediately as a single-report request.
 func (c *Client) Submit(pair core.Pair) error {
 	body, err := json.Marshal(c.perturb(pair))
 	if err != nil {
@@ -152,41 +162,121 @@ func (c *Client) Buffer(pair core.Pair) error {
 // Pending returns the number of buffered reports not yet shipped.
 func (c *Client) Pending() int { return len(c.pending) }
 
-// Flush ships any buffered reports as one batch request. It is a no-op
-// when the buffer is empty. When the server answers with an error status it
-// definitively did not ingest the batch, so the buffer is kept for a retry;
-// on a transport error (where the request may have been ingested before the
-// response was lost) the buffer is dropped instead — resubmitting perturbed
-// reports that did land would double-count them.
+// Flush ships the buffered reports in batch requests of at most BatchSize
+// reports each. It is a no-op when the buffer is empty. When the server
+// answers a chunk with an error status it definitively did not ingest it
+// (StatusCode reports the status behind such errors), so the chunk (and
+// everything after it) stays buffered for a retry — and
+// a 413 additionally halves the client's batch size, so the retry ships
+// smaller requests instead of looping on an identical oversized body. On a
+// transport error (where the in-flight chunk may have been ingested before
+// the response was lost) that chunk is dropped instead — resubmitting
+// perturbed reports that did land would double-count them; unsent reports
+// stay buffered. When the server ingests a chunk partially, the returned
+// error is a *BatchRejectedError itemizing the rejections, indexed
+// relative to the buffer as it stood when Flush began; the chunk was
+// ingested, so it leaves the buffer.
 func (c *Client) Flush() error {
-	if len(c.pending) == 0 {
-		return nil
+	sent, total := 0, len(c.pending)
+	for len(c.pending) > 0 {
+		n := min(len(c.pending), c.batchSize)
+		wires := c.pending[:n]
+		ack, err := c.postBatch(wires)
+		var se *statusError
+		if errors.As(err, &se) {
+			if se.Code == http.StatusRequestEntityTooLarge && n > 1 {
+				c.batchSize = (n + 1) / 2
+			}
+			return err // not ingested: buffer kept for retry
+		}
+		if err != nil {
+			c.pending = c.pending[n:] // in-flight chunk may have landed: drop it
+			return err
+		}
+		c.pending = c.pending[n:]
+		if ack.Rejected > 0 {
+			errs := make([]WireItemError, len(ack.Errors))
+			for i, ie := range ack.Errors {
+				ie.Index += sent // chunk-relative → flush-start-relative
+				errs[i] = ie
+			}
+			return &BatchRejectedError{
+				Submitted: sent + n,
+				Buffered:  total,
+				Rejected:  ack.Rejected,
+				Errors:    errs,
+				Truncated: ack.ErrorsTruncated,
+			}
+		}
+		sent += n
 	}
-	wires := c.pending
-	c.pending = nil
-	ack, err := c.postBatch(wires)
-	var se *statusError
-	if errors.As(err, &se) {
-		c.pending = wires // not ingested: keep for retry
-		return err
-	}
-	if err != nil {
-		return err
-	}
-	if ack.Rejected > 0 {
-		return fmt.Errorf("collect: server rejected %d of %d buffered reports", ack.Rejected, len(wires))
-	}
+	c.pending = nil // release the drained buffer's backing array
 	return nil
 }
 
+// maxFlushErrorItems bounds how many per-item rejections a
+// BatchRejectedError renders in its message; the full (server-capped) list
+// stays available on the Errors field.
+const maxFlushErrorItems = 8
+
+// BatchRejectedError reports a flushed buffer the server ingested only
+// partially: Rejected of the Submitted reports actually sent (out of
+// Buffered held when the flush began — the difference is still pending)
+// were refused, itemized (up to the server's per-chunk cap) in Errors,
+// indexed into the buffer as it stood when the flush began.
+type BatchRejectedError struct {
+	Submitted int
+	Buffered  int
+	Rejected  int
+	Errors    []WireItemError
+	Truncated bool
+}
+
+func (e *BatchRejectedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "collect: server rejected %d of %d submitted reports (%d buffered)", e.Rejected, e.Submitted, e.Buffered)
+	for i, ie := range e.Errors {
+		if i >= maxFlushErrorItems {
+			break
+		}
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "[%d] %s", ie.Index, ie.Error)
+	}
+	if hidden := len(e.Errors) - maxFlushErrorItems; hidden > 0 {
+		fmt.Fprintf(&b, "; … %d more itemized", hidden)
+	}
+	if e.Truncated {
+		fmt.Fprintf(&b, " (server capped the error list)")
+	}
+	return b.String()
+}
+
 // statusError is a batch submission the server answered with a non-200
-// status — the batch was definitively not ingested.
+// status — the batch was definitively not ingested. Code is the HTTP status
+// so callers can distinguish retryable rejections.
 type statusError struct {
-	code int
+	Code int
 	msg  string
 }
 
 func (e *statusError) Error() string { return e.msg }
+
+// StatusCode returns the HTTP status behind a submission error and true
+// when the server answered with a non-200 status (the batch was
+// definitively not ingested, so the buffer was kept — retry Flush, after
+// fixing the cause for 4xx statuses like 413). It returns 0, false for
+// transport and other errors.
+func StatusCode(err error) (int, bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.Code, true
+	}
+	return 0, false
+}
 
 // postBatch encodes wires per the client's batch encoding and POSTs them to
 // /reports.
@@ -220,7 +310,7 @@ func (c *Client) postBatch(wires []WireReport) (*WireBatchAck, error) {
 		if resp.StatusCode == http.StatusRequestEntityTooLarge {
 			return nil, &statusError{resp.StatusCode, fmt.Sprintf(
 				"collect: batch of %d reports (%d bytes) exceeds the server's %d-byte body cap; reduce the batch size",
-				len(wires), bodyLen, c.maxBody)}
+				len(wires), bodyLen, c.cfg.MaxBodyBytes)}
 		}
 		return nil, &statusError{resp.StatusCode, "collect: submit batch status " + resp.Status}
 	}
@@ -246,4 +336,21 @@ func (c *Client) Estimates() (*WireEstimates, error) {
 		return nil, err
 	}
 	return &est, nil
+}
+
+// Stats fetches the server's operational snapshot.
+func (c *Client) Stats() (*WireStats, error) {
+	resp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("collect: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: stats status %s", resp.Status)
+	}
+	var st WireStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }

@@ -1,21 +1,27 @@
 // Package collect implements the HTTP collection pipeline around the
-// correlated perturbation mechanism — the way LDP frequency oracles are
+// frequency-estimation protocols — the way LDP frequency oracles are
 // deployed in practice (RAPPOR in Chrome, Apple's HCMS): clients perturb
-// locally and POST sparse reports; the server accumulates them and serves
+// locally and POST opaque reports; the server accumulates them and serves
 // calibrated classwise estimates.
 //
-// The wire format is JSON with reports carried as set-bit indices, which is
-// the natural sparse encoding of an OUE-style bit vector (expected
-// (d+1)/(e^ε+1) + 1 set bits per report).
+// The pipeline is mechanism-generic: the server is built around a
+// core.Protocol (hec, ptj, pts or ptscp), its shards hold that protocol's
+// Aggregators, and the wire codec is delegated to the protocol, so all four
+// frameworks stream through the same endpoints. /config advertises the
+// protocol name and clients reconstruct the matching Encoder from it.
+//
+// The wire format is JSON; unary-encoded reports are carried as set-bit
+// indices — the natural sparse encoding of an OUE-style bit vector — and
+// value reports (GRR, OLH) as a bare value plus optional hash seed.
 //
 // The ingestion path is built for population-scale traffic: reports can be
 // submitted one per request (POST /report) or, preferably, in batches
 // (POST /reports, JSON array or NDJSON stream), and the server spreads
-// writes over N independently locked accumulator shards so concurrent
+// writes over N independently locked aggregator shards so concurrent
 // batches never serialize on a single mutex. Shards are merged on read,
-// which is exact: accumulators are integer counters, so the merged
-// estimates are bit-identical to a single-accumulator server fed the same
-// report stream.
+// which is exact: aggregators hold integer counts, so the merged estimates
+// are bit-identical to a single-aggregator server fed the same report
+// stream.
 package collect
 
 import (
@@ -28,7 +34,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/bitvec"
 	"repro/internal/core"
 )
 
@@ -37,9 +42,11 @@ import (
 const DefaultMaxBodyBytes = 8 << 20
 
 // WireConfig describes the collection round so clients can self-configure.
-// MaxBodyBytes advertises the server's request-body cap so batching clients
-// can size their batches to fit.
+// Protocol names the frequency-estimation framework (hec, ptj, pts, ptscp)
+// whose Encoder clients must run; MaxBodyBytes advertises the server's
+// request-body cap so batching clients can size their batches to fit.
 type WireConfig struct {
+	Protocol     string  `json:"protocol"`
 	Classes      int     `json:"classes"`
 	Items        int     `json:"items"`
 	Epsilon      float64 `json:"epsilon"`
@@ -47,14 +54,11 @@ type WireConfig struct {
 	MaxBodyBytes int64   `json:"max_body_bytes,omitempty"`
 }
 
-// WireReport is one perturbed report on the wire. Bits holds the set-bit
-// indices of the (d+1)-length correlated-perturbation item vector; index d
-// is the validity flag. Label must be in [0, classes) and every bit index
-// in [0, items]. Reports violating either bound are rejected per item.
-type WireReport struct {
-	Label int   `json:"label"`
-	Bits  []int `json:"bits"`
-}
+// WireReport is one perturbed report on the wire: the protocol-generic
+// payload (label plus set-bit indices, or label plus value and optional hash
+// seed). The server validates every report against its protocol's shape and
+// rejects violations per item.
+type WireReport = core.WirePayload
 
 // WireEstimates is the server's calibrated output.
 type WireEstimates struct {
@@ -63,18 +67,25 @@ type WireEstimates struct {
 	ClassSizes  []float64   `json:"class_sizes"`
 }
 
-// shard is one independently locked accumulator.
-type shard struct {
-	mu  sync.Mutex
-	acc *core.CPAccumulator
+// WireStats is the server's operational snapshot served at /stats.
+type WireStats struct {
+	Protocol string `json:"protocol"`
+	Reports  int    `json:"reports"`
+	Shards   int    `json:"shards"`
 }
 
-// Server accumulates correlated-perturbation reports over HTTP.
+// shard is one independently locked aggregator.
+type shard struct {
+	mu  sync.Mutex
+	acc core.Aggregator
+}
+
+// Server accumulates perturbed reports for one protocol over HTTP.
 // It is safe for concurrent use: writes land on one of its shards (picked
 // round-robin per request so concurrent ingestion scales with cores), and
 // reads merge all shards into a point-in-time aggregate.
 type Server struct {
-	cp      *core.CP
+	proto   *core.Protocol
 	cfg     WireConfig
 	maxBody int64
 
@@ -83,10 +94,10 @@ type Server struct {
 	shards []*shard
 }
 
-// ServerOption configures a Server beyond the mechanism parameters.
+// ServerOption configures a Server beyond the protocol parameters.
 type ServerOption func(*Server)
 
-// WithShards sets the number of accumulator shards. More shards means less
+// WithShards sets the number of aggregator shards. More shards means less
 // write contention under concurrent ingestion; estimates are unaffected
 // (shards merge exactly). n < 1 restores the default of
 // runtime.GOMAXPROCS(0).
@@ -111,16 +122,43 @@ func WithMaxBodyBytes(n int64) ServerOption {
 	}
 }
 
-// NewServer builds a collection server for c classes and d items at budget
-// eps with label-budget fraction split.
-func NewServer(c, d int, eps, split float64, opts ...ServerOption) (*Server, error) {
-	cp, err := core.NewCP(c, d, eps, split)
+// NewServer builds a collection server for the given protocol's reports.
+// The protocol must have a wire codec (every canonical protocol does);
+// build one with core.NewProtocol.
+//
+// A caveat for OLH-backed protocols (pts+olh): their aggregators retain
+// every report (OLH recovers supports by rehashing, so there is no compact
+// count matrix), which means server memory grows with N and every
+// /estimates read costs O(N·d). Fine for bounded rounds; prefer a
+// unary-encoded protocol for open-ended collection.
+func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
+	if p == nil {
+		return nil, fmt.Errorf("collect: nil protocol")
+	}
+	if err := p.WireSupported(); err != nil {
+		return nil, fmt.Errorf("collect: protocol %s cannot serve the wire: %w", p.Name(), err)
+	}
+	// Clients rebuild their encoder from the name in /config alone, so a
+	// name that core.NewProtocol cannot resolve — or one that resolves to
+	// different mechanisms than the server actually aggregates with, which
+	// would decode cleanly but calibrate wrongly — would serve a round no
+	// client can correctly join. Fail at construction instead.
+	rebuilt, err := core.NewProtocol(p.Name(), p.Classes(), p.Items(), p.Epsilon(), p.Split())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("collect: protocol name %q is not client-reconstructible (use a canonical name or \"pts+<item>\"): %w", p.Name(), err)
+	}
+	if err := p.WireCompatible(rebuilt); err != nil {
+		return nil, fmt.Errorf("collect: protocol %q does not match what clients reconstruct from that name: %w", p.Name(), err)
 	}
 	s := &Server{
-		cp:      cp,
-		cfg:     WireConfig{Classes: c, Items: d, Epsilon: eps, Split: split},
+		proto: p,
+		cfg: WireConfig{
+			Protocol: p.Name(),
+			Classes:  p.Classes(),
+			Items:    p.Items(),
+			Epsilon:  p.Epsilon(),
+			Split:    p.Split(),
+		},
 		maxBody: DefaultMaxBodyBytes,
 		shards:  make([]*shard, runtime.GOMAXPROCS(0)),
 	}
@@ -129,20 +167,24 @@ func NewServer(c, d int, eps, split float64, opts ...ServerOption) (*Server, err
 	}
 	s.cfg.MaxBodyBytes = s.maxBody
 	for i := range s.shards {
-		s.shards[i] = &shard{acc: cp.NewAccumulator()}
+		s.shards[i] = &shard{acc: p.NewAggregator()}
 	}
 	return s, nil
 }
 
-// Shards returns the number of accumulator shards.
+// Protocol returns the protocol the server aggregates for.
+func (s *Server) Protocol() *core.Protocol { return s.proto }
+
+// Shards returns the number of aggregator shards.
 func (s *Server) Shards() int { return len(s.shards) }
 
 // Handler returns the HTTP routes:
 //
-//	GET  /config    → WireConfig
+//	GET  /config    → WireConfig (protocol name + round parameters)
 //	POST /report    → accept one WireReport
 //	POST /reports   → accept a batch of WireReports (JSON array or NDJSON)
-//	GET  /estimates → WireEstimates (calibrated Eq. 4 frequencies)
+//	GET  /estimates → WireEstimates (the protocol's calibrated frequencies)
+//	GET  /stats     → WireStats (reports ingested, shard count, protocol)
 //	GET  /healthz   → 200 ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -150,6 +192,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /reports", s.handleReportBatch)
 	mux.HandleFunc("GET /estimates", s.handleEstimates)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -158,6 +201,10 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.cfg)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, WireStats{Protocol: s.proto.Name(), Reports: s.Reports(), Shards: s.Shards()})
 }
 
 // readBody drains the request body under the server's size cap, answering
@@ -186,19 +233,22 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	cpRep, err := s.decode(rep)
+	decoded, err := s.proto.DecodeReport(rep)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.ingest([]core.CPReport{cpRep})
+	s.ingest([]core.Report{decoded})
 	writeJSON(w, map[string]int{"reports": s.Reports()})
 }
 
 // ingest folds decoded reports into one shard under a single lock
 // acquisition. The shard is picked round-robin so concurrent requests spread
-// across shards instead of contending on one mutex.
-func (s *Server) ingest(reps []core.CPReport) {
+// across shards instead of contending on one mutex. The total counter is
+// advanced while the shard lock is still held so that Restore — which takes
+// every shard lock before overwriting the counter — cannot interleave
+// between a shard write and its count.
+func (s *Server) ingest(reps []core.Report) {
 	if len(reps) == 0 {
 		return
 	}
@@ -207,36 +257,21 @@ func (s *Server) ingest(reps []core.CPReport) {
 	for _, rep := range reps {
 		sh.acc.Add(rep)
 	}
-	sh.mu.Unlock()
 	s.total.Add(int64(len(reps)))
-}
-
-// decode validates a wire report and rebuilds the bit vector.
-func (s *Server) decode(rep WireReport) (core.CPReport, error) {
-	if rep.Label < 0 || rep.Label >= s.cfg.Classes {
-		return core.CPReport{}, fmt.Errorf("collect: label %d outside [0,%d)", rep.Label, s.cfg.Classes)
-	}
-	bits := bitvec.New(s.cfg.Items + 1)
-	for _, b := range rep.Bits {
-		if b < 0 || b > s.cfg.Items {
-			return core.CPReport{}, fmt.Errorf("collect: bit %d outside [0,%d]", b, s.cfg.Items)
-		}
-		bits.Set(b)
-	}
-	return core.CPReport{Label: rep.Label, Bits: bits}, nil
+	sh.mu.Unlock()
 }
 
 // merged returns a point-in-time merge of all shards. The result is exact:
-// shard accumulators hold integer counts, so merging then estimating equals
-// estimating a single accumulator fed the same stream.
-func (s *Server) merged() *core.CPAccumulator {
-	out := s.cp.NewAccumulator()
+// shard aggregators hold integer counts, so merging then estimating equals
+// estimating a single aggregator fed the same stream.
+func (s *Server) merged() core.Aggregator {
+	out := s.proto.NewAggregator()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		err := out.Merge(sh.acc)
 		sh.mu.Unlock()
 		if err != nil {
-			panic("collect: shard merge: " + err.Error()) // identical mechanism by construction
+			panic("collect: shard merge: " + err.Error()) // identical protocol by construction
 		}
 	}
 	return out
@@ -244,11 +279,14 @@ func (s *Server) merged() *core.CPAccumulator {
 
 func (s *Server) handleEstimates(w http.ResponseWriter, _ *http.Request) {
 	acc := s.merged()
-	sizes := make([]float64, s.cfg.Classes)
-	for c := range sizes {
-		sizes[c] = acc.EstimateClassSize(c)
-	}
-	writeJSON(w, WireEstimates{Reports: acc.Total(), Frequencies: acc.EstimateAll(), ClassSizes: sizes})
+	freq := acc.Estimates()
+	writeJSON(w, WireEstimates{
+		Reports:     acc.N(),
+		Frequencies: freq,
+		// Reuse the matrix for row-sum-based frameworks instead of paying
+		// the full calibration a second time.
+		ClassSizes: core.ClassSizesFromEstimates(acc, freq),
+	})
 }
 
 // Reports returns the number of reports accumulated so far. It reads a
@@ -261,28 +299,45 @@ func (s *Server) Reports() int {
 // Snapshot serializes the aggregation state (aggregate counts only — no
 // individual reports are retained) so the server can checkpoint across
 // restarts. The snapshot is the merged view; shard layout is not preserved.
+// It errors when the protocol's aggregator does not support binary
+// snapshots (currently only ptscp does).
 func (s *Server) Snapshot() ([]byte, error) {
-	return s.merged().MarshalBinary()
+	m, ok := s.merged().(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		return nil, fmt.Errorf("collect: protocol %s does not support snapshots", s.proto.Name())
+	}
+	return m.MarshalBinary()
 }
 
 // Restore replaces the aggregation state with a snapshot taken from a
-// server with the same configuration. The restored counts land on one
-// shard; subsequent ingestion spreads over all shards as usual.
+// server with the same protocol configuration. The restored counts land on
+// one shard; subsequent ingestion spreads over all shards as usual.
 func (s *Server) Restore(data []byte) error {
-	restored := s.cp.NewAccumulator()
-	if err := restored.UnmarshalBinary(data); err != nil {
+	restored := s.proto.NewAggregator()
+	u, ok := restored.(interface{ UnmarshalBinary([]byte) error })
+	if !ok {
+		return fmt.Errorf("collect: protocol %s does not support snapshots", s.proto.Name())
+	}
+	if err := u.UnmarshalBinary(data); err != nil {
 		return err
 	}
-	for i, sh := range s.shards {
+	// Hold every shard lock across the swap and the counter reset so
+	// concurrent ingestion is either fully before (wiped and uncounted) or
+	// fully after (kept and counted) the restore — never half of each.
+	for _, sh := range s.shards {
 		sh.mu.Lock()
+	}
+	for i, sh := range s.shards {
 		if i == 0 {
 			sh.acc = restored
 		} else {
-			sh.acc = s.cp.NewAccumulator()
+			sh.acc = s.proto.NewAggregator()
 		}
+	}
+	s.total.Store(int64(restored.N()))
+	for _, sh := range s.shards {
 		sh.mu.Unlock()
 	}
-	s.total.Store(int64(restored.Total()))
 	return nil
 }
 

@@ -11,15 +11,33 @@ import (
 	"repro/internal/xrand"
 )
 
-func newTestServer(t *testing.T, c, d int, eps float64) (*Server, *httptest.Server) {
+// mustProtocol builds a canonical protocol or fails the test.
+func mustProtocol(t testing.TB, name string, c, d int, eps, split float64) *core.Protocol {
 	t.Helper()
-	srv, err := NewServer(c, d, eps, 0.5)
+	p, err := core.NewProtocol(name, c, d, eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// newProtoServer starts a collection server for the named protocol over
+// httptest.
+func newProtoServer(t *testing.T, name string, c, d int, eps float64, opts ...ServerOption) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServer(mustProtocol(t, name, c, d, eps, 0.5), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
+}
+
+// newTestServer starts a ptscp collection server, the historical default.
+func newTestServer(t *testing.T, c, d int, eps float64) (*Server, *httptest.Server) {
+	t.Helper()
+	return newProtoServer(t, "ptscp", c, d, eps)
 }
 
 func TestEndToEndRoundTrip(t *testing.T) {
@@ -96,11 +114,15 @@ func TestServerConfigEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if client.cp.Classes() != 3 || client.cp.Items() != 10 {
-		t.Fatalf("client configured c=%d d=%d", client.cp.Classes(), client.cp.Items())
+	p := client.Protocol()
+	if p.Name() != "ptscp" {
+		t.Fatalf("client protocol %q", p.Name())
 	}
-	if math.Abs(client.cp.Epsilon()-2) > 1e-12 {
-		t.Fatalf("client epsilon %v", client.cp.Epsilon())
+	if p.Classes() != 3 || p.Items() != 10 {
+		t.Fatalf("client configured c=%d d=%d", p.Classes(), p.Items())
+	}
+	if math.Abs(p.Epsilon()-2) > 1e-12 {
+		t.Fatalf("client epsilon %v", p.Epsilon())
 	}
 }
 
@@ -116,11 +138,40 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+func TestStats(t *testing.T) {
+	srv, ts := newProtoServer(t, "ptj", 2, 4, 1, WithShards(3))
+	client, err := NewClient(ts.URL, ts.Client(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := client.Submit(core.Pair{Class: i % 2, Item: i % 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != "ptj" {
+		t.Fatalf("stats protocol %q, want ptj", st.Protocol)
+	}
+	if st.Reports != 7 {
+		t.Fatalf("stats reports %d, want 7", st.Reports)
+	}
+	if st.Shards != srv.Shards() || st.Shards != 3 {
+		t.Fatalf("stats shards %d, want 3", st.Shards)
+	}
+}
+
 func TestNewServerValidation(t *testing.T) {
-	if _, err := NewServer(0, 4, 1, 0.5); err == nil {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, err := core.NewProtocol("ptscp", 0, 4, 1, 0.5); err == nil {
 		t.Fatal("zero classes accepted")
 	}
-	if _, err := NewServer(2, 4, 0, 0.5); err == nil {
+	if _, err := core.NewProtocol("ptscp", 2, 4, 0, 0.5); err == nil {
 		t.Fatal("zero budget accepted")
 	}
 }

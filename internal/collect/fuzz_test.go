@@ -3,10 +3,33 @@ package collect
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/core"
 )
 
-// FuzzDecode drives the server-side report decoder with arbitrary JSON: it
-// must never panic, and accepted reports must be in-domain.
+// fuzzProtocols covers all three wire payload shapes: ptscp (bit-vector
+// reports), ptj over a small joint domain (bare-value reports, since the
+// adaptive mechanism picks GRR there), and pts+olh (value-plus-seed
+// reports).
+func fuzzProtocols(f *testing.F) []*core.Protocol {
+	f.Helper()
+	out := make([]*core.Protocol, 0, 3)
+	for _, name := range []string{"ptscp", "pts+olh"} {
+		p, err := core.NewProtocol(name, 3, 8, 1, 0.5)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	ptj, err := core.NewProtocol("ptj", 2, 3, 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return append(out, ptj)
+}
+
+// FuzzDecode drives the per-report wire decoder with arbitrary JSON: it
+// must never panic, and accepted reports must be safe to accumulate.
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"label":0,"bits":[0,4]}`))
 	f.Add([]byte(`{"label":-1,"bits":[]}`))
@@ -14,28 +37,29 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"label":1,"bits":[0,0,0,0]}`))
 	f.Add([]byte(`{"label":1,"bits":null}`))
-	srv, err := NewServer(3, 8, 1, 0.5)
-	if err != nil {
-		f.Fatal(err)
-	}
+	f.Add([]byte(`{"label":0,"value":5}`))
+	f.Add([]byte(`{"label":0,"value":-2,"seed":12345}`))
+	f.Add([]byte(`{"label":2,"value":1,"seed":18446744073709551615}`))
+	f.Add([]byte(`{"label":0,"bits":[1],"seed":3}`))
+	f.Add([]byte(`{"label":0,"value":1,"bits":[1]}`))
+	protos := fuzzProtocols(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var rep WireReport
 		if err := json.Unmarshal(data, &rep); err != nil {
 			return // malformed JSON is rejected upstream
 		}
-		cpRep, err := srv.decode(rep)
-		if err != nil {
-			return
+		for _, p := range protos {
+			decoded, err := p.DecodeReport(rep)
+			if err != nil {
+				continue
+			}
+			if decoded.Class < 0 || decoded.Class >= p.Classes() {
+				t.Fatalf("%s accepted out-of-domain label %d", p.Name(), decoded.Class)
+			}
+			// Accepted reports must be safe to accumulate.
+			acc := p.NewAggregator()
+			acc.Add(decoded)
 		}
-		if cpRep.Label < 0 || cpRep.Label >= 3 {
-			t.Fatalf("accepted out-of-domain label %d", cpRep.Label)
-		}
-		if cpRep.Bits.Len() != 9 {
-			t.Fatalf("decoded vector length %d", cpRep.Bits.Len())
-		}
-		// Accepted reports must be safe to accumulate.
-		acc := srv.cp.NewAccumulator()
-		acc.Add(cpRep)
 	})
 }
 
@@ -49,10 +73,9 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add([]byte("{\"label\":0,\"bits\":[1]}\n{\"label\":2,\"bits\":[7]}\n"))
 	f.Add([]byte("{\"label\":0}\n{bad}\n{\"label\":1}"))
 	f.Add([]byte("   \n\t "))
-	srv, err := NewServer(3, 8, 1, 0.5)
-	if err != nil {
-		f.Fatal(err)
-	}
+	f.Add([]byte(`[{"label":0,"value":3,"seed":9}]`))
+	f.Add([]byte("{\"label\":1,\"value\":0,\"seed\":77}\n{\"label\":0,\"value\":2}\n"))
+	protos := fuzzProtocols(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		wires, itemErrs, droppedTail, err := decodeBatch(data)
 		if err != nil {
@@ -70,12 +93,14 @@ func FuzzDecodeBatch(f *testing.F) {
 			if iw.index < 0 {
 				t.Fatalf("negative item index %d", iw.index)
 			}
-			cpRep, err := srv.decode(iw.report)
-			if err != nil {
-				continue
+			for _, p := range protos {
+				decoded, err := p.DecodeReport(iw.report)
+				if err != nil {
+					continue
+				}
+				acc := p.NewAggregator()
+				acc.Add(decoded)
 			}
-			acc := srv.cp.NewAccumulator()
-			acc.Add(cpRep)
 		}
 	})
 }

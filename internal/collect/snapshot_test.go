@@ -30,7 +30,7 @@ func TestServerCheckpointRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// "Restart": fresh server with the same configuration.
-	srvB, err := NewServer(2, 6, 3, 0.5)
+	srvB, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +41,26 @@ func TestServerCheckpointRestart(t *testing.T) {
 		t.Fatalf("restored server has %d reports", srvB.Reports())
 	}
 	// Mismatched configuration must refuse the snapshot.
-	srvC, err := NewServer(2, 7, 3, 0.5)
+	srvC, err := NewServer(mustProtocol(t, "ptscp", 2, 7, 3, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := srvC.Restore(blob); err == nil {
 		t.Fatal("mismatched server accepted snapshot")
+	}
+}
+
+// TestSnapshotUnsupportedProtocol documents that binary checkpoints are a
+// ptscp-only feature for now.
+func TestSnapshotUnsupportedProtocol(t *testing.T) {
+	srv, err := NewServer(mustProtocol(t, "ptj", 2, 6, 3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Snapshot(); err == nil {
+		t.Fatal("ptj server produced a snapshot")
+	}
+	if err := srv.Restore(nil); err == nil {
+		t.Fatal("ptj server accepted a snapshot")
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/fo"
 	"repro/internal/xrand"
 )
 
@@ -43,43 +42,22 @@ func (h *HEC) Name() string { return "HEC" }
 // Epsilon implements FrequencyEstimator.
 func (h *HEC) Epsilon() float64 { return h.eps }
 
-// Estimate implements FrequencyEstimator.
+// Protocol vends the framework's client/server halves for a (c, d) domain.
+func (h *HEC) Protocol(c, d int) (*Protocol, error) {
+	return NewProtocol("hec", c, d, h.eps, 0)
+}
+
+// Estimate implements FrequencyEstimator as a thin loop over the
+// framework's Encoder/Aggregator halves.
 func (h *HEC) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	c, d := data.Classes, data.Items
-	mech, err := fo.NewAdaptive(d, h.eps)
+	p, err := h.Protocol(data.Classes, data.Items)
 	if err != nil {
 		return nil, err
 	}
-	accs := make([]fo.Accumulator, c)
-	for g := range accs {
-		accs[g] = mech.NewAccumulator()
-	}
-	for _, pair := range data.Pairs {
-		g := r.Intn(c)
-		item := pair.Item
-		if pair.Class != g {
-			// Invalid for this group: submit a uniform random item to
-			// keep deniability (Section II-D).
-			item = r.Intn(d)
-		}
-		accs[g].Add(mech.Perturb(item, r))
-	}
-	n := float64(data.N())
-	p, q := mech.P(), mech.Q()
-	out := NewMatrix(c, d)
-	for g := 0; g < c; g++ {
-		for i := 0; i < d; i++ {
-			// f̂ = (c·f̃ − N·q)/(p−q). The accumulator's Estimate is
-			// (f̃ − N_g·q)/(p−q) over the group's own N_g, so recompute
-			// from raw support to follow the paper's calibration exactly.
-			raw := accs[g].Estimate(i)*(p-q) + float64(accs[g].N())*q
-			out[g][i] = (float64(c)*raw - n*q) / (p - q)
-		}
-	}
-	return out, nil
+	return estimateViaProtocol(p, data, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -106,26 +84,22 @@ func (f *PTJ) Epsilon() float64 { return f.eps }
 // JointIndex maps a pair to its index in the Cartesian domain.
 func JointIndex(pair Pair, d int) int { return pair.Class*d + pair.Item }
 
-// Estimate implements FrequencyEstimator.
+// Protocol vends the framework's client/server halves for a (c, d) domain.
+func (f *PTJ) Protocol(c, d int) (*Protocol, error) {
+	return NewProtocol("ptj", c, d, f.eps, 0)
+}
+
+// Estimate implements FrequencyEstimator as a thin loop over the
+// framework's Encoder/Aggregator halves.
 func (f *PTJ) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	c, d := data.Classes, data.Items
-	mech, err := fo.NewAdaptive(c*d, f.eps)
+	p, err := f.Protocol(data.Classes, data.Items)
 	if err != nil {
 		return nil, err
 	}
-	acc := mech.NewAccumulator()
-	for _, pair := range data.Pairs {
-		acc.Add(mech.Perturb(JointIndex(pair, d), r))
-	}
-	est := acc.EstimateAll()
-	out := NewMatrix(c, d)
-	for ci := 0; ci < c; ci++ {
-		copy(out[ci], est[ci*d:(ci+1)*d])
-	}
-	return out, nil
+	return estimateViaProtocol(p, data, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -156,56 +130,23 @@ func (f *PTS) Name() string { return "PTS" }
 // Epsilon implements FrequencyEstimator.
 func (f *PTS) Epsilon() float64 { return f.eps }
 
-// Estimate implements FrequencyEstimator.
+// Protocol vends the framework's client/server halves for a (c, d) domain.
+func (f *PTS) Protocol(c, d int) (*Protocol, error) {
+	return NewProtocol("pts", c, d, f.eps, f.split)
+}
+
+// Estimate implements FrequencyEstimator as a thin loop over the
+// framework's Encoder/Aggregator halves (label GRR(ε₁), item OUE(ε₂),
+// Eq. 6 calibration in the aggregator).
 func (f *PTS) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	c, d := data.Classes, data.Items
-	eps1 := f.eps * f.split
-	eps2 := f.eps - eps1
-	label, err := fo.NewGRR(c, eps1)
+	p, err := f.Protocol(data.Classes, data.Items)
 	if err != nil {
 		return nil, err
 	}
-	item, err := fo.NewOUE(d, eps2)
-	if err != nil {
-		return nil, err
-	}
-	// f̃(C,I): bit counts of reports grouped by perturbed label.
-	pairCounts := NewMatrix(c, d)
-	labelCounts := make([]float64, c)
-	for _, pair := range data.Pairs {
-		lab := label.PerturbValue(pair.Class, r)
-		labelCounts[lab]++
-		bits := item.PerturbBits(pair.Item, r)
-		row := pairCounts[lab]
-		bits.ForEachSet(func(i int) { row[i]++ })
-	}
-	n := float64(data.N())
-	p1, q1 := label.P(), label.Q()
-	p2, q2 := item.P(), item.Q()
-	out := NewMatrix(c, d)
-	// Item marginals f̂(I) = (Σ_C f̃(C,I) − N·q₂)/(p₂−q₂).
-	itemHat := make([]float64, d)
-	for i := 0; i < d; i++ {
-		sum := 0.0
-		for ci := 0; ci < c; ci++ {
-			sum += pairCounts[ci][i]
-		}
-		itemHat[i] = (sum - n*q2) / (p2 - q2)
-	}
-	for ci := 0; ci < c; ci++ {
-		nHat := (labelCounts[ci] - n*q1) / (p1 - q1)
-		for i := 0; i < d; i++ {
-			// Eq. (6).
-			out[ci][i] = (pairCounts[ci][i] -
-				nHat*q2*(p1-q1) -
-				itemHat[i]*q1*(p2-q2) -
-				n*q1*q2) / ((p1 - q1) * (p2 - q2))
-		}
-	}
-	return out, nil
+	return estimateViaProtocol(p, data, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -236,18 +177,21 @@ func (f *PTSCP) Name() string { return "PTS-CP" }
 // Epsilon implements FrequencyEstimator.
 func (f *PTSCP) Epsilon() float64 { return f.eps }
 
-// Estimate implements FrequencyEstimator.
+// Protocol vends the framework's client/server halves for a (c, d) domain.
+func (f *PTSCP) Protocol(c, d int) (*Protocol, error) {
+	return NewProtocol("ptscp", c, d, f.eps, f.split)
+}
+
+// Estimate implements FrequencyEstimator as a thin loop over the
+// framework's Encoder/Aggregator halves (correlated perturbation, Eq. 4
+// calibration in the aggregator).
 func (f *PTSCP) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	cp, err := NewCP(data.Classes, data.Items, f.eps, f.split)
+	p, err := f.Protocol(data.Classes, data.Items)
 	if err != nil {
 		return nil, err
 	}
-	acc := cp.NewAccumulator()
-	for _, pair := range data.Pairs {
-		acc.Add(cp.Perturb(pair, r))
-	}
-	return acc.EstimateAll(), nil
+	return estimateViaProtocol(p, data, r)
 }

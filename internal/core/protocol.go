@@ -1,0 +1,748 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// This file decomposes the frequency-estimation frameworks into their
+// deployment halves. A batch call like PTS.Estimate fuses two roles that a
+// real LDP system keeps on opposite sides of the network: the client, which
+// perturbs one pair and ships an opaque report, and the server, which folds
+// reports it never saw in the clear into a mergeable aggregate. Encoder and
+// Aggregator are those halves; Protocol vends a matched pair plus the wire
+// codec that carries reports between them. Every framework's Estimate is a
+// thin loop over its own halves, so batch and streaming results are
+// bit-identical by construction.
+
+// Report is one client-side perturbed report, the unit that crosses the
+// network. Class carries the perturbed label (PTS, PTS-CP) or the user's
+// group (HEC); PTJ reports leave it 0. Item carries the item-side payload in
+// whatever shape the framework's item mechanism produces (a GRR value, an
+// OLH bucket plus hash seed, or a unary-encoded bit vector).
+type Report struct {
+	Class int
+	Item  fo.Report
+}
+
+// Encoder is the client half of a framework: it perturbs one pair into a
+// Report under the framework's full ε-LDP guarantee. Encoders are stateless
+// and safe for concurrent use as long as each goroutine supplies its own
+// rand.
+type Encoder interface {
+	// Encode perturbs pair. The pair must lie in the protocol's (c, d)
+	// domain; out-of-domain pairs panic, as misuse at the perturbation
+	// site must not corrupt aggregates silently.
+	Encode(pair Pair, r *xrand.Rand) Report
+}
+
+// Aggregator is the server half of a framework: it folds reports into
+// aggregate counts and produces the framework's calibrated estimates.
+// Implementations are not safe for concurrent use; shard and Merge instead.
+// Merging is exact — aggregates hold integer counts, so any partition of a
+// report stream over aggregators merges to bit-identical estimates.
+type Aggregator interface {
+	// Add folds one report into the aggregate. Reports decoded from the
+	// wire by the protocol's codec are always safe to Add; hand-built
+	// out-of-domain reports panic.
+	Add(Report)
+	// Merge folds another aggregator of the same protocol into this one.
+	Merge(other Aggregator) error
+	// N returns the number of reports added so far.
+	N() int
+	// Estimates returns the framework's calibrated c×d frequency matrix.
+	Estimates() [][]float64
+	// ClassSizes returns per-class population estimates: the label-count
+	// calibration where the framework has one (PTS, PTS-CP), row sums of
+	// the frequency estimates otherwise (HEC, PTJ).
+	ClassSizes() []float64
+}
+
+// WirePayload is the JSON wire form of a Report, sparse by construction:
+// unary-encoded reports carry set-bit indices, value reports carry the value
+// (plus the public hash seed for OLH). Exactly one of Bits / Value is
+// meaningful for a given protocol; the protocol's codec validates the shape.
+type WirePayload struct {
+	Label int    `json:"label"`
+	Value *int   `json:"value,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Bits  []int  `json:"bits,omitempty"`
+}
+
+// wireShape describes the payload a protocol's reports carry so the codec
+// can validate without knowing the framework.
+type wireShape struct {
+	classes    int  // Label must be in [0, classes)
+	bitsLen    int  // >0: bit-vector report over this many positions
+	valueRange int  // >0: value report in [0, valueRange)
+	seed       bool // value report carries a public hash seed (OLH)
+}
+
+// shapeOf derives the wire shape of an item mechanism's reports. Custom
+// fo.Mechanism implementations outside this module have no codec; protocols
+// built over them still work in-process but refuse wire use.
+func shapeOf(m fo.Mechanism, classes int) (wireShape, error) {
+	switch mm := m.(type) {
+	case *fo.GRR:
+		return wireShape{classes: classes, valueRange: mm.DomainSize()}, nil
+	case *fo.UE:
+		return wireShape{classes: classes, bitsLen: mm.DomainSize()}, nil
+	case *fo.OLH:
+		return wireShape{classes: classes, valueRange: mm.G(), seed: true}, nil
+	default:
+		return wireShape{}, fmt.Errorf("core: no wire codec for item mechanism %T", m)
+	}
+}
+
+// Protocol is a matched Encoder/Aggregator pair for one framework plus the
+// wire codec between them. Build one with NewProtocol (canonical frameworks
+// by name) or NewPTSProtocolWithItem (PTS over a custom item mechanism).
+type Protocol struct {
+	name       string
+	c, d       int
+	eps, split float64
+	enc        Encoder
+	newAgg     func() Aggregator
+	shape      wireShape
+	shapeErr   error
+	// mechID fingerprints the perturbation mechanisms behind the halves
+	// (names and support probabilities), so two protocols can be checked
+	// for wire compatibility beyond their advertised name and parameters.
+	mechID string
+}
+
+// mechFingerprint summarizes a mechanism's calibration-relevant identity.
+func mechFingerprint(m fo.Mechanism) string {
+	return fmt.Sprintf("%s[d=%d,p=%v,q=%v]", m.Name(), m.DomainSize(), m.P(), m.Q())
+}
+
+// ProtocolNames lists the canonical framework names NewProtocol accepts.
+func ProtocolNames() []string { return []string{"hec", "ptj", "pts", "ptscp"} }
+
+// CanonicalProtocolName normalizes a framework name: case-insensitive, with
+// separators dropped, so "PTS-CP", "pts_cp" and "ptscp" all canonicalize to
+// "ptscp".
+func CanonicalProtocolName(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	n = strings.ReplaceAll(n, "-", "")
+	n = strings.ReplaceAll(n, "_", "")
+	return n
+}
+
+// NewProtocol vends the matched client/server halves of a canonical
+// framework over c classes and d items at budget eps. split is the
+// label-budget fraction ε₁/ε for pts and ptscp (the paper's default is 0.5)
+// and is ignored by hec and ptj, which spend the whole budget on one
+// mechanism.
+//
+// Beyond the four canonical names, "pts+<item>" selects PTS over a named
+// item mechanism — oue, sue, olh, grr or adaptive — so the choice survives
+// a trip through a collection server's /config and clients can reconstruct
+// the exact encoder from the name alone.
+func NewProtocol(name string, c, d int, eps, split float64) (*Protocol, error) {
+	canon := CanonicalProtocolName(name)
+	switch canon {
+	case "hec":
+		return newHECProtocol(c, d, eps, split)
+	case "ptj":
+		return newPTJProtocol(c, d, eps, split)
+	case "pts":
+		// The paper's default item mechanism; single source of truth in
+		// namedItemFactory so "pts" and "pts+oue" cannot drift apart.
+		factory, err := namedItemFactory("oue")
+		if err != nil {
+			return nil, err
+		}
+		return NewPTSProtocolWithItem("pts", c, d, eps, split, factory)
+	case "ptscp":
+		return newPTSCPProtocol(c, d, eps, split)
+	}
+	if item, ok := strings.CutPrefix(canon, "pts+"); ok {
+		factory, err := namedItemFactory(item)
+		if err != nil {
+			return nil, err
+		}
+		return NewPTSProtocolWithItem(canon, c, d, eps, split, factory)
+	}
+	return nil, fmt.Errorf("core: unknown protocol %q (want one of %s, or pts+<oue|sue|olh|grr|adaptive>)",
+		name, strings.Join(ProtocolNames(), ", "))
+}
+
+// namedItemFactory resolves the item-mechanism names usable in a
+// "pts+<item>" protocol name.
+func namedItemFactory(name string) (ItemMechanismFactory, error) {
+	switch name {
+	case "oue":
+		return func(d int, eps float64) (fo.Mechanism, error) { return fo.NewOUE(d, eps) }, nil
+	case "sue":
+		return func(d int, eps float64) (fo.Mechanism, error) { return fo.NewSUE(d, eps) }, nil
+	case "olh":
+		return func(d int, eps float64) (fo.Mechanism, error) { return fo.NewOLH(d, eps) }, nil
+	case "grr":
+		return func(d int, eps float64) (fo.Mechanism, error) { return fo.NewGRR(d, eps) }, nil
+	case "adaptive":
+		return fo.NewAdaptive, nil
+	default:
+		return nil, fmt.Errorf("core: unknown pts item mechanism %q (want oue, sue, olh, grr or adaptive)", name)
+	}
+}
+
+// Name returns the protocol's canonical (or caller-chosen, for custom PTS)
+// name. It is what the collection server advertises in its config.
+func (p *Protocol) Name() string { return p.name }
+
+// Classes returns c.
+func (p *Protocol) Classes() int { return p.c }
+
+// Items returns d.
+func (p *Protocol) Items() int { return p.d }
+
+// Epsilon returns the total per-user privacy budget ε.
+func (p *Protocol) Epsilon() float64 { return p.eps }
+
+// Split returns the label-budget fraction ε₁/ε the protocol was built with
+// (meaningful for pts and ptscp only).
+func (p *Protocol) Split() float64 { return p.split }
+
+// Encoder returns the client half. It is shared and safe for concurrent use
+// with per-goroutine rands.
+func (p *Protocol) Encoder() Encoder { return p.enc }
+
+// NewAggregator returns an empty server half.
+func (p *Protocol) NewAggregator() Aggregator { return p.newAgg() }
+
+// WireSupported reports whether the protocol can (de)serialize its reports
+// for the wire; it is non-nil only for protocols over custom item mechanism
+// types the codec does not know.
+func (p *Protocol) WireSupported() error { return p.shapeErr }
+
+// WireCompatible reports whether o's reports are interchangeable with p's:
+// same name, domain, budget, wire shape AND underlying mechanisms. It is
+// how a collection server checks that clients reconstructing the protocol
+// from its advertised name get mechanisms whose calibration matches the
+// server's — a protocol built from a custom factory but deliberately given
+// a canonical name would otherwise decode cleanly (identical wire shape)
+// and be calibrated with the wrong probabilities.
+func (p *Protocol) WireCompatible(o *Protocol) error {
+	switch {
+	case o == nil:
+		return fmt.Errorf("core: nil protocol")
+	case p.name != o.name:
+		return fmt.Errorf("core: protocol name %q != %q", p.name, o.name)
+	case p.c != o.c || p.d != o.d:
+		return fmt.Errorf("core: protocol domain %dx%d != %dx%d", p.c, p.d, o.c, o.d)
+	case p.eps != o.eps || p.split != o.split:
+		return fmt.Errorf("core: protocol budget (ε=%v split=%v) != (ε=%v split=%v)", p.eps, p.split, o.eps, o.split)
+	case p.shape != o.shape:
+		return fmt.Errorf("core: protocol wire shapes differ")
+	case p.mechID != o.mechID:
+		return fmt.Errorf("core: protocol mechanisms differ: %s != %s", p.mechID, o.mechID)
+	}
+	return nil
+}
+
+// EncodeReport serializes a report produced by this protocol's Encoder.
+func (p *Protocol) EncodeReport(rep Report) WirePayload {
+	w := WirePayload{Label: rep.Class}
+	if rep.Item.Bits != nil {
+		w.Bits = rep.Item.Bits.Ones()
+		return w
+	}
+	v := rep.Item.Value
+	w.Value = &v
+	w.Seed = rep.Item.Seed
+	return w
+}
+
+// DecodeReport validates a wire payload against the protocol's report shape
+// and rebuilds the in-memory Report. Decoded reports are always safe to feed
+// to the protocol's Aggregator.
+func (p *Protocol) DecodeReport(w WirePayload) (Report, error) {
+	if p.shapeErr != nil {
+		return Report{}, p.shapeErr
+	}
+	s := p.shape
+	if w.Label < 0 || w.Label >= s.classes {
+		return Report{}, fmt.Errorf("core: %s report label %d outside [0,%d)", p.name, w.Label, s.classes)
+	}
+	if w.Seed != 0 && !s.seed {
+		return Report{}, fmt.Errorf("core: %s report carries a hash seed, want none", p.name)
+	}
+	rep := Report{Class: w.Label}
+	if s.bitsLen > 0 {
+		if w.Value != nil {
+			return Report{}, fmt.Errorf("core: %s report carries a value, want a %d-bit vector", p.name, s.bitsLen)
+		}
+		bits := bitvec.New(s.bitsLen)
+		for _, b := range w.Bits {
+			if b < 0 || b >= s.bitsLen {
+				return Report{}, fmt.Errorf("core: %s report bit %d outside [0,%d)", p.name, b, s.bitsLen)
+			}
+			bits.Set(b)
+		}
+		rep.Item.Bits = bits
+		return rep, nil
+	}
+	if w.Value == nil {
+		return Report{}, fmt.Errorf("core: %s report missing value", p.name)
+	}
+	if len(w.Bits) > 0 {
+		return Report{}, fmt.Errorf("core: %s report carries bits, want a bare value", p.name)
+	}
+	if *w.Value < 0 || *w.Value >= s.valueRange {
+		return Report{}, fmt.Errorf("core: %s report value %d outside [0,%d)", p.name, *w.Value, s.valueRange)
+	}
+	rep.Item.Value = *w.Value
+	if s.seed {
+		rep.Item.Seed = w.Seed
+	}
+	return rep, nil
+}
+
+// estimateViaProtocol is the batch path every framework's Estimate now runs
+// through: encode each pair in dataset order, fold into one aggregator,
+// estimate. Feeding the same reports through any sharded-then-merged set of
+// aggregators reproduces this output bit-identically.
+func estimateViaProtocol(p *Protocol, data *Dataset, r *xrand.Rand) ([][]float64, error) {
+	enc, agg := p.Encoder(), p.NewAggregator()
+	for _, pair := range data.Pairs {
+		agg.Add(enc.Encode(pair, r))
+	}
+	return agg.Estimates(), nil
+}
+
+// ---------------------------------------------------------------------------
+// HEC halves.
+// ---------------------------------------------------------------------------
+
+func newHECProtocol(c, d int, eps, split float64) (*Protocol, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("core: hec protocol with %d classes", c)
+	}
+	mech, err := fo.NewAdaptive(d, eps)
+	if err != nil {
+		return nil, err
+	}
+	shape, shapeErr := shapeOf(mech, c)
+	return &Protocol{
+		name: "hec", c: c, d: d, eps: eps, split: split,
+		enc:    &hecEncoder{c: c, d: d, mech: mech},
+		newAgg: func() Aggregator { return newHECAggregator(c, d, mech) },
+		shape:  shape, shapeErr: shapeErr, mechID: mechFingerprint(mech),
+	}, nil
+}
+
+// hecEncoder assigns the user to a uniform random group; a user whose label
+// matches submits their item, anyone else a uniform random item for
+// deniability (Section II-D).
+type hecEncoder struct {
+	c, d int
+	mech fo.Mechanism
+}
+
+func (e *hecEncoder) Encode(pair Pair, r *xrand.Rand) Report {
+	g := r.Intn(e.c)
+	item := pair.Item
+	if pair.Class != g {
+		item = r.Intn(e.d)
+	}
+	return Report{Class: g, Item: e.mech.Perturb(item, r)}
+}
+
+// hecAggregator keeps one frequency-oracle accumulator per group and
+// calibrates with f̂(C,I) = (c·f̃(C,I) − N·q)/(p−q), which carries the
+// Section V invalid-data bias — HEC is the baseline.
+type hecAggregator struct {
+	c, d  int
+	mech  fo.Mechanism
+	accs  []fo.Accumulator
+	total int
+}
+
+func newHECAggregator(c, d int, mech fo.Mechanism) *hecAggregator {
+	accs := make([]fo.Accumulator, c)
+	for g := range accs {
+		accs[g] = mech.NewAccumulator()
+	}
+	return &hecAggregator{c: c, d: d, mech: mech, accs: accs}
+}
+
+func (a *hecAggregator) Add(rep Report) {
+	if rep.Class < 0 || rep.Class >= a.c {
+		panic(fmt.Sprintf("core: hec report group %d outside [0,%d)", rep.Class, a.c))
+	}
+	a.accs[rep.Class].Add(rep.Item)
+	a.total++
+}
+
+func (a *hecAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*hecAggregator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge %T into hec aggregator", other)
+	}
+	if o.c != a.c || o.d != a.d {
+		return fmt.Errorf("core: hec merge domain mismatch")
+	}
+	for g := range a.accs {
+		if err := a.accs[g].Merge(o.accs[g]); err != nil {
+			return err
+		}
+	}
+	a.total += o.total
+	return nil
+}
+
+func (a *hecAggregator) N() int { return a.total }
+
+func (a *hecAggregator) Estimates() [][]float64 {
+	n := float64(a.total)
+	p, q := a.mech.P(), a.mech.Q()
+	out := NewMatrix(a.c, a.d)
+	for g := 0; g < a.c; g++ {
+		for i := 0; i < a.d; i++ {
+			// The accumulator's Estimate is (f̃ − N_g·q)/(p−q) over the
+			// group's own N_g, so recompute the raw support to follow the
+			// paper's calibration exactly.
+			raw := a.accs[g].Estimate(i)*(p-q) + float64(a.accs[g].N())*q
+			out[g][i] = (float64(a.c)*raw - n*q) / (p - q)
+		}
+	}
+	return out
+}
+
+func (a *hecAggregator) ClassSizes() []float64 { return rowSums(a.Estimates()) }
+
+func (a *hecAggregator) classSizesAreRowSums() {}
+
+// rowSums is the class-size fallback for frameworks without a direct label
+// estimator: the row sum of an unbiased frequency matrix is an unbiased
+// population estimate (for HEC it additionally carries the strawman's bias).
+func rowSums(m [][]float64) []float64 {
+	out := make([]float64, len(m))
+	for c, row := range m {
+		for _, v := range row {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// rowSumSizer marks aggregators whose ClassSizes are defined as row sums of
+// Estimates, letting callers that already hold the matrix skip a second
+// full calibration pass.
+type rowSumSizer interface{ classSizesAreRowSums() }
+
+// ClassSizesFromEstimates returns a's class sizes, reusing an
+// already-computed Estimates() matrix when a derives sizes from it (hec,
+// ptj) instead of recomputing the full calibration.
+func ClassSizesFromEstimates(a Aggregator, est [][]float64) []float64 {
+	if _, ok := a.(rowSumSizer); ok {
+		return rowSums(est)
+	}
+	return a.ClassSizes()
+}
+
+// ---------------------------------------------------------------------------
+// PTJ halves.
+// ---------------------------------------------------------------------------
+
+func newPTJProtocol(c, d int, eps, split float64) (*Protocol, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("core: ptj protocol with %d classes", c)
+	}
+	mech, err := fo.NewAdaptive(c*d, eps)
+	if err != nil {
+		return nil, err
+	}
+	// PTJ reports carry no label: the class is folded into the joint value,
+	// so the wire label domain is the single value 0.
+	shape, shapeErr := shapeOf(mech, 1)
+	return &Protocol{
+		name: "ptj", c: c, d: d, eps: eps, split: split,
+		enc:    &ptjEncoder{d: d, mech: mech},
+		newAgg: func() Aggregator { return &ptjAggregator{c: c, d: d, acc: mech.NewAccumulator()} },
+		shape:  shape, shapeErr: shapeErr, mechID: mechFingerprint(mech),
+	}, nil
+}
+
+// ptjEncoder perturbs the pair as one value of the Cartesian domain C × I.
+type ptjEncoder struct {
+	d    int
+	mech fo.Mechanism
+}
+
+func (e *ptjEncoder) Encode(pair Pair, r *xrand.Rand) Report {
+	return Report{Item: e.mech.Perturb(JointIndex(pair, e.d), r)}
+}
+
+// ptjAggregator is one frequency-oracle accumulator over the joint domain,
+// reshaped to c×d on read.
+type ptjAggregator struct {
+	c, d int
+	acc  fo.Accumulator
+}
+
+func (a *ptjAggregator) Add(rep Report) {
+	if rep.Class != 0 {
+		panic(fmt.Sprintf("core: ptj report class %d, want 0 (class is in the joint value)", rep.Class))
+	}
+	a.acc.Add(rep.Item)
+}
+
+func (a *ptjAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*ptjAggregator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge %T into ptj aggregator", other)
+	}
+	if o.c != a.c || o.d != a.d {
+		return fmt.Errorf("core: ptj merge domain mismatch")
+	}
+	return a.acc.Merge(o.acc)
+}
+
+func (a *ptjAggregator) N() int { return a.acc.N() }
+
+func (a *ptjAggregator) Estimates() [][]float64 {
+	est := a.acc.EstimateAll()
+	out := NewMatrix(a.c, a.d)
+	for c := 0; c < a.c; c++ {
+		copy(out[c], est[c*a.d:(c+1)*a.d])
+	}
+	return out
+}
+
+func (a *ptjAggregator) ClassSizes() []float64 { return rowSums(a.Estimates()) }
+
+func (a *ptjAggregator) classSizesAreRowSums() {}
+
+// ---------------------------------------------------------------------------
+// PTS halves (generic over the item mechanism).
+// ---------------------------------------------------------------------------
+
+// NewPTSProtocolWithItem vends the PTS halves over a custom item mechanism
+// (fo.NewOUE is the paper's choice; fo.NewOLH trades server time for O(log g)
+// communication). The Eq. (6) calibration only needs the item mechanism's
+// support probabilities, so any fo.Mechanism works. Protocols over mechanism
+// types outside internal/fo work in-process but have no wire codec; name is
+// what the protocol advertises and must not collide with a canonical name
+// unless it is parameter-compatible with it.
+func NewPTSProtocolWithItem(name string, c, d int, eps, split float64, item ItemMechanismFactory) (*Protocol, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("core: pts protocol with %d classes", c)
+	}
+	if !(split > 0 && split < 1) {
+		return nil, fmt.Errorf("core: PTS budget split %v must be in (0,1)", split)
+	}
+	if item == nil {
+		return nil, fmt.Errorf("core: nil item mechanism factory")
+	}
+	eps1 := eps * split
+	label, err := fo.NewGRR(c, eps1)
+	if err != nil {
+		return nil, err
+	}
+	itemMech, err := item(d, eps-eps1)
+	if err != nil {
+		return nil, err
+	}
+	if itemMech.DomainSize() != d {
+		return nil, fmt.Errorf("core: item mechanism domain %d != %d", itemMech.DomainSize(), d)
+	}
+	shape, shapeErr := shapeOf(itemMech, c)
+	return &Protocol{
+		name: name, c: c, d: d, eps: eps, split: split,
+		enc:    &ptsEncoder{label: label, item: itemMech},
+		newAgg: func() Aggregator { return newPTSAggregator(c, d, label, itemMech) },
+		shape:  shape, shapeErr: shapeErr,
+		mechID: mechFingerprint(label) + "+" + mechFingerprint(itemMech),
+	}, nil
+}
+
+// ptsEncoder perturbs the label with GRR(ε₁) and the item independently with
+// the item mechanism at ε₂.
+type ptsEncoder struct {
+	label *fo.GRR
+	item  fo.Mechanism
+}
+
+func (e *ptsEncoder) Encode(pair Pair, r *xrand.Rand) Report {
+	lab := e.label.PerturbValue(pair.Class, r)
+	return Report{Class: lab, Item: e.item.Perturb(pair.Item, r)}
+}
+
+// ptsAggregator routes reports into per-perturbed-label item accumulators
+// and calibrates with Eq. (6), which corrects for labels that migrated
+// between classes.
+type ptsAggregator struct {
+	c, d        int
+	label       *fo.GRR
+	item        fo.Mechanism
+	labelCounts []int64
+	accs        []fo.Accumulator
+	total       int
+}
+
+func newPTSAggregator(c, d int, label *fo.GRR, item fo.Mechanism) *ptsAggregator {
+	accs := make([]fo.Accumulator, c)
+	for i := range accs {
+		accs[i] = item.NewAccumulator()
+	}
+	return &ptsAggregator{c: c, d: d, label: label, item: item, labelCounts: make([]int64, c), accs: accs}
+}
+
+func (a *ptsAggregator) Add(rep Report) {
+	if rep.Class < 0 || rep.Class >= a.c {
+		panic(fmt.Sprintf("core: pts report label %d outside [0,%d)", rep.Class, a.c))
+	}
+	a.labelCounts[rep.Class]++
+	a.accs[rep.Class].Add(rep.Item)
+	a.total++
+}
+
+func (a *ptsAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*ptsAggregator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge %T into pts aggregator", other)
+	}
+	if o.c != a.c || o.d != a.d {
+		return fmt.Errorf("core: pts merge domain mismatch")
+	}
+	for ci := range a.accs {
+		if err := a.accs[ci].Merge(o.accs[ci]); err != nil {
+			return err
+		}
+		a.labelCounts[ci] += o.labelCounts[ci]
+	}
+	a.total += o.total
+	return nil
+}
+
+func (a *ptsAggregator) N() int { return a.total }
+
+func (a *ptsAggregator) Estimates() [][]float64 {
+	n := float64(a.total)
+	p1, q1 := a.label.P(), a.label.Q()
+	p2, q2 := a.item.P(), a.item.Q()
+	// Raw supports f̃(C,I) per routed class: taken as exact integer counts
+	// when the accumulator exposes them (every mechanism in internal/fo
+	// does), so the Eq. (6) calibration is bit-identical to working from
+	// the bit-count matrix directly; reconstructed from the calibrated
+	// estimates as est·(p₂−q₂) + N_C·q₂ otherwise.
+	raw := NewMatrix(a.c, a.d)
+	for ci := 0; ci < a.c; ci++ {
+		if sup, ok := a.accs[ci].(interface{ Support(int) int64 }); ok {
+			for i := 0; i < a.d; i++ {
+				raw[ci][i] = float64(sup.Support(i))
+			}
+			continue
+		}
+		est := a.accs[ci].EstimateAll()
+		for i := 0; i < a.d; i++ {
+			raw[ci][i] = est[i]*(p2-q2) + float64(a.labelCounts[ci])*q2
+		}
+	}
+	out := NewMatrix(a.c, a.d)
+	// Item marginals f̂(I) = (Σ_C f̃(C,I) − N·q₂)/(p₂−q₂).
+	itemHat := make([]float64, a.d)
+	for i := 0; i < a.d; i++ {
+		sum := 0.0
+		for ci := 0; ci < a.c; ci++ {
+			sum += raw[ci][i]
+		}
+		itemHat[i] = (sum - n*q2) / (p2 - q2)
+	}
+	for ci := 0; ci < a.c; ci++ {
+		nHat := (float64(a.labelCounts[ci]) - n*q1) / (p1 - q1)
+		for i := 0; i < a.d; i++ {
+			// Eq. (6).
+			out[ci][i] = (raw[ci][i] -
+				nHat*q2*(p1-q1) -
+				itemHat[i]*q1*(p2-q2) -
+				n*q1*q2) / ((p1 - q1) * (p2 - q2))
+		}
+	}
+	return out
+}
+
+func (a *ptsAggregator) ClassSizes() []float64 {
+	n := float64(a.total)
+	p1, q1 := a.label.P(), a.label.Q()
+	out := make([]float64, a.c)
+	for ci := range out {
+		out[ci] = (float64(a.labelCounts[ci]) - n*q1) / (p1 - q1)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// PTS-CP halves.
+// ---------------------------------------------------------------------------
+
+func newPTSCPProtocol(c, d int, eps, split float64) (*Protocol, error) {
+	cp, err := NewCP(c, d, eps, split)
+	if err != nil {
+		return nil, err
+	}
+	p1, q1, p2, q2 := cp.Probabilities()
+	return &Protocol{
+		name: "ptscp", c: c, d: d, eps: eps, split: split,
+		enc:    &cpEncoder{cp: cp},
+		newAgg: func() Aggregator { return &cpAggregator{acc: cp.NewAccumulator()} },
+		shape:  wireShape{classes: c, bitsLen: d + 1},
+		mechID: fmt.Sprintf("CP[p1=%v,q1=%v,p2=%v,q2=%v]", p1, q1, p2, q2),
+	}, nil
+}
+
+// cpEncoder applies the correlated perturbation (Section IV-B): the item
+// perturbation observes the label outcome and voids the item when the label
+// moved.
+type cpEncoder struct {
+	cp *CP
+}
+
+func (e *cpEncoder) Encode(pair Pair, r *xrand.Rand) Report {
+	rep := e.cp.Perturb(pair, r)
+	return Report{Class: rep.Label, Item: fo.Report{Bits: rep.Bits}}
+}
+
+// cpAggregator adapts CPAccumulator (the Eq. 4 calibration) to the generic
+// Aggregator interface. It also supports binary snapshots, delegated to the
+// wrapped accumulator, so collection servers can checkpoint.
+type cpAggregator struct {
+	acc *CPAccumulator
+}
+
+func (a *cpAggregator) Add(rep Report) {
+	a.acc.Add(CPReport{Label: rep.Class, Bits: rep.Item.Bits})
+}
+
+func (a *cpAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*cpAggregator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge %T into ptscp aggregator", other)
+	}
+	return a.acc.Merge(o.acc)
+}
+
+func (a *cpAggregator) N() int { return a.acc.Total() }
+
+func (a *cpAggregator) Estimates() [][]float64 { return a.acc.EstimateAll() }
+
+func (a *cpAggregator) ClassSizes() []float64 {
+	out := make([]float64, a.acc.cp.c)
+	for c := range out {
+		out[c] = a.acc.EstimateClassSize(c)
+	}
+	return out
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler by delegating to the
+// wrapped CPAccumulator snapshot format.
+func (a *cpAggregator) MarshalBinary() ([]byte, error) { return a.acc.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *cpAggregator) UnmarshalBinary(data []byte) error { return a.acc.UnmarshalBinary(data) }

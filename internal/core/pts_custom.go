@@ -41,64 +41,22 @@ func (f *PTSCustom) Name() string { return f.name }
 // Epsilon implements FrequencyEstimator.
 func (f *PTSCustom) Epsilon() float64 { return f.eps }
 
-// Estimate implements FrequencyEstimator. Reports are routed into
-// per-perturbed-label accumulators; the raw supports are then recovered
-// from each accumulator's calibrated estimates and pushed through Eq. (6).
+// Protocol vends the framework's client/server halves for a (c, d) domain.
+func (f *PTSCustom) Protocol(c, d int) (*Protocol, error) {
+	return NewPTSProtocolWithItem(f.name, c, d, f.eps, f.split, f.item)
+}
+
+// Estimate implements FrequencyEstimator as a thin loop over the
+// framework's Encoder/Aggregator halves: reports are routed into
+// per-perturbed-label accumulators, the raw supports are recovered from
+// each accumulator's calibrated estimates and pushed through Eq. (6).
 func (f *PTSCustom) Estimate(data *Dataset, r *xrand.Rand) ([][]float64, error) {
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	c, d := data.Classes, data.Items
-	eps1 := f.eps * f.split
-	label, err := fo.NewGRR(c, eps1)
+	p, err := f.Protocol(data.Classes, data.Items)
 	if err != nil {
 		return nil, err
 	}
-	item, err := f.item(d, f.eps-eps1)
-	if err != nil {
-		return nil, err
-	}
-	if item.DomainSize() != d {
-		return nil, fmt.Errorf("core: item mechanism domain %d != %d", item.DomainSize(), d)
-	}
-	accs := make([]fo.Accumulator, c)
-	for i := range accs {
-		accs[i] = item.NewAccumulator()
-	}
-	labelCounts := make([]float64, c)
-	for _, pair := range data.Pairs {
-		lab := label.PerturbValue(pair.Class, r)
-		labelCounts[lab]++
-		accs[lab].Add(item.Perturb(pair.Item, r))
-	}
-	n := float64(data.N())
-	p1, q1 := label.P(), label.Q()
-	p2, q2 := item.P(), item.Q()
-	// Raw supports f̃(C,I) = est·(p₂−q₂) + N_C·q₂ per routed class.
-	raw := NewMatrix(c, d)
-	for ci := 0; ci < c; ci++ {
-		est := accs[ci].EstimateAll()
-		for i := 0; i < d; i++ {
-			raw[ci][i] = est[i]*(p2-q2) + labelCounts[ci]*q2
-		}
-	}
-	out := NewMatrix(c, d)
-	itemHat := make([]float64, d)
-	for i := 0; i < d; i++ {
-		sum := 0.0
-		for ci := 0; ci < c; ci++ {
-			sum += raw[ci][i]
-		}
-		itemHat[i] = (sum - n*q2) / (p2 - q2)
-	}
-	for ci := 0; ci < c; ci++ {
-		nHat := (labelCounts[ci] - n*q1) / (p1 - q1)
-		for i := 0; i < d; i++ {
-			out[ci][i] = (raw[ci][i] -
-				nHat*q2*(p1-q1) -
-				itemHat[i]*q1*(p2-q2) -
-				n*q1*q2) / ((p1 - q1) * (p2 - q2))
-		}
-	}
-	return out, nil
+	return estimateViaProtocol(p, data, r)
 }

@@ -240,7 +240,7 @@ func TestOLHSupportProbability(t *testing.T) {
 	for i := 0; i < n; i++ {
 		acc.Add(o.Perturb(0, r))
 	}
-	support := float64(acc.support(25)) // value 25 held by nobody
+	support := float64(acc.Support(25)) // value 25 held by nobody
 	want := float64(n) / float64(o.G())
 	if math.Abs(support-want) > 5*math.Sqrt(want) {
 		t.Fatalf("support %v want %v", support, want)

@@ -114,6 +114,14 @@ func (a *grrAccumulator) Merge(other Accumulator) error {
 
 func (a *grrAccumulator) N() int { return a.n }
 
+// Support returns the raw (uncalibrated) report count of value v. Exposed
+// so composite calibrations (PTS's Eq. 6) can work from exact integer
+// supports instead of reconstructing them from calibrated estimates.
+func (a *grrAccumulator) Support(v int) int64 {
+	checkDomain(v, a.m.d)
+	return a.counts[v]
+}
+
 func (a *grrAccumulator) Estimate(v int) float64 {
 	checkDomain(v, a.m.d)
 	return (float64(a.counts[v]) - float64(a.n)*a.m.q) / (a.m.p - a.m.q)

@@ -124,9 +124,11 @@ func (a *olhAccumulator) Merge(other Accumulator) error {
 
 func (a *olhAccumulator) N() int { return len(a.reports) }
 
-// support counts how many reports hash v into their reported bucket.
-func (a *olhAccumulator) support(v int) int {
-	c := 0
+// Support counts how many reports hash v into their reported bucket — the
+// raw support the estimator calibrates (see grrAccumulator.Support). O(N).
+func (a *olhAccumulator) Support(v int) int64 {
+	checkDomain(v, a.m.d)
+	c := int64(0)
 	for _, rep := range a.reports {
 		if a.m.hash(rep.seed, v) == rep.value {
 			c++
@@ -138,7 +140,7 @@ func (a *olhAccumulator) support(v int) int {
 func (a *olhAccumulator) Estimate(v int) float64 {
 	checkDomain(v, a.m.d)
 	q := 1 / float64(a.m.g)
-	return (float64(a.support(v)) - float64(len(a.reports))*q) / (a.m.p - q)
+	return (float64(a.Support(v)) - float64(len(a.reports))*q) / (a.m.p - q)
 }
 
 func (a *olhAccumulator) EstimateAll() []float64 {

@@ -171,6 +171,12 @@ func (a *ueAccumulator) Merge(other Accumulator) error {
 
 func (a *ueAccumulator) N() int { return a.n }
 
+// Support returns the raw 1-bit count of value v (see grrAccumulator.Support).
+func (a *ueAccumulator) Support(v int) int64 {
+	checkDomain(v, a.m.d)
+	return a.counts[v]
+}
+
 func (a *ueAccumulator) Estimate(v int) float64 {
 	checkDomain(v, a.m.d)
 	return (float64(a.counts[v]) - float64(a.n)*a.m.q) / (a.m.p - a.m.q)

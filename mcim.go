@@ -11,6 +11,14 @@
 //     PTS with the paper's correlated perturbation (PTS-CP). All except HEC
 //     produce unbiased estimates.
 //
+//   - The client/server decomposition of every framework: a Protocol vends
+//     a matched Encoder (client side — perturb one pair into a Report) and
+//     Aggregator (server side — Add reports, Merge shards, read calibrated
+//     Estimates) plus the wire codec between them, so each framework
+//     deploys the way production LDP systems do. Estimate on each
+//     framework is a thin loop over these halves; streaming and batch
+//     results are bit-identical.
+//
 //   - Top-k item mining (Definition 4) through the HEC / PTJ / PTS miners
 //     with the paper's optimizations individually toggleable: shuffled
 //     bucket candidates, validity perturbation, global candidate
@@ -20,14 +28,24 @@
 //   - The perturbation mechanisms themselves (VP, CP and the GRR / OUE /
 //     SUE / OLH substrate) for callers composing custom pipelines.
 //
-// Quickstart:
+// Batch quickstart:
 //
 //	data := &mcim.Dataset{Classes: 2, Items: 100, Name: "demo", Pairs: pairs}
 //	est, err := mcim.NewPTSCP(1.0, 0.5)
 //	...
 //	freq, err := est.Estimate(data, mcim.NewRand(42))
 //
-// See examples/ for runnable end-to-end programs and cmd/mcimbench for the
+// Streaming (deployment-shaped) quickstart:
+//
+//	proto, err := mcim.NewProtocol("ptscp", 2, 100, 1.0, 0.5)
+//	enc, agg := proto.Encoder(), proto.NewAggregator()
+//	for _, pair := range pairs {            // client side, one user each
+//		agg.Add(enc.Encode(pair, rng))  // server side
+//	}
+//	freq := agg.Estimates()
+//
+// See examples/ for runnable end-to-end programs, internal/collect for the
+// HTTP collection pipeline over these halves, and cmd/mcimbench for the
 // harness that regenerates every table and figure of the paper.
 package mcim
 
@@ -90,6 +108,47 @@ type ItemMechanismFactory = core.ItemMechanismFactory
 func NewPTSWithItem(name string, eps, split float64, item ItemMechanismFactory) (FrequencyEstimator, error) {
 	return core.NewPTSWithItem(name, eps, split, item)
 }
+
+// Client/server decomposition: every framework splits into an Encoder
+// (client half) and an Aggregator (server half), vended as a matched pair
+// by a Protocol together with the wire codec between them.
+type (
+	// Protocol vends a framework's matched Encoder/Aggregator halves and
+	// (de)serializes its reports for the wire.
+	Protocol = core.Protocol
+	// Encoder is the client half: Encode perturbs one pair into a Report
+	// under the framework's full ε-LDP guarantee.
+	Encoder = core.Encoder
+	// Aggregator is the server half: Add folds reports in, Merge combines
+	// shards exactly, Estimates returns the calibrated c×d matrix.
+	Aggregator = core.Aggregator
+	// PairReport is one perturbed pair report crossing client to server.
+	PairReport = core.Report
+	// WirePayload is the JSON wire form of a PairReport.
+	WirePayload = core.WirePayload
+)
+
+// NewProtocol vends the matched client/server halves of a canonical
+// framework ("hec", "ptj", "pts" or "ptscp"; separators and case are
+// ignored, so "PTS-CP" works) over c classes and d items at budget eps.
+// split is the label-budget fraction ε₁/ε for pts and ptscp. The composite
+// form "pts+<item>" (item one of oue, sue, olh, grr, adaptive) selects PTS
+// over a named item mechanism and survives a trip through a collection
+// server's /config.
+func NewProtocol(name string, c, d int, eps, split float64) (*Protocol, error) {
+	return core.NewProtocol(name, c, d, eps, split)
+}
+
+// NewPTSProtocolWithItem vends the PTS halves over a custom item mechanism
+// factory. For mechanisms with a name ("pts+olh" etc.) prefer NewProtocol,
+// whose protocols are reconstructible from their name by collection
+// clients; factory-built protocols with other names work in-process only.
+func NewPTSProtocolWithItem(name string, c, d int, eps, split float64, item ItemMechanismFactory) (*Protocol, error) {
+	return core.NewPTSProtocolWithItem(name, c, d, eps, split, item)
+}
+
+// ProtocolNames lists the canonical framework names NewProtocol accepts.
+func ProtocolNames() []string { return core.ProtocolNames() }
 
 // Perturbation mechanisms (Section IV).
 type (
