@@ -43,9 +43,11 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Short-budget runs of the collection-server fuzz targets (-fuzz takes one
-# target per invocation).
+# target per invocation): the two wire decoders plus the aggregator-state
+# envelope decoder behind /merge, checkpoints and WAL snapshots.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/collect
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=10s ./internal/collect
+	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=10s ./internal/collect
 
 ci: fmt lint staticcheck build race fuzz bench

@@ -9,6 +9,14 @@
 //
 //	mcimcollect -serve -addr :8090 -framework ptscp -classes 5 -items 1000 -eps 2
 //
+// With -wal-dir the server is durable: accepted reports hit a write-ahead
+// log before any aggregator, and a restart on the same directory recovers
+// bit-identical estimates even after a SIGKILL. -wal-sync picks the fsync
+// policy (always | interval | never) and -wal-compact-after how much log
+// may accumulate before it is folded into a snapshot:
+//
+//	mcimcollect -serve -wal-dir /var/lib/mcim/wal -wal-sync interval
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and logging the final ingested-report count.
 //
@@ -32,6 +40,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/wal"
 	"repro/internal/xrand"
 )
 
@@ -48,6 +57,11 @@ func main() {
 		split     = flag.Float64("split", 0.5, "label budget fraction ε₁/ε (pts, ptscp)")
 		shards    = flag.Int("shards", 0, "accumulator shards (serve mode; 0 = GOMAXPROCS)")
 		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (serve mode; 0 = default 8 MiB)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory (serve mode; empty = not durable)")
+		walSync   = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | never")
+		walEvery  = flag.Duration("wal-sync-every", 0, "flush cadence under -wal-sync interval (0 = default 200ms)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment roll size (0 = default 4 MiB)")
+		walCAfter = flag.Int64("wal-compact-after", 0, "WAL bytes past the last snapshot before background compaction (0 = default 64 MiB)")
 		users     = flag.Int("users", 10000, "simulated users (simulate mode)")
 		batch     = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
@@ -61,10 +75,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := collect.NewServer(proto,
-			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody))
+		opts := []collect.ServerOption{
+			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody),
+		}
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*walSync)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts,
+				collect.WithWAL(*walDir),
+				collect.WithWALOptions(wal.Options{
+					SegmentBytes: *walSeg,
+					Sync:         policy,
+					SyncEvery:    *walEvery,
+				}),
+				collect.WithCompactAfter(*walCAfter))
+		}
+		srv, err := collect.NewServer(proto, opts...)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *walDir != "" {
+			log.Printf("write-ahead log in %s (sync=%s), %d reports recovered", *walDir, *walSync, srv.Reports())
 		}
 		runServer(*addr, srv, *drain)
 
@@ -139,6 +172,9 @@ func runServer(addr string, srv *collect.Server, drain time.Duration) {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("close wal: %v", err)
 	}
 	log.Printf("final total: %d reports ingested", srv.Reports())
 }

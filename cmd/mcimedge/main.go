@@ -1,0 +1,250 @@
+// Command mcimedge is the edge tier of a federated collection deployment:
+// it runs a full collection server close to the clients (same endpoints as
+// mcimcollect -serve, so clients cannot tell the difference) and
+// periodically drains its locally merged aggregate into a fingerprinted
+// state envelope pushed to the upstream root's POST /merge. Because
+// aggregates are integer counts, edge→root aggregation is bit-identical to
+// every client reporting to the root directly — what changes is the
+// traffic shape: the root sees one envelope per edge per push interval
+// instead of millions of per-client requests.
+//
+// The edge learns its protocol from the upstream /config, so a fleet of
+// edges is configured by pointing them at the root:
+//
+//	mcimedge -addr :8091 -upstream http://root:8090 -push-every 10s
+//
+// With -wal-dir the edge is durable too: reports accepted but not yet
+// pushed survive a crash and are pushed after restart. A failed push is
+// not lost — the drained envelope is merged back locally and retried on
+// the next interval. Edges also expose /merge themselves, so edges can be
+// stacked into deeper trees (client → edge → regional edge → root).
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8091", "edge listen address")
+		upstream  = flag.String("upstream", "http://localhost:8090", "root (or next-tier) server URL")
+		pushEvery = flag.Duration("push-every", 10*time.Second, "how often to push the merged aggregate upstream")
+		shards    = flag.Int("shards", 0, "accumulator shards (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory (empty = not durable)")
+		walSync   = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | never")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	proto, _, err := fetchProtocol(*upstream)
+	if err != nil {
+		log.Fatalf("fetch upstream config: %v", err)
+	}
+	opts := []collect.ServerOption{
+		collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody),
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, collect.WithWAL(*walDir), collect.WithWALOptions(wal.Options{Sync: policy}))
+	}
+	srv, err := collect.NewServer(proto, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *walDir != "" && srv.Reports() > 0 {
+		log.Printf("recovered %d unpushed reports from %s", srv.Reports(), *walDir)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("edge collecting %s reports on %s, pushing to %s every %v",
+		proto.Name(), *addr, *upstream, *pushEvery)
+
+	pusher := &pusher{srv: srv, proto: proto, upstream: *upstream}
+	ticker := time.NewTicker(*pushEvery)
+	defer ticker.Stop()
+
+loop:
+	for {
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-ticker.C:
+			pusher.push()
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	stop()
+	log.Printf("shutting down (draining for up to %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	// Final push so a clean shutdown leaves nothing behind on the edge.
+	pusher.push()
+	if err := srv.Close(); err != nil {
+		log.Printf("close wal: %v", err)
+	}
+	if pusher.unpushed > 0 {
+		log.Printf("exiting with %d unpushed reports still local%s", pusher.unpushed, walNote(*walDir))
+	} else {
+		log.Printf("exiting clean: all reports pushed upstream")
+	}
+}
+
+func walNote(dir string) string {
+	if dir == "" {
+		return " (LOST: no -wal-dir)"
+	}
+	return " (recoverable from " + dir + ")"
+}
+
+// fetchProtocol resolves the upstream round's protocol through the shared
+// collect.FetchProtocol rules, retrying briefly so an edge can come up
+// before (or while) the root restarts.
+func fetchProtocol(upstream string) (*core.Protocol, collect.WireConfig, error) {
+	var lastErr error
+	for attempt, delay := 0, time.Second; attempt < 5; attempt, delay = attempt+1, delay*2 {
+		if attempt > 0 {
+			time.Sleep(delay)
+		}
+		proto, cfg, err := collect.FetchProtocol(upstream, nil)
+		if err == nil {
+			return proto, cfg, nil
+		}
+		lastErr = err
+	}
+	return nil, collect.WireConfig{}, lastErr
+}
+
+// pusher drains the edge aggregate and ships it upstream, merging the
+// envelope back on failure so the reports ride the next push instead of
+// being lost.
+type pusher struct {
+	srv      *collect.Server
+	proto    *core.Protocol
+	upstream string
+	unpushed int
+}
+
+func (p *pusher) push() {
+	taken, err := p.srv.Drain()
+	if err != nil {
+		// Drain is atomic: the reports stayed local (in memory and in the
+		// WAL), so the next tick simply retries the whole drain.
+		log.Printf("push: drain: %v (reports held locally)", err)
+		p.unpushed = p.srv.Reports()
+		return
+	}
+	n := taken.N()
+	if n == 0 {
+		p.unpushed = p.srv.Reports()
+		return
+	}
+	env, err := p.proto.MarshalAggregator(taken)
+	if err != nil {
+		log.Printf("push: marshal %d reports: %v (dropped)", n, err)
+		p.unpushed = p.srv.Reports()
+		return
+	}
+	verdict, err := postMerge(p.upstream, env)
+	// Whatever happens below, the "unpushed" gauge must reflect what is
+	// actually still held locally.
+	defer func() { p.unpushed = p.srv.Reports() }()
+	switch verdict {
+	case pushOK:
+		log.Printf("pushed %d reports upstream", n)
+	case pushRetriable:
+		// The upstream definitively did not ingest the envelope and the
+		// condition is transient (5xx, or the connection never came up):
+		// fold it back in and retry next tick together with whatever
+		// arrived meanwhile.
+		if _, merr := p.srv.MergeState(env); merr != nil {
+			log.Printf("push: upstream unavailable (%v) AND local re-merge failed (%v): %d reports dropped", err, merr, n)
+			return
+		}
+		log.Printf("push: upstream unavailable (%v): %d reports held for retry", err, n)
+	case pushPermanent:
+		// The upstream refused the envelope for a reason a retry cannot
+		// fix (fingerprint mismatch after a root reconfiguration, an
+		// envelope over the upstream's size cap): retrying the identical
+		// push forever would only grow the local backlog without bound.
+		// Drop it and say so loudly — this is an operator problem.
+		log.Printf("push: upstream permanently refused (%v): %d reports dropped — check that the upstream round configuration matches", err, n)
+	default: // pushAmbiguous
+		// The request may have been delivered and the response lost, so
+		// the upstream may already have ingested the envelope. Re-pushing
+		// could double-count every report in it, which would silently skew
+		// estimates; dropping loses at most this push's noise-level
+		// contribution. Same at-most-once call collect.Client makes for
+		// in-flight batches.
+		log.Printf("push: transport error (%v): %d reports dropped (upstream may have ingested them)", err, n)
+	}
+}
+
+// pushVerdict classifies one upstream push attempt.
+type pushVerdict int
+
+const (
+	pushOK        pushVerdict = iota // 200: ingested
+	pushRetriable                    // definitively not ingested, transient (5xx, dial failure)
+	pushPermanent                    // definitively not ingested, retry cannot fix it (4xx)
+	pushAmbiguous                    // transport died mid-exchange; may have been ingested
+)
+
+// postMerge ships one state envelope to the upstream /merge and classifies
+// the outcome: an error status means the envelope definitively was not
+// folded in (5xx transient, 4xx permanent — the same split collect.Client
+// retries on); a dial-level failure never sent anything and is transient;
+// any other transport error is ambiguous because the request may have
+// landed before the response was lost.
+func postMerge(upstream string, env []byte) (pushVerdict, error) {
+	resp, err := http.Post(upstream+"/merge", "application/octet-stream", bytes.NewReader(env))
+	if err != nil {
+		var op *net.OpError
+		if errors.As(err, &op) && op.Op == "dial" {
+			return pushRetriable, err // never connected: nothing was sent
+		}
+		return pushAmbiguous, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("merge status %s: %s", resp.Status, bytes.TrimSpace(body))
+		if resp.StatusCode >= 500 {
+			return pushRetriable, err
+		}
+		return pushPermanent, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return pushOK, nil
+}

@@ -178,6 +178,17 @@ func main() {
 	}
 	fmt.Printf("accuracy: frequency RMSE %.2f over %d×%d cells, class-size mean relative error %.2f%%\n",
 		metrics.RMSE(est.Frequencies, truth), data.Classes, data.Items, 100*relErrSum/float64(relErrN))
+
+	// Operational snapshot: on WAL-backed servers this also shows the
+	// durability cost of the run (segments written, bytes not yet folded
+	// into a snapshot).
+	if stats, err := probe.Stats(); err == nil {
+		fmt.Printf("server: %d reports over %d shards (%s)\n", stats.Reports, stats.Shards, stats.Protocol)
+		if stats.WAL != nil {
+			fmt.Printf("server wal: %d segments, %d bytes since last compaction (last snapshot %q)\n",
+				stats.WAL.Segments, stats.WAL.BytesSinceCompaction, stats.WAL.LastSnapshot)
+		}
+	}
 }
 
 // drive submits pairs from one worker, returning per-request latencies and

@@ -56,6 +56,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	decoded := make([]core.Report, 0, len(wires))
+	accepted := make([]WireReport, 0, len(wires))
 	for _, iw := range wires {
 		rep, derr := s.proto.DecodeReport(iw.report)
 		if derr != nil {
@@ -63,8 +64,12 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		decoded = append(decoded, rep)
+		accepted = append(accepted, iw.report)
 	}
-	s.ingest(decoded)
+	if err := s.ingest(accepted, decoded); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	var ack WireBatchAck
 	ack.Accepted = len(decoded)
 	ack.Rejected = len(itemErrs) + droppedTail

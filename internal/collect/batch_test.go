@@ -262,7 +262,9 @@ func TestShardedMatchesSingleAccumulator(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					srv.ingest([]core.Report{dec})
+					if err := srv.ingest([]WireReport{wire}, []core.Report{dec}); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			accS, accU := sharded.merged(), single.merged()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/xrand"
@@ -18,6 +19,19 @@ import (
 // server's default size cap while amortizing per-request overhead over
 // hundreds of reports.
 const DefaultBatchSize = 256
+
+// DefaultRetries is how many times a submission answered with a 5xx is
+// retried (after the initial attempt) before the error surfaces.
+const DefaultRetries = 3
+
+// DefaultRetryBase is the first retry's backoff delay; each subsequent
+// retry doubles it, capped at maxRetryDelayFactor times the base.
+const DefaultRetryBase = 100 * time.Millisecond
+
+// maxRetryDelayFactor caps the exponential backoff at base<<4 (16× the
+// base delay) so a long outage retries steadily instead of stretching
+// toward infinity.
+const maxRetryDelayFactor = 16
 
 // Client perturbs pairs locally and submits them to a collection server.
 // The raw pair never leaves the client: it runs the real client half
@@ -37,6 +51,9 @@ type Client struct {
 	rng       *xrand.Rand
 	batchSize int
 	ndjson    bool
+	retries   int
+	retryBase time.Duration
+	sleep     func(time.Duration) // injectable for tests
 	cfg       WireConfig
 	pending   []WireReport
 }
@@ -62,6 +79,57 @@ func WithNDJSON(on bool) ClientOption {
 	return func(c *Client) { c.ndjson = on }
 }
 
+// WithRetry tunes the client's handling of 5xx responses: a submission the
+// server answers with a server error is retried up to retries times with
+// exponential backoff starting at base (doubled per attempt, capped at 16×
+// base). A 5xx means the server definitively did not ingest the request,
+// so retrying cannot double-count. retries = 0 disables retrying; base < 1
+// restores DefaultRetryBase. 4xx responses and transport errors are never
+// retried — the former need a fix, the latter may have been ingested.
+func WithRetry(retries int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if retries < 0 {
+			retries = 0
+		}
+		if base < 1 {
+			base = DefaultRetryBase
+		}
+		c.retries = retries
+		c.retryBase = base
+	}
+}
+
+// FetchProtocol reads the collection round configuration a server
+// advertises at baseURL/config and reconstructs the matching protocol.
+// Servers that predate the protocol field are assumed to speak ptscp. It
+// is the single place the config→protocol rules live, shared by NewClient
+// and by peers joining a federation tier (cmd/mcimedge).
+func FetchProtocol(baseURL string, hc *http.Client) (*core.Protocol, WireConfig, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var cfg WireConfig
+	resp, err := hc.Get(baseURL + "/config")
+	if err != nil {
+		return nil, cfg, fmt.Errorf("collect: fetch config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, cfg, fmt.Errorf("collect: config status %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return nil, cfg, fmt.Errorf("collect: decode config: %w", err)
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = "ptscp"
+	}
+	proto, err := core.NewProtocol(cfg.Protocol, cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
+	if err != nil {
+		return nil, cfg, fmt.Errorf("collect: server protocol: %w", err)
+	}
+	return proto, cfg, nil
+}
+
 // NewClient fetches the server's configuration from baseURL and prepares
 // the matching local protocol encoder seeded with seed. Servers that
 // predate the protocol field are assumed to speak ptscp.
@@ -69,24 +137,9 @@ func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOptio
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	resp, err := hc.Get(baseURL + "/config")
+	proto, cfg, err := FetchProtocol(baseURL, hc)
 	if err != nil {
-		return nil, fmt.Errorf("collect: fetch config: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("collect: config status %s", resp.Status)
-	}
-	var cfg WireConfig
-	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
-		return nil, fmt.Errorf("collect: decode config: %w", err)
-	}
-	if cfg.Protocol == "" {
-		cfg.Protocol = "ptscp"
-	}
-	proto, err := core.NewProtocol(cfg.Protocol, cfg.Classes, cfg.Items, cfg.Epsilon, cfg.Split)
-	if err != nil {
-		return nil, fmt.Errorf("collect: server protocol: %w", err)
+		return nil, err
 	}
 	c := &Client{
 		base:      baseURL,
@@ -95,6 +148,9 @@ func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOptio
 		enc:       proto.Encoder(),
 		rng:       xrand.New(seed),
 		batchSize: DefaultBatchSize,
+		retries:   DefaultRetries,
+		retryBase: DefaultRetryBase,
+		sleep:     time.Sleep,
 		cfg:       cfg,
 	}
 	for _, opt := range opts {
@@ -117,23 +173,45 @@ func (c *Client) perturb(pair core.Pair) WireReport {
 	return c.proto.EncodeReport(c.enc.Encode(pair, c.rng))
 }
 
+// retry runs do, retrying with capped exponential backoff as long as
+// StatusCode reports a 5xx — the one class of failure where the server
+// definitively did not ingest the request, so a retry can never
+// double-count. Transport errors and 4xx responses surface immediately.
+func (c *Client) retry(do func() error) error {
+	delay := c.retryBase
+	for attempt := 0; ; attempt++ {
+		err := do()
+		code, ok := StatusCode(err)
+		if err == nil || !ok || code < 500 || attempt >= c.retries {
+			return err
+		}
+		c.sleep(delay)
+		if delay < c.retryBase*maxRetryDelayFactor {
+			delay *= 2
+		}
+	}
+}
+
 // Submit perturbs the pair under the protocol's encoder and POSTs the
-// report immediately as a single-report request.
+// report immediately as a single-report request. Server errors (5xx) are
+// retried with backoff per the client's retry policy.
 func (c *Client) Submit(pair core.Pair) error {
 	body, err := json.Marshal(c.perturb(pair))
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+"/report", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("collect: submit: %w", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("collect: submit status %s", resp.Status)
-	}
-	return nil
+	return c.retry(func() error {
+		resp, err := c.http.Post(c.base+"/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("collect: submit: %w", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return &statusError{resp.StatusCode, "collect: submit status " + resp.Status}
+		}
+		return nil
+	})
 }
 
 // SubmitBatch perturbs every pair and ships the whole batch as one
@@ -163,8 +241,10 @@ func (c *Client) Buffer(pair core.Pair) error {
 func (c *Client) Pending() int { return len(c.pending) }
 
 // Flush ships the buffered reports in batch requests of at most BatchSize
-// reports each. It is a no-op when the buffer is empty. When the server
-// answers a chunk with an error status it definitively did not ingest it
+// reports each. It is a no-op when the buffer is empty. Chunks answered
+// with a 5xx are first retried with backoff per the retry policy; when the
+// server (still) answers a chunk with an error status it definitively did
+// not ingest it
 // (StatusCode reports the status behind such errors), so the chunk (and
 // everything after it) stays buffered for a retry — and
 // a 413 additionally halves the client's batch size, so the retry ships
@@ -279,7 +359,8 @@ func StatusCode(err error) (int, bool) {
 }
 
 // postBatch encodes wires per the client's batch encoding and POSTs them to
-// /reports.
+// /reports, retrying 5xx responses per the client's retry policy (the body
+// is encoded once and replayed per attempt).
 func (c *Client) postBatch(wires []WireReport) (*WireBatchAck, error) {
 	var (
 		buf         bytes.Buffer
@@ -299,26 +380,34 @@ func (c *Client) postBatch(wires []WireReport) (*WireBatchAck, error) {
 			return nil, err
 		}
 	}
-	bodyLen := buf.Len()
-	resp, err := c.http.Post(c.base+"/reports", contentType, &buf)
-	if err != nil {
-		return nil, fmt.Errorf("collect: submit batch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		if resp.StatusCode == http.StatusRequestEntityTooLarge {
-			return nil, &statusError{resp.StatusCode, fmt.Sprintf(
-				"collect: batch of %d reports (%d bytes) exceeds the server's %d-byte body cap; reduce the batch size",
-				len(wires), bodyLen, c.cfg.MaxBodyBytes)}
+	body := buf.Bytes()
+	var ack *WireBatchAck
+	err := c.retry(func() error {
+		resp, err := c.http.Post(c.base+"/reports", contentType, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("collect: submit batch: %w", err)
 		}
-		return nil, &statusError{resp.StatusCode, "collect: submit batch status " + resp.Status}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode == http.StatusRequestEntityTooLarge {
+				return &statusError{resp.StatusCode, fmt.Sprintf(
+					"collect: batch of %d reports (%d bytes) exceeds the server's %d-byte body cap; reduce the batch size",
+					len(wires), len(body), c.cfg.MaxBodyBytes)}
+			}
+			return &statusError{resp.StatusCode, "collect: submit batch status " + resp.Status}
+		}
+		var a WireBatchAck
+		if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+			return fmt.Errorf("collect: decode batch ack: %w", err)
+		}
+		ack = &a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var ack WireBatchAck
-	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-		return nil, fmt.Errorf("collect: decode batch ack: %w", err)
-	}
-	return &ack, nil
+	return ack, nil
 }
 
 // Estimates fetches the server's current calibrated estimates.

@@ -22,6 +22,13 @@
 // which is exact: aggregators hold integer counts, so the merged estimates
 // are bit-identical to a single-aggregator server fed the same report
 // stream.
+//
+// Two production affordances sit on top (see durable.go and merge.go): a
+// write-ahead log (WithWAL) that makes the aggregate survive unclean
+// shutdowns bit-identically, and a federation endpoint (POST /merge) that
+// accepts another server's fingerprinted state envelope, which is how edge
+// collectors (cmd/mcimedge) push their locally merged aggregates up to a
+// root server.
 package collect
 
 import (
@@ -33,13 +40,26 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // DefaultMaxBodyBytes caps request bodies: generous enough for batches of
 // thousands of sparse reports, small enough to bound per-request memory.
 const DefaultMaxBodyBytes = 8 << 20
+
+// DefaultMergeMaxBodyBytes caps POST /merge bodies separately and far more
+// generously: a state envelope is one per edge per push interval (not
+// per-client traffic), and report-retaining aggregators (pts+olh) produce
+// envelopes that grow with the edge's report count — capping them at the
+// batch limit would wedge a backlogged edge permanently (every push 413s,
+// is re-merged locally, and grows further). It must stay below
+// wal.MaxRecordBytes: a WAL-backed server logs every merged envelope as
+// one record, and accepting an envelope it cannot make durable would 500
+// the push after reading it.
+const DefaultMergeMaxBodyBytes = 256 << 20
 
 // WireConfig describes the collection round so clients can self-configure.
 // Protocol names the frequency-estimation framework (hec, ptj, pts, ptscp)
@@ -72,6 +92,16 @@ type WireStats struct {
 	Protocol string `json:"protocol"`
 	Reports  int    `json:"reports"`
 	Shards   int    `json:"shards"`
+	// WAL is present only on servers running with a write-ahead log.
+	WAL *WireWALStats `json:"wal,omitempty"`
+}
+
+// WireWALStats is the durability slice of /stats: how much log a restart
+// would replay and when the state was last compacted into a snapshot.
+type WireWALStats struct {
+	Segments             int    `json:"segments"`
+	BytesSinceCompaction int64  `json:"bytes_since_compaction"`
+	LastSnapshot         string `json:"last_snapshot,omitempty"` // RFC 3339; empty if never
 }
 
 // shard is one independently locked aggregator.
@@ -85,9 +115,21 @@ type shard struct {
 // round-robin per request so concurrent ingestion scales with cores), and
 // reads merge all shards into a point-in-time aggregate.
 type Server struct {
-	proto   *core.Protocol
-	cfg     WireConfig
-	maxBody int64
+	proto        *core.Protocol
+	cfg          WireConfig
+	maxBody      int64
+	mergeMaxBody int64
+
+	// ingestMu orders report-stream writes (reader side) against
+	// whole-state transitions — Restore, Drain, WAL compaction (writer
+	// side) — so a WAL append and its aggregator apply are atomic with
+	// respect to the segment boundary a compaction snapshot covers.
+	ingestMu     sync.RWMutex
+	wal          *wal.Log
+	walDir       string
+	walOpts      wal.Options
+	compactAfter int64
+	compacting   atomic.Bool
 
 	next   atomic.Uint64 // round-robin shard cursor
 	total  atomic.Int64  // reports ingested; cheap read for acks vs locking every shard
@@ -119,6 +161,51 @@ func WithMaxBodyBytes(n int64) ServerOption {
 			n = DefaultMaxBodyBytes
 		}
 		s.maxBody = n
+	}
+}
+
+// WithMergeMaxBodyBytes caps the accepted body size for POST /merge state
+// envelopes, independently of the report-batch cap. n < 1 restores
+// DefaultMergeMaxBodyBytes.
+func WithMergeMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = DefaultMergeMaxBodyBytes
+		}
+		s.mergeMaxBody = n
+	}
+}
+
+// DefaultCompactAfterBytes is the WAL auto-compaction threshold: once this
+// many record bytes accumulate past the last snapshot, the server folds
+// them into a fresh snapshot in the background.
+const DefaultCompactAfterBytes = 64 << 20
+
+// WithWAL makes the server durable: every accepted report batch (and every
+// merged envelope) is appended to a write-ahead log under dir before it
+// touches an aggregator, and NewServer replays snapshot + tail from dir so
+// a restarted server resumes with bit-identical estimates. An empty dir
+// disables the WAL (the default).
+func WithWAL(dir string) ServerOption {
+	return func(s *Server) { s.walDir = dir }
+}
+
+// WithWALOptions tunes the log opened by WithWAL: segment roll size and
+// fsync policy (see wal.Options). Zero values keep the WAL defaults.
+func WithWALOptions(o wal.Options) ServerOption {
+	return func(s *Server) { s.walOpts = o }
+}
+
+// WithCompactAfter sets how many WAL bytes may accumulate past the last
+// snapshot before the server compacts in the background. n < 1 restores
+// DefaultCompactAfterBytes; use a huge value to effectively disable
+// auto-compaction (Compact can always be called explicitly).
+func WithCompactAfter(n int64) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = DefaultCompactAfterBytes
+		}
+		s.compactAfter = n
 	}
 }
 
@@ -159,8 +246,10 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 			Epsilon:  p.Epsilon(),
 			Split:    p.Split(),
 		},
-		maxBody: DefaultMaxBodyBytes,
-		shards:  make([]*shard, runtime.GOMAXPROCS(0)),
+		maxBody:      DefaultMaxBodyBytes,
+		mergeMaxBody: DefaultMergeMaxBodyBytes,
+		compactAfter: DefaultCompactAfterBytes,
+		shards:       make([]*shard, runtime.GOMAXPROCS(0)),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -168,6 +257,17 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 	s.cfg.MaxBodyBytes = s.maxBody
 	for i := range s.shards {
 		s.shards[i] = &shard{acc: p.NewAggregator()}
+	}
+	if s.walDir != "" {
+		// Every accepted /merge envelope becomes one WAL record (plus a
+		// type byte); cap acceptance at what the log can actually frame, or
+		// a push would be read fully and then 500 at the append.
+		if max := int64(wal.MaxRecordBytes - 1); s.mergeMaxBody > max {
+			s.mergeMaxBody = max
+		}
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -183,14 +283,16 @@ func (s *Server) Shards() int { return len(s.shards) }
 //	GET  /config    → WireConfig (protocol name + round parameters)
 //	POST /report    → accept one WireReport
 //	POST /reports   → accept a batch of WireReports (JSON array or NDJSON)
+//	POST /merge     → accept a fingerprinted aggregator state envelope
 //	GET  /estimates → WireEstimates (the protocol's calibrated frequencies)
-//	GET  /stats     → WireStats (reports ingested, shard count, protocol)
+//	GET  /stats     → WireStats (reports ingested, shard count, protocol, WAL)
 //	GET  /healthz   → 200 ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /config", s.handleConfig)
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /reports", s.handleReportBatch)
+	mux.HandleFunc("POST /merge", s.handleMerge)
 	mux.HandleFunc("GET /estimates", s.handleEstimates)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -204,17 +306,34 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, WireStats{Protocol: s.proto.Name(), Reports: s.Reports(), Shards: s.Shards()})
+	st := WireStats{Protocol: s.proto.Name(), Reports: s.Reports(), Shards: s.Shards()}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &WireWALStats{
+			Segments:             ws.Segments,
+			BytesSinceCompaction: ws.BytesSinceCompaction,
+		}
+		if !ws.LastSnapshot.IsZero() {
+			st.WAL.LastSnapshot = ws.LastSnapshot.UTC().Format(time.RFC3339)
+		}
+	}
+	writeJSON(w, st)
 }
 
-// readBody drains the request body under the server's size cap, answering
-// 413 (and returning false) when the cap is exceeded.
+// readBody drains the request body under the server's report-batch size
+// cap, answering 413 (and returning false) when the cap is exceeded.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	return s.readBodyLimit(w, r, s.maxBody)
+}
+
+// readBodyLimit is readBody under an explicit cap (POST /merge has its own,
+// larger one).
+func (s *Server) readBodyLimit(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, fmt.Sprintf("collect: body exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
+			http.Error(w, fmt.Sprintf("collect: body exceeds %d bytes", limit), http.StatusRequestEntityTooLarge)
 		} else {
 			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		}
@@ -238,20 +357,45 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.ingest([]core.Report{decoded})
+	if err := s.ingest([]WireReport{rep}, []core.Report{decoded}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, map[string]int{"reports": s.Reports()})
 }
 
-// ingest folds decoded reports into one shard under a single lock
+// ingest makes a batch of accepted reports durable (when a WAL is attached,
+// the wire forms are logged before any aggregator sees them — write-ahead)
+// and folds the decoded forms into a shard. A WAL append failure rejects
+// the whole batch: nothing was applied, so the client may safely retry.
+func (s *Server) ingest(wires []WireReport, reps []core.Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	s.ingestMu.RLock()
+	if s.wal != nil {
+		rec, err := batchRecord(wires)
+		if err == nil {
+			err = s.wal.Append(rec)
+		}
+		if err != nil {
+			s.ingestMu.RUnlock()
+			return fmt.Errorf("collect: wal append: %w", err)
+		}
+	}
+	s.apply(reps)
+	s.ingestMu.RUnlock()
+	s.maybeCompact()
+	return nil
+}
+
+// apply folds decoded reports into one shard under a single lock
 // acquisition. The shard is picked round-robin so concurrent requests spread
 // across shards instead of contending on one mutex. The total counter is
 // advanced while the shard lock is still held so that Restore — which takes
 // every shard lock before overwriting the counter — cannot interleave
 // between a shard write and its count.
-func (s *Server) ingest(reps []core.Report) {
-	if len(reps) == 0 {
-		return
-	}
+func (s *Server) apply(reps []core.Report) {
 	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
 	sh.mu.Lock()
 	for _, rep := range reps {
@@ -297,48 +441,66 @@ func (s *Server) Reports() int {
 }
 
 // Snapshot serializes the aggregation state (aggregate counts only — no
-// individual reports are retained) so the server can checkpoint across
-// restarts. The snapshot is the merged view; shard layout is not preserved.
-// It errors when the protocol's aggregator does not support binary
-// snapshots (currently only ptscp does).
+// individual reports beyond what the protocol's aggregator retains by
+// design) into a versioned, fingerprinted state envelope, so the server can
+// checkpoint across restarts or ship its aggregate to a federation peer.
+// The snapshot is the merged view; shard layout is not preserved. Every
+// protocol supports it.
 func (s *Server) Snapshot() ([]byte, error) {
-	m, ok := s.merged().(interface{ MarshalBinary() ([]byte, error) })
-	if !ok {
-		return nil, fmt.Errorf("collect: protocol %s does not support snapshots", s.proto.Name())
-	}
-	return m.MarshalBinary()
+	return s.proto.MarshalAggregator(s.merged())
 }
 
-// Restore replaces the aggregation state with a snapshot taken from a
-// server with the same protocol configuration. The restored counts land on
-// one shard; subsequent ingestion spreads over all shards as usual.
+// Restore replaces the aggregation state with a Snapshot envelope taken
+// from a server with the identical protocol fingerprint; a mismatched or
+// corrupt envelope is refused and the running state is untouched. On a
+// WAL-backed server the restored state also becomes the log's new snapshot,
+// superseding every record written before the restore. The restored counts
+// land on one shard; subsequent ingestion spreads over all shards as usual.
 func (s *Server) Restore(data []byte) error {
-	restored := s.proto.NewAggregator()
-	u, ok := restored.(interface{ UnmarshalBinary([]byte) error })
-	if !ok {
-		return fmt.Errorf("collect: protocol %s does not support snapshots", s.proto.Name())
-	}
-	if err := u.UnmarshalBinary(data); err != nil {
+	restored, err := s.proto.UnmarshalAggregator(data)
+	if err != nil {
 		return err
 	}
-	// Hold every shard lock across the swap and the counter reset so
-	// concurrent ingestion is either fully before (wiped and uncounted) or
-	// fully after (kept and counted) the restore — never half of each.
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	// The WAL must be moved past its history (roll, then seal the restored
+	// state as the new snapshot) BEFORE the memory swap: if either step
+	// fails, the running state is genuinely untouched, whereas installing
+	// first would leave the server serving state the log does not replay
+	// to. Ingestion is quiesced (ingestMu held exclusively) across all of
+	// it, so no record lands between the roll boundary and the install.
+	if s.wal != nil {
+		cover, err := s.wal.Roll()
+		if err != nil {
+			return fmt.Errorf("collect: wal roll for restore: %w", err)
+		}
+		if err := s.wal.Seal(cover, data); err != nil {
+			return fmt.Errorf("collect: wal seal for restore: %w", err)
+		}
+	}
+	s.install(restored)
+	return nil
+}
+
+// install swaps the whole aggregate for agg. It holds every shard lock
+// across the swap and the counter reset so concurrent ingestion is either
+// fully before (wiped and uncounted) or fully after (kept and counted) —
+// never half of each.
+func (s *Server) install(agg core.Aggregator) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
 	for i, sh := range s.shards {
 		if i == 0 {
-			sh.acc = restored
+			sh.acc = agg
 		} else {
 			sh.acc = s.proto.NewAggregator()
 		}
 	}
-	s.total.Store(int64(restored.N()))
+	s.total.Store(int64(agg.N()))
 	for _, sh := range s.shards {
 		sh.mu.Unlock()
 	}
-	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,158 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// This file wires the server to its write-ahead log. The durability
+// contract: a report batch is appended to the WAL (as the accepted wire
+// reports, re-validated on replay) before any aggregator sees it, and
+// federation envelopes are logged the same way, so replaying snapshot +
+// tail after an unclean shutdown reconstructs the aggregate bit-identically
+// — integer counts make replay order irrelevant. Compaction periodically
+// folds the log down to one state envelope plus a short tail, bounding both
+// disk usage and restart time.
+
+// WAL record types: the first byte of every record says how to replay the
+// rest.
+const (
+	// recBatch frames a JSON array of accepted WireReports.
+	recBatch = 'B'
+	// recEnvelope frames a fingerprinted aggregator state envelope merged
+	// through MergeState.
+	recEnvelope = 'E'
+)
+
+// batchRecord encodes accepted wire reports as one WAL record.
+func batchRecord(wires []WireReport) ([]byte, error) {
+	body, err := json.Marshal(wires)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{recBatch}, body...), nil
+}
+
+// envelopeRecord encodes a merged state envelope as one WAL record.
+func envelopeRecord(env []byte) []byte {
+	return append([]byte{recEnvelope}, env...)
+}
+
+// openWAL opens the configured log and replays it into the (still
+// unserved) shards: the latest snapshot becomes the base state, the record
+// tail is re-ingested on top. Called from NewServer before the handler is
+// exposed, so no locking is needed beyond what apply/install already do.
+func (s *Server) openWAL() error {
+	l, err := wal.Open(s.walDir, s.walOpts)
+	if err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	err = l.Replay(
+		func(snap []byte) error {
+			agg, err := s.proto.UnmarshalAggregator(snap)
+			if err != nil {
+				return fmt.Errorf("collect: wal snapshot does not match protocol %s: %w", s.proto.Name(), err)
+			}
+			s.install(agg)
+			return nil
+		},
+		s.replayRecord,
+	)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	s.wal = l
+	return nil
+}
+
+// replayRecord re-applies one WAL record. Records were validated before
+// they were written, so a record that fails to decode means the log does
+// not belong to this server's protocol configuration — an operator error
+// worth failing loudly on, not skipping.
+func (s *Server) replayRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("collect: empty wal record")
+	}
+	switch rec[0] {
+	case recBatch:
+		var wires []WireReport
+		if err := json.Unmarshal(rec[1:], &wires); err != nil {
+			return fmt.Errorf("collect: wal batch record: %w", err)
+		}
+		reps := make([]core.Report, len(wires))
+		for i, wr := range wires {
+			rep, err := s.proto.DecodeReport(wr)
+			if err != nil {
+				return fmt.Errorf("collect: wal batch record does not match protocol %s: %w", s.proto.Name(), err)
+			}
+			reps[i] = rep
+		}
+		if len(reps) > 0 {
+			s.apply(reps)
+		}
+		return nil
+	case recEnvelope:
+		agg, err := s.proto.UnmarshalAggregator(rec[1:])
+		if err != nil {
+			return fmt.Errorf("collect: wal envelope record: %w", err)
+		}
+		return s.mergeShard(agg)
+	default:
+		return fmt.Errorf("collect: unknown wal record type %#x", rec[0])
+	}
+}
+
+// maybeCompact kicks off a background compaction when the WAL has
+// accumulated compactAfter bytes past its last snapshot. At most one
+// compaction runs at a time; extra triggers are dropped, not queued.
+func (s *Server) maybeCompact() {
+	if s.wal == nil || s.wal.BytesSinceSeal() < s.compactAfter {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		if err := s.Compact(); err != nil {
+			log.Printf("collect: background wal compaction: %v", err)
+		}
+	}()
+}
+
+// Compact folds the WAL down to a snapshot of the current aggregate plus an
+// empty tail: appends are quiesced just long enough to roll the log and
+// marshal the merged state, then the snapshot is sealed and the covered
+// segments deleted. Estimates are unaffected; a restart after a compaction
+// replays the snapshot instead of the raw records. It errors on servers
+// without a WAL.
+func (s *Server) Compact() error {
+	if s.wal == nil {
+		return fmt.Errorf("collect: server has no WAL to compact")
+	}
+	s.ingestMu.Lock()
+	cover, err := s.wal.Roll()
+	var env []byte
+	if err == nil {
+		env, err = s.proto.MarshalAggregator(s.merged())
+	}
+	s.ingestMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.wal.Seal(cover, env)
+}
+
+// Close flushes and closes the WAL (a no-op on servers without one). Serve
+// traffic must be quiesced first — http.Server.Shutdown before Close.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}

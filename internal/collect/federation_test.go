@@ -1,0 +1,196 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestFederatedMergeEqualsCentralized pins acceptance criterion (c): for
+// every framework, E edge collectors ingesting disjoint slices of a report
+// stream and pushing their drained state through the root's POST /merge
+// produce estimates bit-identical to one centralized server ingesting the
+// whole stream itself.
+func TestFederatedMergeEqualsCentralized(t *testing.T) {
+	const c, d, n, edges = 3, 10, 1500, 4
+	for _, name := range snapshotFrameworks {
+		t.Run(name, func(t *testing.T) {
+			proto := mustProtocol(t, name, c, d, 2, 0.5)
+			wires := wireStream(t, proto, n, 29)
+
+			central, err := NewServer(mustProtocol(t, name, c, d, 2, 0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestWires(t, central, wires, 64)
+
+			root, err := NewServer(mustProtocol(t, name, c, d, 2, 0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(root.Handler())
+			defer ts.Close()
+
+			// Deal the stream round-robin over the edges, then push each
+			// edge's drained aggregate upstream over HTTP.
+			for e := 0; e < edges; e++ {
+				edge, err := NewServer(mustProtocol(t, name, c, d, 2, 0.5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var slice []WireReport
+				for i := e; i < n; i += edges {
+					slice = append(slice, wires[i])
+				}
+				ingestWires(t, edge, slice, 64)
+				taken, err := edge.Drain()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if edge.Reports() != 0 {
+					t.Fatalf("edge %d holds %d reports after drain", e, edge.Reports())
+				}
+				env, err := edge.proto.MarshalAggregator(taken)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.Post(ts.URL+"/merge", "application/octet-stream", bytes.NewReader(env))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ack WireMergeAck
+				if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("edge %d push status %d", e, resp.StatusCode)
+				}
+				if ack.Merged != len(slice) {
+					t.Fatalf("edge %d merged %d reports, want %d", e, ack.Merged, len(slice))
+				}
+			}
+
+			if root.Reports() != n {
+				t.Fatalf("root holds %d reports, want %d", root.Reports(), n)
+			}
+			rootAgg, centralAgg := root.merged(), central.merged()
+			if !reflect.DeepEqual(rootAgg.Estimates(), centralAgg.Estimates()) {
+				t.Fatal("federated estimates not bit-identical to centralized ingestion")
+			}
+			if !reflect.DeepEqual(rootAgg.ClassSizes(), centralAgg.ClassSizes()) {
+				t.Fatal("federated class sizes not bit-identical to centralized ingestion")
+			}
+		})
+	}
+}
+
+// TestMergeEndpointRejects checks the /merge failure modes: a fingerprint
+// mismatch is a 409 (the envelope is valid, just not ours), corrupt bytes
+// are a 400, and neither touches the aggregate.
+func TestMergeEndpointRejects(t *testing.T) {
+	root, ts := newTestServer(t, 2, 6, 3)
+	defer ts.Close()
+
+	// An envelope from a different round (other ε) of the same framework.
+	foreign, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWires(t, foreign, wireStream(t, foreign.proto, 10, 2), 10)
+	env, err := foreign.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		body []byte
+		want int
+	}{
+		"fingerprint mismatch": {env, http.StatusConflict},
+		"corrupt envelope":     {[]byte("garbage"), http.StatusBadRequest},
+		"empty body":           {nil, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/merge", "application/octet-stream", bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+	if root.Reports() != 0 {
+		t.Fatalf("rejected merges changed the aggregate (%d reports)", root.Reports())
+	}
+
+	// A compatible envelope still merges over the same endpoint.
+	peer, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWires(t, peer, wireStream(t, peer.proto, 25, 3), 10)
+	good, err := peer.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/merge", "application/octet-stream", bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compatible merge status %d", resp.StatusCode)
+	}
+	if root.Reports() != 25 {
+		t.Fatalf("root reports %d after merge, want 25", root.Reports())
+	}
+}
+
+// TestDrainPushFailureRemerge documents the edge collector's retry loop:
+// when an upstream push fails, MergeState folds the drained envelope back
+// in, and the next drain carries those reports again — nothing is lost or
+// double-counted.
+func TestDrainPushFailureRemerge(t *testing.T) {
+	edge, err := NewServer(mustProtocol(t, "pts", 2, 6, 2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := wireStream(t, edge.proto, 40, 4)
+	ingestWires(t, edge, wires[:30], 10)
+	taken, err := edge.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := edge.proto.MarshalAggregator(taken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Push failed": put it back, ingest more, drain again.
+	if _, err := edge.MergeState(env); err != nil {
+		t.Fatal(err)
+	}
+	ingestWires(t, edge, wires[30:], 10)
+	if edge.Reports() != 40 {
+		t.Fatalf("edge reports %d, want 40", edge.Reports())
+	}
+	retaken, err := edge.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retaken.N() != 40 {
+		t.Fatalf("second drain carries %d reports, want all 40", retaken.N())
+	}
+
+	// The retried aggregate equals direct ingestion of the same stream.
+	direct, err := NewServer(mustProtocol(t, "pts", 2, 6, 2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWires(t, direct, wires, 10)
+	if !reflect.DeepEqual(retaken.Estimates(), direct.merged().Estimates()) {
+		t.Fatal("re-merged drain not bit-identical to direct ingestion")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/xrand"
 )
 
 // fuzzProtocols covers all three wire payload shapes: ptscp (bit-vector
@@ -59,6 +60,59 @@ func FuzzDecode(f *testing.F) {
 			// Accepted reports must be safe to accumulate.
 			acc := p.NewAggregator()
 			acc.Add(decoded)
+		}
+	})
+}
+
+// FuzzUnmarshalEnvelope drives the aggregator-state decoder — the bytes a
+// server accepts on POST /merge, restores from disk checkpoints, and
+// replays from WAL snapshots — with arbitrary inputs: corrupted, truncated
+// and wrong-fingerprint envelopes must error, never panic, and anything
+// accepted must be a usable aggregator of the right protocol.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	protos := fuzzProtocols(f)
+	// Seed with real envelopes (empty and populated) from every protocol —
+	// feeding protocol A's envelope to protocol B exercises the
+	// wrong-fingerprint path from the first run.
+	r := xrand.New(1)
+	for _, p := range protos {
+		agg := p.NewAggregator()
+		empty, err := p.MarshalAggregator(agg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(empty)
+		enc := p.Encoder()
+		for i := 0; i < 20; i++ {
+			agg.Add(enc.Encode(core.Pair{Class: i % p.Classes(), Item: i % p.Items()}, r))
+		}
+		full, err := p.MarshalAggregator(agg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(full)
+		f.Add(full[:len(full)/2]) // truncated
+		mangled := append([]byte(nil), full...)
+		mangled[len(mangled)/2] ^= 0xff
+		f.Add(mangled) // corrupted
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MCSE"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range protos {
+			agg, err := p.UnmarshalAggregator(data)
+			if err != nil {
+				continue
+			}
+			// Accepted state must be usable: estimable and mergeable into a
+			// fresh aggregator of the same protocol.
+			if agg.N() < 0 {
+				t.Fatalf("%s accepted negative report count %d", p.Name(), agg.N())
+			}
+			agg.Estimates()
+			if err := p.NewAggregator().Merge(agg); err != nil {
+				t.Fatalf("%s accepted an unmergeable aggregator: %v", p.Name(), err)
+			}
 		}
 	})
 }

@@ -1,0 +1,167 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// This file is the federation tier: POST /merge accepts another server's
+// fingerprinted state envelope (the bytes Snapshot / Drain produce) and
+// folds it into the local aggregate exactly. Because aggregates are integer
+// counts, N edge collectors ingesting disjoint report streams and pushing
+// their merged state here produce estimates bit-identical to one central
+// server ingesting every report itself — the property cmd/mcimedge builds
+// on and TestFederatedMergeEqualsCentralized pins.
+
+// WireMergeAck acknowledges a /merge request: Merged is the report count
+// the envelope contributed, Reports the server's post-merge total.
+type WireMergeAck struct {
+	Merged  int `json:"merged"`
+	Reports int `json:"reports"`
+}
+
+// handleMerge ingests one state envelope. The envelope must carry this
+// server's exact protocol fingerprint: a mismatch — another framework,
+// domain, budget, or mechanism set — is answered with 409 Conflict, since
+// folding it in would silently corrupt calibration; corrupt envelopes are
+// 400s; a durability failure while logging the merge is a 500 and the
+// envelope was not merged.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBodyLimit(w, r, s.mergeMaxBody)
+	if !ok {
+		return
+	}
+	agg, err := s.proto.UnmarshalAggregator(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrIncompatibleState) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	n, err := s.mergeDurable(body, agg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, WireMergeAck{Merged: n, Reports: s.Reports()})
+}
+
+// MergeState folds a state envelope (as produced by Snapshot, Drain +
+// MarshalAggregator, or a peer's /merge push) into the server's aggregate,
+// returning the number of reports it contributed. It is the programmatic
+// form of POST /merge and shares its durability semantics: with a WAL, the
+// envelope is logged before it is applied.
+func (s *Server) MergeState(env []byte) (int, error) {
+	agg, err := s.proto.UnmarshalAggregator(env)
+	if err != nil {
+		return 0, err
+	}
+	return s.mergeDurable(env, agg)
+}
+
+// mergeDurable logs the envelope (write-ahead) and folds agg into a shard.
+func (s *Server) mergeDurable(env []byte, agg core.Aggregator) (int, error) {
+	n := agg.N()
+	if n == 0 {
+		return 0, nil
+	}
+	s.ingestMu.RLock()
+	if s.wal != nil {
+		if err := s.wal.Append(envelopeRecord(env)); err != nil {
+			s.ingestMu.RUnlock()
+			return 0, fmt.Errorf("collect: wal append: %w", err)
+		}
+	}
+	err := s.mergeShard(agg)
+	s.ingestMu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	s.maybeCompact()
+	return n, nil
+}
+
+// mergeShard folds agg into one round-robin-picked shard. Like apply, the
+// total is advanced under the shard lock so Restore cannot interleave
+// between the merge and its count.
+func (s *Server) mergeShard(agg core.Aggregator) error {
+	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.acc.Merge(agg); err != nil {
+		// The envelope fingerprint matched this protocol, so the aggregator
+		// types match by construction.
+		return fmt.Errorf("collect: merge state: %w", err)
+	}
+	s.total.Add(int64(agg.N()))
+	return nil
+}
+
+// Drain atomically removes and returns the server's entire aggregate,
+// leaving it empty — the edge collector's push primitive: drain, marshal,
+// POST to the upstream /merge, and on a definitive push rejection
+// MergeState the envelope back so the reports ride the next push. On a
+// WAL-backed server the drain also compacts the log to an empty snapshot,
+// so a restart does not resurrect (and re-push) reports that were handed
+// to the caller; the window between a drain and a successful upstream push
+// is the one place durability is delegated to the caller holding the
+// aggregate.
+//
+// Drain is atomic: when the WAL cannot be moved past the drained state, the
+// aggregate is folded back in, nothing is handed out, and the error is
+// returned — handing the state out anyway would let a restart replay (and
+// the caller push) the same reports twice.
+func (s *Server) Drain() (core.Aggregator, error) {
+	// ingestMu is held exclusively across the take AND the WAL roll+seal:
+	// releasing it between them would let a concurrent background
+	// compaction seal the post-drain state and prune the drained records,
+	// after which the memory-only undo below could no longer claim "the
+	// records are still in the log".
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	taken := s.takeLocked()
+	if s.wal != nil {
+		cover, err := s.wal.Roll()
+		if err != nil {
+			s.mergeShard(taken) // records still logged: memory-only undo
+			return nil, fmt.Errorf("collect: wal roll after drain: %w", err)
+		}
+		env, err := s.proto.MarshalAggregator(s.proto.NewAggregator())
+		if err == nil {
+			err = s.wal.Seal(cover, env)
+		}
+		if err != nil {
+			// The drained records are still in the log (the seal that would
+			// have superseded them failed), so fold the state back into
+			// memory only — a WAL append here would double them on replay.
+			s.mergeShard(taken)
+			return nil, fmt.Errorf("collect: wal seal after drain: %w", err)
+		}
+	}
+	return taken, nil
+}
+
+// takeLocked swaps every shard for a fresh aggregator and returns the
+// merged removed state. Caller holds ingestMu exclusively.
+func (s *Server) takeLocked() core.Aggregator {
+	taken := s.proto.NewAggregator()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range s.shards {
+		if err := taken.Merge(sh.acc); err != nil {
+			panic("collect: shard merge: " + err.Error()) // identical protocol by construction
+		}
+		sh.acc = s.proto.NewAggregator()
+	}
+	s.total.Store(0)
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+	return taken
+}

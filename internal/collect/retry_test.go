@@ -1,0 +1,156 @@
+package collect
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// flakyHandler wraps a real server handler, answering the first fail
+// submissions with the given status before letting traffic through.
+type flakyHandler struct {
+	inner    http.Handler
+	status   int
+	failures atomic.Int32
+	fail     int32
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if (r.URL.Path == "/report" || r.URL.Path == "/reports") && f.failures.Add(1) <= f.fail {
+		http.Error(w, "synthetic outage", f.status)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// retryClient builds a client against h with instant (recorded) sleeps.
+func retryClient(t *testing.T, url string, delays *[]time.Duration, opts ...ClientOption) *Client {
+	t.Helper()
+	client, err := NewClient(url, nil, 7, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.sleep = func(d time.Duration) { *delays = append(*delays, d) }
+	return client
+}
+
+// TestClientRetries5xx checks the retry satellite: transient 5xx responses
+// are absorbed by capped exponential backoff (branching on StatusCode), and
+// the reports land exactly once.
+func TestClientRetries5xx(t *testing.T) {
+	srv, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{inner: srv.Handler(), status: http.StatusServiceUnavailable, fail: 3}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	var delays []time.Duration
+	client := retryClient(t, ts.URL, &delays, WithRetry(3, 10*time.Millisecond))
+	if _, err := client.SubmitBatch([]core.Pair{{Class: 0, Item: 1}, {Class: 1, Item: 2}}); err != nil {
+		t.Fatalf("batch through flaky server: %v", err)
+	}
+	if _, err := client.SubmitBatch([]core.Pair{{Class: 0, Item: 3}}); err != nil {
+		t.Fatalf("second batch after outage: %v", err)
+	}
+	if srv.Reports() != 3 {
+		t.Fatalf("server holds %d reports, want 3 (no loss, no double-count)", srv.Reports())
+	}
+	// Three 503s → three backoff sleeps, doubling from the base.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(delays), delays, len(want))
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+// TestClientRetryGivesUp checks that a persistent outage surfaces as the
+// 5xx statusError (StatusCode-visible) after the configured retries, and
+// that the buffered-flush path keeps the chunk for a later retry.
+func TestClientRetryGivesUp(t *testing.T) {
+	srv, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{inner: srv.Handler(), status: http.StatusInternalServerError, fail: 1 << 30}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	var delays []time.Duration
+	client := retryClient(t, ts.URL, &delays, WithRetry(2, time.Millisecond))
+	if err := client.Buffer(core.Pair{Class: 0, Item: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err = client.Flush()
+	if err == nil {
+		t.Fatal("flush through a dead server succeeded")
+	}
+	if code, ok := StatusCode(err); !ok || code != http.StatusInternalServerError {
+		t.Fatalf("StatusCode(%v) = %d,%v; want 500,true", err, code, ok)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("retried %d times, want 2", len(delays))
+	}
+	if client.Pending() != 1 {
+		t.Fatalf("chunk left the buffer on a 5xx (pending=%d)", client.Pending())
+	}
+}
+
+// TestClientRetryBackoffCap checks the exponential delay stops doubling at
+// 16× the base.
+func TestClientRetryBackoffCap(t *testing.T) {
+	srv, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{inner: srv.Handler(), status: http.StatusBadGateway, fail: 1 << 30}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	var delays []time.Duration
+	client := retryClient(t, ts.URL, &delays, WithRetry(8, time.Millisecond))
+	if err := client.Submit(core.Pair{Class: 0, Item: 0}); err == nil {
+		t.Fatal("submit through a dead server succeeded")
+	}
+	if len(delays) != 8 {
+		t.Fatalf("retried %d times, want 8", len(delays))
+	}
+	max := delays[len(delays)-1]
+	if max != maxRetryDelayFactor*time.Millisecond {
+		t.Fatalf("final backoff %v, want cap %v", max, maxRetryDelayFactor*time.Millisecond)
+	}
+}
+
+// TestClientDoesNotRetry4xx: client-side errors are never retried — the
+// request must be fixed, not repeated.
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	srv, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 3, 0.5), WithMaxBodyBytes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var delays []time.Duration
+	client := retryClient(t, ts.URL, &delays, WithRetry(5, time.Millisecond))
+	pairs := make([]core.Pair, 50)
+	_, err = client.SubmitBatch(pairs)
+	if err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if code, ok := StatusCode(err); !ok || code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("StatusCode = %d,%v; want 413", code, ok)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("client slept %d times on a 413", len(delays))
+	}
+}

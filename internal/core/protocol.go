@@ -60,6 +60,18 @@ type Aggregator interface {
 	// calibration where the framework has one (PTS, PTS-CP), row sums of
 	// the frequency estimates otherwise (HEC, PTJ).
 	ClassSizes() []float64
+	// MarshalBinary serializes the aggregate state (never individual
+	// reports beyond what the aggregator retains by design) so servers can
+	// checkpoint and federate. Restoring and estimating is bit-identical to
+	// estimating the live aggregator. Prefer Protocol.MarshalAggregator,
+	// which wraps the bytes in a fingerprinted envelope.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary restores state serialized by MarshalBinary from an
+	// aggregator with the same protocol parameters; a mismatch is an error
+	// and leaves the aggregator unchanged. Prefer
+	// Protocol.UnmarshalAggregator, which verifies the envelope fingerprint
+	// before trusting the payload.
+	UnmarshalBinary([]byte) error
 }
 
 // WirePayload is the JSON wire form of a Report, sparse by construction:
@@ -464,7 +476,7 @@ func newPTJProtocol(c, d int, eps, split float64) (*Protocol, error) {
 	return &Protocol{
 		name: "ptj", c: c, d: d, eps: eps, split: split,
 		enc:    &ptjEncoder{d: d, mech: mech},
-		newAgg: func() Aggregator { return &ptjAggregator{c: c, d: d, acc: mech.NewAccumulator()} },
+		newAgg: func() Aggregator { return &ptjAggregator{c: c, d: d, mech: mech, acc: mech.NewAccumulator()} },
 		shape:  shape, shapeErr: shapeErr, mechID: mechFingerprint(mech),
 	}, nil
 }
@@ -480,9 +492,11 @@ func (e *ptjEncoder) Encode(pair Pair, r *xrand.Rand) Report {
 }
 
 // ptjAggregator is one frequency-oracle accumulator over the joint domain,
-// reshaped to c×d on read.
+// reshaped to c×d on read. mech is kept alongside the accumulator so binary
+// restores can rebuild a fresh one.
 type ptjAggregator struct {
 	c, d int
+	mech fo.Mechanism
 	acc  fo.Accumulator
 }
 

@@ -1,0 +1,165 @@
+package fo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file gives every frequency-oracle accumulator a binary snapshot form
+// (encoding.BinaryMarshaler / BinaryUnmarshaler), the substrate the
+// framework-level aggregator snapshots in internal/core compose. Only
+// aggregate state is serialized — counts for the counting accumulators, the
+// (bucket, seed) report list for OLH, which retains reports by design — so
+// a snapshot is exactly as privacy-safe as the live accumulator.
+//
+// Unmarshal validates shape invariants (domain size, count bounds) so a
+// corrupted snapshot surfaces as an error at restore time, never as a panic
+// or a silently wrong estimate later. Restoring integer counts and then
+// estimating is bit-identical to estimating the original accumulator: the
+// calibration reads only the counts and the mechanism's probabilities.
+
+// countsSnapshot is the serialized form of the counting accumulators (GRR
+// and the unary-encoding family).
+type countsSnapshot struct {
+	Mechanism string
+	Domain    int
+	Counts    []int64
+	N         int
+}
+
+// marshalCounts encodes a counting accumulator's state.
+func marshalCounts(mechanism string, domain int, counts []int64, n int) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(countsSnapshot{Mechanism: mechanism, Domain: domain, Counts: counts, N: n})
+	if err != nil {
+		return nil, fmt.Errorf("fo: %s snapshot encode: %w", mechanism, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalCounts decodes and validates a counting accumulator's state.
+// maxPerValue bounds each count: n for unary encodings (every report can set
+// every bit at most once) and for GRR (every report is one value).
+func unmarshalCounts(data []byte, mechanism string, domain int) (*countsSnapshot, error) {
+	var snap countsSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("fo: %s snapshot decode: %w", mechanism, err)
+	}
+	if snap.Mechanism != mechanism {
+		return nil, fmt.Errorf("fo: snapshot is %s state, accumulator is %s", snap.Mechanism, mechanism)
+	}
+	if snap.Domain != domain {
+		return nil, fmt.Errorf("fo: %s snapshot domain %d != accumulator domain %d", mechanism, snap.Domain, domain)
+	}
+	if snap.N < 0 {
+		return nil, fmt.Errorf("fo: %s snapshot negative report count %d", mechanism, snap.N)
+	}
+	if len(snap.Counts) != domain {
+		return nil, fmt.Errorf("fo: %s snapshot has %d counts, domain is %d", mechanism, len(snap.Counts), domain)
+	}
+	for v, c := range snap.Counts {
+		if c < 0 || c > int64(snap.N) {
+			return nil, fmt.Errorf("fo: %s snapshot count[%d]=%d outside [0,%d]", mechanism, v, c, snap.N)
+		}
+	}
+	return &snap, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *grrAccumulator) MarshalBinary() ([]byte, error) {
+	return marshalCounts("GRR", a.m.d, a.counts, a.n)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The snapshot must
+// come from a GRR accumulator over the same domain; on error the
+// accumulator is left unchanged.
+func (a *grrAccumulator) UnmarshalBinary(data []byte) error {
+	snap, err := unmarshalCounts(data, "GRR", a.m.d)
+	if err != nil {
+		return err
+	}
+	// GRR reports carry exactly one value, so the counts must sum to N.
+	var sum int64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != int64(snap.N) {
+		return fmt.Errorf("fo: GRR snapshot counts sum %d != report count %d", sum, snap.N)
+	}
+	a.counts, a.n = snap.Counts, snap.N
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. The UE family members
+// (SUE, OUE, explicit-probability UE) share one state shape; the envelope
+// fingerprint above this layer pins the member and its probabilities.
+func (a *ueAccumulator) MarshalBinary() ([]byte, error) {
+	return marshalCounts("UE", a.m.d, a.counts, a.n)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; on error the
+// accumulator is left unchanged.
+func (a *ueAccumulator) UnmarshalBinary(data []byte) error {
+	snap, err := unmarshalCounts(data, "UE", a.m.d)
+	if err != nil {
+		return err
+	}
+	a.counts, a.n = snap.Counts, snap.N
+	return nil
+}
+
+// olhSnapshot is the serialized form of an OLH accumulator: the full report
+// list, because OLH recovers supports by rehashing every candidate value
+// under every report's seed — there is no compact count matrix to keep.
+type olhSnapshot struct {
+	Domain  int
+	G       int
+	Seeds   []uint64
+	Buckets []int32
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *olhAccumulator) MarshalBinary() ([]byte, error) {
+	snap := olhSnapshot{
+		Domain:  a.m.d,
+		G:       a.m.g,
+		Seeds:   make([]uint64, len(a.reports)),
+		Buckets: make([]int32, len(a.reports)),
+	}
+	for i, rep := range a.reports {
+		snap.Seeds[i] = rep.seed
+		snap.Buckets[i] = int32(rep.value)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("fo: OLH snapshot encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; on error the
+// accumulator is left unchanged.
+func (a *olhAccumulator) UnmarshalBinary(data []byte) error {
+	var snap olhSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("fo: OLH snapshot decode: %w", err)
+	}
+	if snap.Domain != a.m.d || snap.G != a.m.g {
+		return fmt.Errorf("fo: OLH snapshot parameters (d=%d g=%d) != accumulator (d=%d g=%d)",
+			snap.Domain, snap.G, a.m.d, a.m.g)
+	}
+	if len(snap.Seeds) != len(snap.Buckets) {
+		return fmt.Errorf("fo: OLH snapshot has %d seeds but %d buckets", len(snap.Seeds), len(snap.Buckets))
+	}
+	reports := make([]olhReport, len(snap.Seeds))
+	for i := range reports {
+		b := int(snap.Buckets[i])
+		if b < 0 || b >= snap.G {
+			return fmt.Errorf("fo: OLH snapshot bucket %d outside [0,%d)", b, snap.G)
+		}
+		reports[i] = olhReport{seed: snap.Seeds[i], value: b}
+	}
+	a.reports = reports
+	return nil
+}

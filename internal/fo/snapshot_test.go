@@ -1,0 +1,109 @@
+package fo
+
+import (
+	"encoding"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// roundTrip marshals acc and unmarshals into a fresh accumulator of the
+// same mechanism, failing the test on any error.
+func roundTrip(t *testing.T, m Mechanism, acc Accumulator) Accumulator {
+	t.Helper()
+	blob, err := acc.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s marshal: %v", m.Name(), err)
+	}
+	restored := m.NewAccumulator()
+	if err := restored.(encoding.BinaryUnmarshaler).UnmarshalBinary(blob); err != nil {
+		t.Fatalf("%s unmarshal: %v", m.Name(), err)
+	}
+	return restored
+}
+
+// TestAccumulatorSnapshotRoundTrip pins the durability contract for every
+// mechanism: marshal → unmarshal → estimate is bit-identical to estimating
+// the live accumulator, and a restored accumulator keeps merging exactly.
+func TestAccumulatorSnapshotRoundTrip(t *testing.T) {
+	const d, eps, n = 16, 1.2, 500
+	mechs := map[string]Mechanism{}
+	for name, build := range map[string]func(int, float64) (Mechanism, error){
+		"grr": func(d int, e float64) (Mechanism, error) { return NewGRR(d, e) },
+		"oue": func(d int, e float64) (Mechanism, error) { return NewOUE(d, e) },
+		"sue": func(d int, e float64) (Mechanism, error) { return NewSUE(d, e) },
+		"olh": func(d int, e float64) (Mechanism, error) { return NewOLH(d, e) },
+	} {
+		m, err := build(d, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mechs[name] = m
+	}
+	for name, m := range mechs {
+		t.Run(name, func(t *testing.T) {
+			r := xrand.New(7)
+			acc := m.NewAccumulator()
+			for i := 0; i < n; i++ {
+				acc.Add(m.Perturb(i%d, r))
+			}
+			restored := roundTrip(t, m, acc)
+			if restored.N() != acc.N() {
+				t.Fatalf("restored N=%d, want %d", restored.N(), acc.N())
+			}
+			if !reflect.DeepEqual(restored.EstimateAll(), acc.EstimateAll()) {
+				t.Fatal("restored estimates differ from live accumulator")
+			}
+			// Merging after a restore must stay exact.
+			more := m.NewAccumulator()
+			for i := 0; i < 100; i++ {
+				more.Add(m.Perturb(i%d, r))
+			}
+			merged := roundTrip(t, m, acc)
+			if err := merged.Merge(more); err != nil {
+				t.Fatal(err)
+			}
+			if err := acc.Merge(more); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(merged.EstimateAll(), acc.EstimateAll()) {
+				t.Fatal("merge after restore diverged from live merge")
+			}
+		})
+	}
+}
+
+// TestAccumulatorSnapshotMismatch checks that snapshots refuse to restore
+// into an accumulator with different parameters or of a different
+// mechanism, and that corrupt bytes error rather than panic.
+func TestAccumulatorSnapshotMismatch(t *testing.T) {
+	grr, _ := NewGRR(8, 1)
+	grrOther, _ := NewGRR(9, 1)
+	oue, _ := NewOUE(8, 1)
+	olh, _ := NewOLH(8, 1)
+
+	r := xrand.New(1)
+	acc := grr.NewAccumulator()
+	acc.Add(grr.Perturb(3, r))
+	blob, err := acc.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, target := range map[string]Accumulator{
+		"wrong domain":    grrOther.NewAccumulator(),
+		"wrong mechanism": oue.NewAccumulator(),
+		"olh":             olh.NewAccumulator(),
+	} {
+		if err := target.(encoding.BinaryUnmarshaler).UnmarshalBinary(blob); err == nil {
+			t.Fatalf("%s accepted a GRR(8) snapshot", name)
+		}
+	}
+	if err := acc.(encoding.BinaryUnmarshaler).UnmarshalBinary([]byte("not a gob stream")); err == nil {
+		t.Fatal("corrupt snapshot restored cleanly")
+	}
+	if acc.N() != 1 {
+		t.Fatal("failed restore modified the accumulator")
+	}
+}

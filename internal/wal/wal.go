@@ -1,0 +1,587 @@
+// Package wal implements the segmented write-ahead log behind the
+// collection server's durability: every ingested batch is appended as a
+// CRC-framed record before it touches an aggregator, so an unclean shutdown
+// loses at most the records the chosen fsync policy had not yet pushed to
+// disk, and a restart replays snapshot + tail back to bit-identical
+// aggregation state.
+//
+// Layout inside the directory:
+//
+//	seg-00000042.wal    append-only record segments, rolled at SegmentBytes
+//	snap-00000040.snap  compaction snapshots; the number is the first
+//	                    segment NOT covered, i.e. replay = snapshot state,
+//	                    then every record in segments ≥ 40
+//
+// Each record is framed as len[u32] crc32c[u32] payload, little-endian.
+// Replay verifies every frame; a short or corrupt frame ends that segment's
+// replay — the normal signature of a torn write at crash — and replay
+// continues with the next segment. Every Open starts a fresh segment, so an
+// appender never writes after a torn tail.
+//
+// Compaction (Roll + Seal) folds the log back down: the caller quiesces
+// appends, Rolls to a new segment, snapshots its aggregation state, and
+// Seals — which durably writes the snapshot and deletes the segments it
+// covers. The log itself never interprets record payloads.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when appended records are fsynced to disk.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: no acknowledged record is ever
+	// lost, at the cost of one disk flush per batch.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval fsyncs from a background ticker (Options.SyncEvery): an
+	// unclean shutdown loses at most the last interval's records. The
+	// default.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever leaves flushing to the OS: fastest, loses the page cache on
+	// a machine crash (a process kill alone loses nothing — the data is in
+	// the kernel).
+	SyncNever SyncPolicy = "never"
+)
+
+// ParseSyncPolicy maps a flag string onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the roll threshold; a segment that would exceed it is
+	// closed and a new one started. <= 0 means the 4 MiB default.
+	SegmentBytes int64
+	// Sync is the fsync policy; empty means SyncInterval.
+	Sync SyncPolicy
+	// SyncEvery is the background flush cadence under SyncInterval; <= 0
+	// means 200ms.
+	SyncEvery time.Duration
+}
+
+// DefaultSegmentBytes is the segment roll threshold when Options does not
+// set one.
+const DefaultSegmentBytes = 4 << 20
+
+const defaultSyncEvery = 200 * time.Millisecond
+
+// MaxRecordBytes bounds a single record so a corrupt length prefix cannot
+// demand an absurd allocation during replay. Exported because callers that
+// log variable-size payloads — the collection server's /merge envelopes,
+// which grow with an edge's report count for report-retaining aggregators —
+// must keep their own acceptance caps below it, or they would accept bytes
+// they cannot make durable.
+const MaxRecordBytes = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Stats is the log's operational snapshot, surfaced by the collection
+// server's /stats endpoint.
+type Stats struct {
+	// Segments is the number of record segments on disk (including the
+	// active one).
+	Segments int
+	// BytesSinceCompaction counts record bytes appended after the segment
+	// boundary the last snapshot covers — the replay work a restart would
+	// do, and the signal the server's auto-compaction watches.
+	BytesSinceCompaction int64
+	// LastSnapshot is when the log last sealed a compaction snapshot (zero
+	// if never).
+	LastSnapshot time.Time
+}
+
+// Log is a segmented append-only record log. Append, Roll, Seal, Sync and
+// Stats are safe for concurrent use; Replay must complete before the first
+// Append (Open + Replay + serve is the intended sequence).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	active      *os.File
+	activeSeq   int
+	activeBytes int64
+	segments    int   // segments on disk incl. the active one
+	sinceSeal   int64 // record bytes appended after the sealed boundary
+	lastSnap    time.Time
+	dirty       bool // written since last fsync (interval policy)
+	torn        bool // a failed write may have left garbage in the active segment
+	closed      bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open prepares dir (creating it if needed), accounts for what a crash left
+// behind, and starts a fresh active segment numbered after everything on
+// disk. It does not read old records — call Replay for that.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Sync == "" {
+		opts.Sync = SyncInterval
+	}
+	if _, err := ParseSyncPolicy(string(opts.Sync)); err != nil {
+		return nil, err
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, snaps, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	// The new active segment must sort after every existing segment AND
+	// land inside the latest snapshot's replay range (seq >= its coverage
+	// boundary), or a restart would skip the records written this run.
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1] + 1
+	}
+	if n := len(snaps); n > 0 {
+		if snaps[n-1] > next {
+			next = snaps[n-1]
+		}
+		if fi, err := os.Stat(l.snapPath(snaps[n-1])); err == nil {
+			l.lastSnap = fi.ModTime()
+		}
+	}
+	l.sinceSeal, err = l.bytesAfter(coveredSeq(snaps), segs)
+	if err != nil {
+		return nil, err
+	}
+	l.segments = len(segs)
+	if err := l.startSegment(next); err != nil {
+		return nil, err
+	}
+	if l.opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// coveredSeq returns the first segment sequence NOT covered by the latest
+// snapshot (0 when there is no snapshot, which covers nothing).
+func coveredSeq(snaps []int) int {
+	if len(snaps) == 0 {
+		return 0
+	}
+	return snaps[len(snaps)-1]
+}
+
+func (l *Log) segPath(seq int) string { return filepath.Join(l.dir, fmt.Sprintf("seg-%08d.wal", seq)) }
+func (l *Log) snapPath(seq int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("snap-%08d.snap", seq))
+}
+
+// scan lists the segment and snapshot sequence numbers on disk, ascending.
+func (l *Log) scan() (segs, snaps []int, err error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		var seq int
+		switch {
+		case matchSeq(e.Name(), "seg-%08d.wal", &seq):
+			segs = append(segs, seq)
+		case matchSeq(e.Name(), "snap-%08d.snap", &seq):
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(snaps)
+	return segs, snaps, nil
+}
+
+// matchSeq parses a fixed-format name, rejecting anything Sscanf would
+// accept loosely (prefix garbage, short numbers).
+func matchSeq(name, format string, seq *int) bool {
+	var s int
+	if _, err := fmt.Sscanf(name, format, &s); err != nil || fmt.Sprintf(format, s) != name {
+		return false
+	}
+	*seq = s
+	return true
+}
+
+// bytesAfter sums the sizes of segments with seq >= from.
+func (l *Log) bytesAfter(from int, segs []int) (int64, error) {
+	var total int64
+	for _, seq := range segs {
+		if seq < from {
+			continue
+		}
+		fi, err := os.Stat(l.segPath(seq))
+		if err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// startSegment opens a new active segment. Caller holds mu (or is Open).
+func (l *Log) startSegment(seq int) error {
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Make the directory entry itself durable: fsyncing record bytes into a
+	// file whose entry a power loss can erase would protect nothing.
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		os.Remove(l.segPath(seq))
+		return err
+	}
+	if l.active != nil {
+		l.active.Sync()
+		l.active.Close()
+	}
+	l.active, l.activeSeq, l.activeBytes = f, seq, 0
+	l.segments++
+	return nil
+}
+
+// syncDir fsyncs the log directory so file creations, renames and deletes
+// are durable, not just the bytes inside the files.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append durably (per the sync policy) adds one record to the log.
+func (l *Log) Append(record []byte) error {
+	if len(record) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds %d", len(record), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	frameLen := int64(8 + len(record))
+	// A failed write may have left a partial frame behind; replay stops a
+	// segment at the first torn frame, so appending more records after one
+	// would silently lose them on restart. Quarantine the damage by rolling
+	// to a fresh segment first (retrying on every Append until the roll
+	// succeeds).
+	if l.torn || (l.activeBytes > 0 && l.activeBytes+frameLen > l.opts.SegmentBytes) {
+		if err := l.startSegment(l.activeSeq + 1); err != nil {
+			return err
+		}
+		l.torn = false
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(record)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(record, castagnoli))
+	if _, err := l.active.Write(hdr[:]); err != nil {
+		l.clipActive()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.active.Write(record); err != nil {
+		l.clipActive()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.active.Sync(); err != nil {
+			// The record's durability is unknown; the caller will report
+			// failure (and its client may retry), so the record must not
+			// survive to replay alongside the retry.
+			l.clipActive()
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	l.activeBytes += frameLen
+	l.sinceSeal += frameLen
+	return nil
+}
+
+// clipActive undoes a possibly-partial frame after a failed write or
+// fsync: truncate the active segment back to its last known-good length
+// and reseek, so the failed record cannot replay. If even that fails, the
+// segment is marked torn and the next Append rolls past it.
+func (l *Log) clipActive() {
+	if l.active.Truncate(l.activeBytes) == nil {
+		if _, err := l.active.Seek(l.activeBytes, 0); err == nil {
+			return
+		}
+	}
+	l.torn = true
+}
+
+// Replay feeds the latest valid snapshot (if any) to onSnapshot, then every
+// intact record after it, in order, to onRecord. A torn or corrupt frame
+// ends its segment's replay and the next segment continues — the expected
+// shape after an unclean shutdown. Either callback returning an error
+// aborts the replay with it.
+func (l *Log) Replay(onSnapshot func(snapshot []byte) error, onRecord func(record []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, snaps, err := l.scan()
+	if err != nil {
+		return err
+	}
+	// Latest structurally valid snapshot wins; corrupt ones (torn during
+	// seal) fall back to the previous, whose segments Seal only deletes
+	// after the newer snapshot is durable.
+	from := 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, err := readSnapshotFile(l.snapPath(snaps[i]))
+		if err != nil {
+			continue
+		}
+		if err := onSnapshot(payload); err != nil {
+			return err
+		}
+		from = snaps[i]
+		break
+	}
+	for _, seq := range segs {
+		if seq < from || seq == l.activeSeq {
+			continue
+		}
+		if err := replaySegment(l.segPath(seq), onRecord); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSnapshotFile reads a snapshot file (one record frame) and verifies
+// its CRC.
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("wal: snapshot %s truncated", path)
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	if uint64(n) != uint64(len(data)-8) {
+		return nil, fmt.Errorf("wal: snapshot %s length mismatch", path)
+	}
+	payload := data[8:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, fmt.Errorf("wal: snapshot %s CRC mismatch", path)
+	}
+	return payload, nil
+}
+
+// replaySegment streams one segment's intact record prefix into onRecord.
+func replaySegment(path string, onRecord func([]byte) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for len(data) >= 8 {
+		n := binary.LittleEndian.Uint32(data[:4])
+		if uint64(n) > MaxRecordBytes || uint64(n) > uint64(len(data)-8) {
+			return nil // torn length or payload: end of this segment's intact prefix
+		}
+		payload := data[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+			return nil // torn payload bytes
+		}
+		if err := onRecord(payload); err != nil {
+			return err
+		}
+		data = data[8+n:]
+	}
+	return nil
+}
+
+// Roll closes the active segment and starts a new one, returning the new
+// segment's sequence number. Records appended after a Roll land in the new
+// segment, so a snapshot of aggregation state taken while appends are
+// quiesced covers exactly the segments before it — pass the returned
+// sequence to Seal with that snapshot.
+func (l *Log) Roll() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.startSegment(l.activeSeq + 1); err != nil {
+		return 0, err
+	}
+	return l.activeSeq, nil
+}
+
+// Seal durably writes snapshot as covering every segment before coverSeq,
+// then deletes those segments and any older snapshots. The snapshot file is
+// written to a temp name, fsynced, and renamed, so a crash mid-seal leaves
+// either the old snapshot chain or the new one — never a half-written
+// snapshot that replay would trust.
+func (l *Log) Seal(coverSeq int, snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	tmp, err := os.CreateTemp(l.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(snapshot)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(snapshot, castagnoli))
+	_, err = tmp.Write(hdr[:])
+	if err == nil {
+		_, err = tmp.Write(snapshot)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.snapPath(coverSeq)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	// The rename must be durable before anything it supersedes is deleted;
+	// otherwise a crash could persist the deletes but not the new snapshot,
+	// leaving neither the old segments nor the state that replaced them.
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	segs, snaps, err := l.scan()
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq < coverSeq && seq != l.activeSeq {
+			os.Remove(l.segPath(seq))
+		}
+	}
+	for _, seq := range snaps {
+		if seq < coverSeq {
+			os.Remove(l.snapPath(seq))
+		}
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	l.lastSnap = time.Now()
+	segs, _, err = l.scan()
+	if err != nil {
+		return err
+	}
+	l.segments = len(segs)
+	l.sinceSeal, err = l.bytesAfter(coverSeq, segs)
+	return err
+}
+
+// BytesSinceSeal returns the record bytes appended beyond the last sealed
+// snapshot's coverage — the replay cost a restart would pay right now.
+func (l *Log) BytesSinceSeal() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSeal
+}
+
+// Stats returns the log's operational snapshot.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// All in-memory bookkeeping: a monitoring poller must not stall the
+	// append hot path behind directory I/O.
+	return Stats{Segments: l.segments, BytesSinceCompaction: l.sinceSeal, LastSnapshot: l.lastSnap}
+}
+
+// Sync flushes the active segment to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.active == nil {
+		return nil
+	}
+	l.dirty = false
+	return l.active.Sync()
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed {
+				l.dirty = false
+				l.active.Sync()
+			}
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the log. Appends after Close error. Close is
+// idempotent — a second call is a no-op returning nil.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	active := l.active
+	l.active = nil
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	if active == nil {
+		return nil
+	}
+	err := active.Sync()
+	if cerr := active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// collectReplay replays l into memory.
+func collectReplay(t *testing.T, l *Log) (snapshot []byte, records [][]byte) {
+	t.Helper()
+	err := l.Replay(
+		func(s []byte) error { snapshot = bytes.Clone(s); return nil },
+		func(r []byte) error { records = append(records, bytes.Clone(r)); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot, records
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	snap, got := collectReplay(t, l2)
+	if snap != nil {
+		t.Fatal("unexpected snapshot in fresh log")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestSegmentRollAndStats(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rec := bytes.Repeat([]byte{'x'}, 40) // 48-byte frames: one per segment
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if st.BytesSinceCompaction != 5*48 {
+		t.Fatalf("bytes since compaction %d, want %d", st.BytesSinceCompaction, 5*48)
+	}
+	if !st.LastSnapshot.IsZero() {
+		t.Fatal("never-compacted log claims a snapshot time")
+	}
+}
+
+// TestTornTailIsTruncated simulates a kill mid-write: garbage after the last
+// intact frame must be dropped, records before it preserved.
+func TestTornTailIsTruncated(t *testing.T) {
+	for name, tear := range map[string][]byte{
+		"partial header": {0x10, 0x00},
+		"length past end": func() []byte {
+			b := []byte{0xff, 0xff, 0x00, 0x00, 1, 2, 3, 4}
+			return append(b, []byte("short")...)
+		}(),
+		"crc mismatch": func() []byte {
+			b := []byte{4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}
+			return append(b, []byte("data")...)
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: SyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Append([]byte("alpha"))
+			l.Append([]byte("beta"))
+			l.Close()
+
+			// Tear the tail of the only non-empty segment.
+			segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("glob: %v (%d segments)", err, len(segs))
+			}
+			sort.Strings(segs)
+			f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(tear)
+			f.Close()
+
+			l2, err := Open(dir, Options{Sync: SyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			_, records := collectReplay(t, l2)
+			if len(records) != 2 || !bytes.Equal(records[0], []byte("alpha")) || !bytes.Equal(records[1], []byte("beta")) {
+				t.Fatalf("replayed %q, want the two intact records", records)
+			}
+		})
+	}
+}
+
+// TestCompaction checks the Roll + Seal contract: the snapshot replaces the
+// covered segments, later records replay on top, and older files are gone.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Append([]byte(fmt.Sprintf("pre-%d", i)))
+	}
+	cover, err := l.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(cover, []byte("state-after-10")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.BytesSinceSeal(); got != 0 {
+		t.Fatalf("bytes since seal %d right after compaction", got)
+	}
+	for i := 0; i < 3; i++ {
+		l.Append([]byte(fmt.Sprintf("post-%d", i)))
+	}
+	st := l.Stats()
+	if st.LastSnapshot.IsZero() {
+		t.Fatal("stats missing snapshot time after seal")
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	snap, records := collectReplay(t, l2)
+	if !bytes.Equal(snap, []byte("state-after-10")) {
+		t.Fatalf("snapshot %q", snap)
+	}
+	if len(records) != 3 {
+		t.Fatalf("replayed %d tail records, want 3", len(records))
+	}
+	for i, rec := range records {
+		if want := fmt.Sprintf("post-%d", i); string(rec) != want {
+			t.Fatalf("tail record %d = %q, want %q", i, rec, want)
+		}
+	}
+	// The pre-compaction segments must actually be gone.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	for _, s := range segs {
+		var seq int
+		fmt.Sscanf(filepath.Base(s), "seg-%08d.wal", &seq)
+		if seq < cover {
+			t.Fatalf("segment %s survived compaction covering %d", s, cover)
+		}
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a torn snapshot file must not make replay
+// fail — the previous snapshot (or raw records) still reconstruct state.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("kept"))
+	cover, _ := l.Roll()
+	if err := l.Seal(cover, []byte("good-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("tail"))
+	l.Close()
+
+	// Drop a corrupt, newer snapshot alongside the good one.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", cover+5)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	snap, records := collectReplay(t, l2)
+	if !bytes.Equal(snap, []byte("good-snapshot")) {
+		t.Fatalf("snapshot %q, want fallback to the good one", snap)
+	}
+	if len(records) != 1 || string(records[0]) != "tail" {
+		t.Fatalf("records %q, want [tail]", records)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus sync policy accepted")
+	}
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: pol, SyncEvery: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if err := l.Append([]byte("rec")); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		// Close is idempotent — a second call (the natural defer-plus-
+		// explicit-shutdown pattern) must not panic or error.
+		if err := l.Close(); err != nil {
+			t.Fatalf("%s: second close: %v", pol, err)
+		}
+		if err := l.Append([]byte("after close")); err == nil {
+			t.Fatalf("%s: append after close succeeded", pol)
+		}
+	}
+}

@@ -128,6 +128,14 @@ type (
 	WirePayload = core.WirePayload
 )
 
+// ErrIncompatibleState reports an aggregator state envelope whose
+// fingerprint does not match the protocol trying to restore or merge it —
+// the durability/federation layer's refusal to fold in state that would
+// calibrate wrongly. Every Aggregator marshals to such an envelope via
+// Protocol.MarshalAggregator; Protocol.UnmarshalAggregator is the verified
+// inverse.
+var ErrIncompatibleState = core.ErrIncompatibleState
+
 // NewProtocol vends the matched client/server halves of a canonical
 // framework ("hec", "ptj", "pts" or "ptscp"; separators and case are
 // ignored, so "PTS-CP" works) over c classes and d items at budget eps.
