@@ -17,6 +17,13 @@
 //
 //	mcimcollect -serve -wal-dir /var/lib/mcim/wal -wal-sync interval
 //
+// With -topk the server additionally hosts interactive top-k mining
+// sessions under /topk/sessions: clients create a session, fetch each
+// round's candidate-space broadcast, perturb locally and post one-round
+// reports; rounds seal on quota and the final round serves the per-class
+// rankings (drive one with mcimload -mode topk). On a WAL-backed server,
+// in-flight sessions are durable too.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and logging the final ingested-report count.
 //
@@ -62,6 +69,8 @@ func main() {
 		walEvery  = flag.Duration("wal-sync-every", 0, "flush cadence under -wal-sync interval (0 = default 200ms)")
 		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment roll size (0 = default 4 MiB)")
 		walCAfter = flag.Int64("wal-compact-after", 0, "WAL bytes past the last snapshot before background compaction (0 = default 64 MiB)")
+		topkOn    = flag.Bool("topk", false, "serve interactive top-k mining sessions under /topk/sessions (serve mode)")
+		topkMax   = flag.Int("topk-max-sessions", 0, "cap on tracked mining sessions (serve mode; 0 = default 64)")
 		users     = flag.Int("users", 10000, "simulated users (simulate mode)")
 		batch     = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
@@ -77,6 +86,9 @@ func main() {
 		}
 		opts := []collect.ServerOption{
 			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody),
+		}
+		if *topkOn {
+			opts = append(opts, collect.WithTopKSessions(collect.TopKOptions{MaxSessions: *topkMax}))
 		}
 		if *walDir != "" {
 			policy, err := wal.ParseSyncPolicy(*walSync)
@@ -98,6 +110,9 @@ func main() {
 		}
 		if *walDir != "" {
 			log.Printf("write-ahead log in %s (sync=%s), %d reports recovered", *walDir, *walSync, srv.Reports())
+		}
+		if *topkOn {
+			log.Printf("interactive top-k mining sessions enabled under /topk/sessions")
 		}
 		runServer(*addr, srv, *drain)
 

@@ -1,17 +1,27 @@
-// Command mcimload is the load generator for the collection server: it
-// drives K concurrent synthetic clients against an aggregation server and
-// reports sustained throughput (reports/sec), request latency percentiles
-// (p50/p99/max) and estimate accuracy against the synthetic ground truth —
-// the numbers that tell you whether the serving path, not the mechanism, is
-// the bottleneck.
+// Command mcimload is the load generator for the collection server. It has
+// two modes:
 //
-// Self-contained run (spins up an in-process server on a loopback port;
-// -framework picks which of hec/ptj/pts/ptscp it aggregates):
+//   - -mode freq (default) drives K concurrent synthetic clients submitting
+//     frequency-estimation reports and scores the served estimates against
+//     the synthetic ground truth (RMSE, class-size error);
+//   - -mode topk creates an interactive top-k mining session and drives the
+//     whole population through its rounds — fetch broadcast, perturb
+//     locally, post reports, repeat — scoring the mined rankings with
+//     NCR/F1 against the ground-truth per-class top-k.
+//
+// Both modes report sustained throughput (reports/sec) and request latency
+// percentiles (p50/p99/max) — the numbers that tell you whether the serving
+// path, not the mechanism, is the bottleneck — and with -json emit the run
+// summary as one JSON object on stdout so CI can track load-test
+// trajectories alongside BENCH_ingest.json.
+//
+// Self-contained runs (spin up an in-process server on a loopback port):
 //
 //	mcimload -selfserve -framework ptscp -users 200000 -clients 8 -batch 256 -shards 8
+//	mcimload -selfserve -mode topk -miner pts -k 8 -users 200000 -clients 8
 //
-// Against an external server (mcimcollect -serve), where the framework is
-// negotiated from the server's /config:
+// Against an external server (mcimcollect -serve; top-k mode needs it
+// started with -topk):
 //
 //	mcimload -url http://localhost:8090 -users 200000 -clients 8
 //
@@ -22,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,25 +48,56 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/topk"
 	"repro/internal/xrand"
 )
 
+// summary is the -json run report: one object per run, with mode-specific
+// accuracy fields left null when not applicable.
+type summary struct {
+	Mode       string  `json:"mode"`
+	Framework  string  `json:"framework"`
+	Dataset    string  `json:"dataset"`
+	Users      int     `json:"users"`
+	Clients    int     `json:"clients"`
+	Batch      int     `json:"batch"`
+	Requests   int     `json:"requests"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	ReportsSec float64 `json:"reports_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  float64 `json:"max_us"`
+	// Frequency mode.
+	RMSE            *float64 `json:"rmse,omitempty"`
+	ClassSizeRelErr *float64 `json:"class_size_rel_err,omitempty"`
+	// Top-k mode.
+	K      int      `json:"k,omitempty"`
+	Rounds int      `json:"rounds,omitempty"`
+	NCR    *float64 `json:"ncr,omitempty"`
+	F1     *float64 `json:"f1,omitempty"`
+}
+
 func main() {
 	var (
+		mode      = flag.String("mode", "freq", "workload: freq (frequency estimation) | topk (interactive mining session)")
 		url       = flag.String("url", "", "external server URL (mutually exclusive with -selfserve)")
 		selfserve = flag.Bool("selfserve", false, "spin up an in-process server to drive")
 		framework = flag.String("framework", "ptscp", "frequency-estimation framework (selfserve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
+		miner     = flag.String("miner", "pts", "mining framework (topk mode): hec | ptj | pts")
+		optimized = flag.Bool("optimized", true, "topk mode: run the paper's full optimization set (false = baseline)")
+		k         = flag.Int("k", 8, "per-class ranking size (topk mode)")
 		shards    = flag.Int("shards", 0, "server accumulator shards (selfserve mode; 0 = GOMAXPROCS)")
 		classes   = flag.Int("classes", 5, "number of classes (selfserve mode)")
 		items     = flag.Int("items", 1000, "item domain size (selfserve mode)")
-		eps       = flag.Float64("eps", 2, "privacy budget ε (selfserve mode)")
+		eps       = flag.Float64("eps", 2, "privacy budget ε")
 		split     = flag.Float64("split", 0.5, "label budget fraction ε₁/ε (selfserve mode)")
 		dsName    = flag.String("dataset", "syntopk", "synthetic population: syntopk | uniform")
 		users     = flag.Int("users", 100_000, "population size (reports to submit)")
 		clients   = flag.Int("clients", 8, "concurrent client workers")
-		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint)")
-		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays")
+		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint, freq mode only)")
+		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays (freq mode)")
 		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
+		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object on stdout")
 	)
 	flag.Parse()
 	if (*url == "") == !*selfserve {
@@ -66,6 +108,14 @@ func main() {
 	if *clients < 1 || *users < 1 {
 		log.Fatalf("mcimload: need at least 1 client and 1 user")
 	}
+	if *mode != "freq" && *mode != "topk" {
+		log.Fatalf("mcimload: unknown mode %q (want freq or topk)", *mode)
+	}
+	if *mode == "topk" && *batch < 1 {
+		// Rounds have no single-report path; normalize here so the -json
+		// summary records the batch size actually used.
+		*batch = 256
+	}
 
 	base := *url
 	if *selfserve {
@@ -73,7 +123,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := collect.NewServer(proto, collect.WithShards(*shards))
+		srv, err := collect.NewServer(proto,
+			collect.WithShards(*shards), collect.WithTopKSessions(collect.TopKOptions{}))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,7 +134,7 @@ func main() {
 		}
 		go http.Serve(ln, srv.Handler()) //nolint:errcheck — dies with the process
 		base = "http://" + ln.Addr().String()
-		log.Printf("in-process %s server on %s (c=%d d=%d ε=%v, %d shards)",
+		log.Printf("in-process %s server on %s (c=%d d=%d ε=%v, %d shards, topk sessions on)",
 			proto.Name(), base, *classes, *items, *eps, srv.Shards())
 	}
 
@@ -94,7 +145,60 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := probe.Config()
+	data, err := buildDataset(*dsName, cfg.Classes, cfg.Items, *users, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := xrand.New(*seed + 1)
+	data = data.Shuffled(r)
 
+	sum := summary{
+		Mode: *mode, Dataset: data.Name,
+		Users: data.N(), Clients: *clients, Batch: *batch,
+	}
+	switch *mode {
+	case "freq":
+		sum.Framework = cfg.Protocol
+		runFreq(base, probe, data, &sum, *batch, *ndjson, *clients, *seed, *jsonOut)
+	case "topk":
+		sum.Framework = *miner
+		sum.K = *k
+		runTopK(base, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Operational snapshot: on WAL-backed servers this also shows the
+	// durability cost of the run (segments written, bytes not yet folded
+	// into a snapshot).
+	if stats, err := probe.Stats(); err == nil {
+		log.Printf("server: %d reports over %d shards (%s)", stats.Reports, stats.Shards, stats.Protocol)
+		if stats.WAL != nil {
+			log.Printf("server wal: %d segments, %d bytes since last compaction (last snapshot %q)",
+				stats.WAL.Segments, stats.WAL.BytesSinceCompaction, stats.WAL.LastSnapshot)
+		}
+		if stats.TopK != nil {
+			log.Printf("server topk: %d sessions (%d open)", stats.TopK.Sessions, stats.TopK.Open)
+		}
+	}
+}
+
+// out prints human-readable results unless the run is in -json mode (where
+// stdout must stay one JSON object; progress goes to stderr via log).
+func out(jsonOut bool, format string, args ...any) {
+	if jsonOut {
+		log.Printf(format, args...)
+		return
+	}
+	fmt.Printf(format+"\n", args...)
+}
+
+// runFreq drives the frequency-estimation ingestion workload.
+func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summary,
+	batch int, ndjson bool, clients int, seed uint64, jsonOut bool) {
 	// Baseline the server's report count: against a long-running server it
 	// may already hold reports from earlier rounds.
 	est0, err := probe.Estimates()
@@ -102,15 +206,8 @@ func main() {
 		log.Fatal(err)
 	}
 	baseline := est0.Reports
-
-	data, err := buildDataset(*dsName, cfg.Classes, cfg.Items, *users, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r := xrand.New(*seed + 1)
-	data = data.Shuffled(r)
-	log.Printf("population %s: %d users over %d classes × %d items (%s wire)",
-		data.Name, data.N(), data.Classes, data.Items, cfg.Protocol)
+	log.Printf("population %s: %d users over %d classes × %d items",
+		data.Name, data.N(), data.Classes, data.Items)
 
 	// Partition the population over K workers and drive them concurrently.
 	var (
@@ -120,9 +217,9 @@ func main() {
 		requests  int
 		firstErr  error
 	)
-	perWorker := (data.N() + *clients - 1) / *clients
+	perWorker := (data.N() + clients - 1) / clients
 	start := time.Now()
-	for w := 0; w < *clients; w++ {
+	for w := 0; w < clients; w++ {
 		lo := w * perWorker
 		hi := min(lo+perWorker, data.N())
 		if lo >= hi {
@@ -131,7 +228,7 @@ func main() {
 		wg.Add(1)
 		go func(w int, pairs []core.Pair) {
 			defer wg.Done()
-			lats, n, err := drive(base, pairs, *batch, *ndjson, *seed+uint64(w)*7919)
+			lats, n, err := drive(base, pairs, batch, ndjson, seed+uint64(w)*7919)
 			mu.Lock()
 			defer mu.Unlock()
 			latencies = append(latencies, lats...)
@@ -146,13 +243,13 @@ func main() {
 	if firstErr != nil {
 		log.Fatal(firstErr)
 	}
-
-	fmt.Printf("drove %d clients, %d requests (batch=%d, ndjson=%v) in %v\n",
-		*clients, requests, *batch, *ndjson, elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput: %.0f reports/sec\n", float64(data.N())/elapsed.Seconds())
-	p50, p99, max := percentiles(latencies)
-	fmt.Printf("request latency: p50 %v  p99 %v  max %v\n",
-		p50.Round(time.Microsecond), p99.Round(time.Microsecond), max.Round(time.Microsecond))
+	fillTiming(sum, latencies, requests, elapsed, data.N())
+	out(jsonOut, "drove %d clients, %d requests (batch=%d, ndjson=%v) in %v",
+		clients, requests, batch, ndjson, elapsed.Round(time.Millisecond))
+	out(jsonOut, "throughput: %.0f reports/sec", sum.ReportsSec)
+	p50, p99, maxLat := percentiles(latencies)
+	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), maxLat.Round(time.Microsecond))
 
 	// Accuracy against ground truth: the served estimates are unbiased, so
 	// RMSE here is mechanism noise, not ingestion error — a sanity check
@@ -165,7 +262,7 @@ func main() {
 		log.Fatalf("server ingested %d of %d reports this run", got, data.N())
 	}
 	if baseline > 0 {
-		fmt.Printf("note: server held %d reports before this run; accuracy below reflects all %d\n", baseline, est.Reports)
+		log.Printf("note: server held %d reports before this run; accuracy below reflects all %d", baseline, est.Reports)
 	}
 	truth := data.TrueFrequencies()
 	classCounts := data.ClassCounts()
@@ -176,19 +273,154 @@ func main() {
 			relErrN++
 		}
 	}
-	fmt.Printf("accuracy: frequency RMSE %.2f over %d×%d cells, class-size mean relative error %.2f%%\n",
-		metrics.RMSE(est.Frequencies, truth), data.Classes, data.Items, 100*relErrSum/float64(relErrN))
+	rmse := metrics.RMSE(est.Frequencies, truth)
+	relErr := relErrSum / float64(relErrN)
+	sum.RMSE, sum.ClassSizeRelErr = &rmse, &relErr
+	out(jsonOut, "accuracy: frequency RMSE %.2f over %d×%d cells, class-size mean relative error %.2f%%",
+		rmse, data.Classes, data.Items, 100*relErr)
+}
 
-	// Operational snapshot: on WAL-backed servers this also shows the
-	// durability cost of the run (segments written, bytes not yet folded
-	// into a snapshot).
-	if stats, err := probe.Stats(); err == nil {
-		fmt.Printf("server: %d reports over %d shards (%s)\n", stats.Reports, stats.Shards, stats.Protocol)
-		if stats.WAL != nil {
-			fmt.Printf("server wal: %d segments, %d bytes since last compaction (last snapshot %q)\n",
-				stats.WAL.Segments, stats.WAL.BytesSinceCompaction, stats.WAL.LastSnapshot)
+// runTopK creates a mining session and drives the population through its
+// rounds with K concurrent workers, then scores the mined rankings.
+func runTopK(base string, data *core.Dataset, sum *summary,
+	miner string, optimized bool, k int, eps float64, clients, batch int, seed uint64, jsonOut bool) {
+	opt := topk.Baseline()
+	if optimized {
+		opt = topk.Optimized()
+	}
+	sessionSeed := xrand.New(seed + 2).Uint64()
+	ts, err := collect.NewTopKSession(base, nil, topk.SessionParams{
+		Framework: miner,
+		Classes:   data.Classes,
+		Items:     data.Items,
+		K:         k,
+		Eps:       eps,
+		Users:     data.N(),
+		Seed:      sessionSeed,
+		Opt:       opt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := ts.Info()
+	sum.Rounds = info.Rounds
+	log.Printf("session %s: %s over %d×%d, k=%d, %d rounds, %d users",
+		info.ID, info.Params.Framework, data.Classes, data.Items, k, info.Rounds, data.N())
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+	)
+	user := 0
+	start := time.Now()
+	for {
+		rd, err := ts.Round()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rd.Done {
+			break
+		}
+		// Every worker shares the round's encoder (it is concurrency-safe
+		// with per-user rands) and takes an interleaved slice of this
+		// round's user group.
+		enc, err := topk.NewRoundEncoder(rd.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		todo := rd.Config.Quota - rd.Received
+		reps := make([]topk.RoundReport, todo)
+		var encWG sync.WaitGroup
+		per := (todo + clients - 1) / clients
+		for w := 0; w < clients; w++ {
+			lo := w * per
+			hi := min(lo+per, todo)
+			if lo >= hi {
+				break
+			}
+			encWG.Add(1)
+			go func(lo, hi int) {
+				defer encWG.Done()
+				for i := lo; i < hi; i++ {
+					u := user + i
+					rep, err := enc.Encode(data.Pairs[u], topk.UserRand(sessionSeed, u))
+					if err != nil {
+						log.Fatal(err)
+					}
+					reps[i] = rep
+				}
+			}(lo, hi)
+		}
+		encWG.Wait()
+		user += todo
+		// Post the round's batches concurrently; the server seals the
+		// round when the last batch lands.
+		var postWG sync.WaitGroup
+		var postErr error
+		sem := make(chan struct{}, clients)
+		for lo := 0; lo < len(reps); lo += batch {
+			hi := min(lo+batch, len(reps))
+			postWG.Add(1)
+			sem <- struct{}{}
+			go func(chunk []topk.RoundReport) {
+				defer postWG.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				ack, err := ts.PostReports(chunk)
+				lat := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				latencies = append(latencies, lat)
+				requests++
+				if err != nil && postErr == nil {
+					postErr = err
+				} else if err == nil && ack.Rejected > 0 && postErr == nil {
+					postErr = fmt.Errorf("round %d rejected %d reports: %v", rd.Config.Round, ack.Rejected, ack.Errors)
+				}
+			}(reps[lo:hi])
+		}
+		postWG.Wait()
+		if postErr != nil {
+			log.Fatal(postErr)
 		}
 	}
+	elapsed := time.Since(start)
+	res, err := ts.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fillTiming(sum, latencies, requests, elapsed, user)
+	out(jsonOut, "drove %d clients through %d rounds, %d requests in %v",
+		clients, sum.Rounds, requests, elapsed.Round(time.Millisecond))
+	out(jsonOut, "throughput: %.0f reports/sec", sum.ReportsSec)
+	p50, p99, maxLat := percentiles(latencies)
+	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), maxLat.Round(time.Microsecond))
+
+	// Score the mined rankings against the exact per-class top-k.
+	truth := data.TrueFrequencies()
+	ncrSum, f1Sum := 0.0, 0.0
+	for c := 0; c < data.Classes; c++ {
+		want := metrics.TopK(truth[c], k)
+		ncrSum += metrics.NCR(res.PerClass[c], want)
+		f1Sum += metrics.F1(res.PerClass[c], want)
+	}
+	ncr := ncrSum / float64(data.Classes)
+	f1 := f1Sum / float64(data.Classes)
+	sum.NCR, sum.F1 = &ncr, &f1
+	out(jsonOut, "quality: mean NCR %.3f, mean F1 %.3f over %d classes (k=%d)", ncr, f1, data.Classes, k)
+}
+
+// fillTiming populates the summary's shared throughput/latency fields.
+func fillTiming(sum *summary, lats []time.Duration, requests int, elapsed time.Duration, reports int) {
+	p50, p99, maxLat := percentiles(lats)
+	sum.Requests = requests
+	sum.ElapsedSec = elapsed.Seconds()
+	sum.ReportsSec = float64(reports) / elapsed.Seconds()
+	sum.P50Micros = float64(p50) / float64(time.Microsecond)
+	sum.P99Micros = float64(p99) / float64(time.Microsecond)
+	sum.MaxMicros = float64(maxLat) / float64(time.Microsecond)
 }
 
 // drive submits pairs from one worker, returning per-request latencies and

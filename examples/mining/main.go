@@ -1,0 +1,130 @@
+// Interactive top-k mining over HTTP: the paper's headline query served
+// the way the LDP threat model demands. An in-process collection server
+// hosts a PTS mining session; simulated users fetch each round's
+// candidate-space broadcast, perturb their own (class, item) pair locally
+// — the raw pair never leaves the client — and post one-round reports.
+// Rounds seal automatically on quota; the final round serves the mined
+// per-class rankings, which are bit-identical to the offline Mine path
+// under the same seed and user assignment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"reflect"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		classes = 3
+		items   = 256
+		k       = 4
+		eps     = 5.0
+		users   = 30000
+		seed    = 42
+	)
+	// A skewed population: each class concentrates on its own small head.
+	rng := xrand.New(7)
+	data := &core.Dataset{Classes: classes, Items: items, Name: "demo"}
+	for u := 0; u < users; u++ {
+		cl := u % classes
+		item := rng.Intn(items)
+		if rng.Bernoulli(0.5) {
+			item = cl*16 + rng.Intn(5)
+		}
+		data.Pairs = append(data.Pairs, core.Pair{Class: cl, Item: item})
+	}
+	data = data.Shuffled(rng)
+
+	// The session server: any collection server can host mining sessions.
+	proto, err := core.NewProtocol("ptscp", classes, items, eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := collect.NewServer(proto, collect.WithTopKSessions(collect.TopKOptions{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler()) //nolint:errcheck — demo server dies with the process
+	base := "http://" + ln.Addr().String()
+
+	params := topk.SessionParams{
+		Framework: "pts", Classes: classes, Items: items, K: k, Eps: eps,
+		Users: users, Seed: seed, Opt: topk.Optimized(),
+	}
+	ts, err := collect.NewTopKSession(base, nil, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s on %s: %d rounds over %d users\n", ts.ID(), base, ts.Info().Rounds, users)
+
+	// Drive every round: user i answers exactly one round with its own
+	// generator. The candidate space shrinks each broadcast.
+	user := 0
+	for {
+		rd, err := ts.Round()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rd.Done {
+			break
+		}
+		enc, err := topk.NewRoundEncoder(rd.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool := 0
+		for _, sd := range rd.Config.Spaces {
+			pool += len(sd.Pool)
+		}
+		fmt.Printf("round %d/%d: %d users answer, %d surviving candidates across %d space(s)\n",
+			rd.Config.Round+1, rd.Config.Rounds, rd.Config.Quota, pool, len(rd.Config.Spaces))
+		reps := make([]topk.RoundReport, rd.Config.Quota)
+		for j := range reps {
+			if reps[j], err = enc.Encode(data.Pairs[user], topk.UserRand(seed, user)); err != nil {
+				log.Fatal(err)
+			}
+			user++
+		}
+		for lo := 0; lo < len(reps); lo += 512 {
+			hi := min(lo+512, len(reps))
+			if _, err := ts.PostReports(reps[lo:hi]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	served, err := ts.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The offline path over the same seed and assignment is bit-identical.
+	pl, err := topk.NewSession(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, err := topk.RunSession(pl, data.Pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served ≡ offline: %v\n", reflect.DeepEqual(served, offline))
+
+	truth := data.TrueFrequencies()
+	for c := 0; c < classes; c++ {
+		want := metrics.TopK(truth[c], k)
+		fmt.Printf("class %d: mined %v, truth %v (F1 %.2f)\n",
+			c, served.PerClass[c], want, metrics.F1(served.PerClass[c], want))
+	}
+}

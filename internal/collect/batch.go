@@ -84,31 +84,42 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 
 // indexedWire pairs a decoded wire report with its position in the
 // submitted batch so rejections can be attributed.
-type indexedWire struct {
-	index  int
-	report WireReport
+type indexedWire = indexedItem[WireReport]
+
+// decodeBatch splits a frequency-report batch body into its individual
+// wire reports; see decodeBatchItems for the format rules.
+func decodeBatch(body []byte) (wires []indexedWire, itemErrs []WireItemError, droppedTail int, err error) {
+	return decodeBatchItems[WireReport](body)
 }
 
-// decodeBatch splits a batch body into its individual wire reports. A body
+// indexedItem pairs a decoded batch item with its position in the
+// submitted stream so rejections can be attributed.
+type indexedItem[T any] struct {
+	index  int
+	report T
+}
+
+// decodeBatchItems splits a batch body into its individual items. A body
 // whose first non-space byte is '[' is a JSON array; anything else is
 // treated as an NDJSON stream. The error return is reserved for envelope
 // failures (unreadable array syntax, empty body); individual record
 // failures inside an NDJSON stream come back as one itemized error plus a
 // droppedTail count of the records discarded after the truncation point,
-// so Accepted+Rejected still accounts for the whole submitted stream.
-func decodeBatch(body []byte) (wires []indexedWire, itemErrs []WireItemError, droppedTail int, err error) {
+// so Accepted+Rejected still accounts for the whole submitted stream. It
+// is shared by the frequency-report and the top-k round-report endpoints.
+func decodeBatchItems[T any](body []byte) (items []indexedItem[T], itemErrs []WireItemError, droppedTail int, err error) {
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	if len(trimmed) == 0 {
 		return nil, nil, 0, fmt.Errorf("empty batch body")
 	}
 	if trimmed[0] == '[' {
-		var reps []WireReport
+		var reps []T
 		if err := json.Unmarshal(trimmed, &reps); err != nil {
 			return nil, nil, 0, err
 		}
-		out := make([]indexedWire, len(reps))
+		out := make([]indexedItem[T], len(reps))
 		for i, wr := range reps {
-			out[i] = indexedWire{index: i, report: wr}
+			out[i] = indexedItem[T]{index: i, report: wr}
 		}
 		return out, nil, 0, nil
 	}
@@ -116,7 +127,7 @@ func decodeBatch(body []byte) (wires []indexedWire, itemErrs []WireItemError, dr
 	// whitespace works — json.Decoder consumes a concatenated stream).
 	dec := json.NewDecoder(bytes.NewReader(trimmed))
 	for i := 0; dec.More(); i++ {
-		var wr WireReport
+		var wr T
 		if derr := dec.Decode(&wr); derr != nil {
 			// A malformed record poisons the rest of the stream (there is
 			// no reliable resync point), so the remainder is dropped: one
@@ -128,9 +139,9 @@ func decodeBatch(body []byte) (wires []indexedWire, itemErrs []WireItemError, dr
 			})
 			break
 		}
-		wires = append(wires, indexedWire{index: i, report: wr})
+		items = append(items, indexedItem[T]{index: i, report: wr})
 	}
-	return wires, itemErrs, droppedTail, nil
+	return items, itemErrs, droppedTail, nil
 }
 
 // tailLines counts the non-blank lines strictly after the line containing

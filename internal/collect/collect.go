@@ -94,6 +94,10 @@ type WireStats struct {
 	Shards   int    `json:"shards"`
 	// WAL is present only on servers running with a write-ahead log.
 	WAL *WireWALStats `json:"wal,omitempty"`
+	// TopK is present only on servers hosting interactive mining sessions:
+	// open sessions, each one's live round and how many reports it has
+	// folded this round.
+	TopK *WireTopKStats `json:"topk,omitempty"`
 }
 
 // WireWALStats is the durability slice of /stats: how much log a restart
@@ -134,6 +138,10 @@ type Server struct {
 	next   atomic.Uint64 // round-robin shard cursor
 	total  atomic.Int64  // reports ingested; cheap read for acks vs locking every shard
 	shards []*shard
+
+	// topk hosts interactive mining sessions when WithTopKSessions is set
+	// (see topk.go); nil otherwise.
+	topk *sessionHub
 }
 
 // ServerOption configures a Server beyond the protocol parameters.
@@ -269,6 +277,12 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 			return nil, err
 		}
 	}
+	if s.topk != nil && s.walDir != "" {
+		if err := s.openTopKWAL(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -287,6 +301,15 @@ func (s *Server) Shards() int { return len(s.shards) }
 //	GET  /estimates → WireEstimates (the protocol's calibrated frequencies)
 //	GET  /stats     → WireStats (reports ingested, shard count, protocol, WAL)
 //	GET  /healthz   → 200 ok
+//
+// With WithTopKSessions, the interactive mining tier is mounted too:
+//
+//	POST   /topk/sessions               → create a mining session
+//	GET    /topk/sessions/{id}          → session info (attach/resume)
+//	DELETE /topk/sessions/{id}          → evict a session, freeing its slot
+//	GET    /topk/sessions/{id}/round    → live round broadcast
+//	POST   /topk/sessions/{id}/reports  → batch of round reports (410 when sealed)
+//	GET    /topk/sessions/{id}/result   → per-class rankings
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /config", s.handleConfig)
@@ -298,6 +321,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.topk != nil {
+		mux.HandleFunc("POST /topk/sessions", s.handleTopKCreate)
+		mux.HandleFunc("GET /topk/sessions/{id}", s.handleTopKInfo)
+		mux.HandleFunc("DELETE /topk/sessions/{id}", s.handleTopKDelete)
+		mux.HandleFunc("GET /topk/sessions/{id}/round", s.handleTopKRound)
+		mux.HandleFunc("POST /topk/sessions/{id}/reports", s.handleTopKReports)
+		mux.HandleFunc("GET /topk/sessions/{id}/result", s.handleTopKResult)
+	}
 	return mux
 }
 
@@ -307,6 +338,9 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := WireStats{Protocol: s.proto.Name(), Reports: s.Reports(), Shards: s.Shards()}
+	if s.topk != nil {
+		st.TopK = s.topk.stats()
+	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WAL = &WireWALStats{

@@ -148,11 +148,18 @@ func (s *Server) Compact() error {
 	return s.wal.Seal(cover, env)
 }
 
-// Close flushes and closes the WAL (a no-op on servers without one). Serve
-// traffic must be quiesced first — http.Server.Shutdown before Close.
+// Close flushes and closes the server's logs — the report WAL and, when
+// interactive mining is enabled, the session WAL (a no-op without them).
+// Serve traffic must be quiesced first — http.Server.Shutdown before Close.
 func (s *Server) Close() error {
-	if s.wal == nil {
-		return nil
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
 	}
-	return s.wal.Close()
+	if s.topk != nil && s.topk.log != nil {
+		if terr := s.topk.log.Close(); err == nil {
+			err = terr
+		}
+	}
+	return err
 }

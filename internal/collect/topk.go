@@ -1,0 +1,860 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/state"
+	"repro/internal/topk"
+	"repro/internal/wal"
+)
+
+// This file is the interactive mining tier: the collection server hosts
+// top-k mining sessions, each a server-side topk.Planner driven round by
+// round by untrusted clients. The protocol is the paper's iterative scheme
+// made deployable: the server broadcasts a shrinking candidate space, each
+// user group answers exactly one round, the round seals automatically when
+// its quota of reports is in, and the final round yields the per-class
+// rankings.
+//
+//	POST   /topk/sessions               create a session (topk.SessionParams)
+//	GET    /topk/sessions/{id}          session info (attach/resume)
+//	DELETE /topk/sessions/{id}          evict a session, freeing its slot
+//	GET    /topk/sessions/{id}/round    live round broadcast (topk.RoundConfig)
+//	POST   /topk/sessions/{id}/reports  batch of topk.RoundReports (JSON array
+//	                                    or NDJSON; sealed rounds answer 410
+//	                                    with the live round index)
+//	GET    /topk/sessions/{id}/result   per-class rankings once done
+//
+// Sessions are deterministic functions of their params and the absorbed
+// reports, so durability is the same write-ahead discipline as frequency
+// ingestion: creates and accepted report batches are logged before they
+// touch a planner, and compaction folds the log into one snapshot of every
+// session's marshaled state (an internal/state envelope per session). A
+// restarted server replays snapshot + tail and resumes mid-flight sessions
+// to bit-identical results.
+
+// DefaultMaxTopKSessions caps concurrently tracked sessions (open and
+// completed-but-unqueried); each holds candidate-space state proportional
+// to its item domain.
+const DefaultMaxTopKSessions = 64
+
+// TopKOptions configures the interactive mining tier.
+type TopKOptions struct {
+	// MaxSessions caps tracked sessions; creates beyond it are answered
+	// with 429. <1 means DefaultMaxTopKSessions.
+	MaxSessions int
+}
+
+// WithTopKSessions enables the /topk/sessions endpoints. On a WAL-backed
+// server (WithWAL) sessions get their own log under <dir>/topk with the
+// same sync options, so in-flight sessions survive restarts.
+func WithTopKSessions(o TopKOptions) ServerOption {
+	return func(s *Server) {
+		if o.MaxSessions < 1 {
+			o.MaxSessions = DefaultMaxTopKSessions
+		}
+		s.topk = &sessionHub{
+			sessions:    make(map[string]*liveSession),
+			maxSessions: o.MaxSessions,
+		}
+	}
+}
+
+// liveSession is one hosted mining session. Its mutex serializes planner
+// access: rounds are interlocked (every report both validates against and
+// mutates the live round), so a per-session lock — not sharding — is the
+// honest concurrency model; batching amortizes it the same way it
+// amortizes the frequency shards.
+type liveSession struct {
+	mu sync.Mutex
+	id string
+	pl *topk.Planner
+	// deleted marks a session evicted while a report handler already held
+	// a reference: the handler must not append WAL records for it after
+	// its deletion record (replay order would break).
+	deleted bool
+}
+
+// sessionHub owns the hosted sessions and their write-ahead log.
+type sessionHub struct {
+	// ingestMu orders session mutations (reader side: creates, report
+	// batches) against whole-state transitions (writer side: compaction),
+	// so a WAL append and its planner apply are atomic with respect to
+	// the segment boundary a compaction snapshot covers. Per-session
+	// locks nest inside it.
+	ingestMu sync.RWMutex
+
+	mu       sync.Mutex // guards sessions, order, nextID, reserved
+	sessions map[string]*liveSession
+	order    []string // creation order, for deterministic stats and snapshots
+	nextID   uint64
+	reserved int // creates past the cap check but before install
+
+	maxSessions  int
+	log          *wal.Log
+	compactAfter int64
+	compacting   atomic.Bool
+}
+
+// Session WAL record types (first byte of every record).
+const (
+	// recSessionCreate frames a JSON wireSessionCreate.
+	recSessionCreate = 'C'
+	// recSessionReports frames a JSON wireSessionReports of accepted
+	// round reports.
+	recSessionReports = 'T'
+	// recSessionDelete frames a JSON wireSessionDelete.
+	recSessionDelete = 'D'
+)
+
+// wireSessionDelete is the WAL form of a session eviction.
+type wireSessionDelete struct {
+	ID string `json:"id"`
+}
+
+// wireSessionCreate is the WAL form of a session creation.
+type wireSessionCreate struct {
+	ID     string             `json:"id"`
+	Params topk.SessionParams `json:"params"`
+}
+
+// wireSessionReports is the WAL form of an accepted report batch.
+type wireSessionReports struct {
+	ID      string             `json:"id"`
+	Reports []topk.RoundReport `json:"reports"`
+}
+
+// hubFingerprint tags the hub's compaction snapshots.
+const hubFingerprint = "mcim/topk-hub/v1"
+
+// hubSnapshot is the gob payload of a hub compaction snapshot: every
+// session's marshaled planner (itself an internal/state envelope), in
+// creation order.
+type hubSnapshot struct {
+	NextID   uint64
+	Sessions []hubSessionSnapshot
+}
+
+type hubSessionSnapshot struct {
+	ID    string
+	State []byte
+}
+
+// openTopKWAL opens and replays the session log. Called from NewServer
+// before the handler is exposed, so no locking is needed.
+func (s *Server) openTopKWAL() error {
+	h := s.topk
+	h.compactAfter = s.compactAfter
+	l, err := wal.Open(filepath.Join(s.walDir, "topk"), s.walOpts)
+	if err != nil {
+		return fmt.Errorf("collect: topk sessions: %w", err)
+	}
+	err = l.Replay(h.installSnapshot, h.replayRecord)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	h.log = l
+	return nil
+}
+
+// installSnapshot restores every session from a compaction snapshot.
+func (h *sessionHub) installSnapshot(snap []byte) error {
+	fp, payload, err := state.Decode(snap)
+	if err != nil {
+		return fmt.Errorf("collect: topk snapshot: %w", err)
+	}
+	if fp != hubFingerprint {
+		return fmt.Errorf("collect: topk snapshot fingerprint %q, want %q", fp, hubFingerprint)
+	}
+	var hs hubSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&hs); err != nil {
+		return fmt.Errorf("collect: topk snapshot: %w", err)
+	}
+	sessions := make(map[string]*liveSession, len(hs.Sessions))
+	order := make([]string, 0, len(hs.Sessions))
+	for _, ss := range hs.Sessions {
+		pl, err := topk.UnmarshalSession(ss.State)
+		if err != nil {
+			return fmt.Errorf("collect: topk session %s: %w", ss.ID, err)
+		}
+		sessions[ss.ID] = &liveSession{id: ss.ID, pl: pl}
+		order = append(order, ss.ID)
+	}
+	h.sessions, h.order, h.nextID = sessions, order, hs.NextID
+	return nil
+}
+
+// replayRecord re-applies one session WAL record. Records were validated
+// before they were written, so a record that fails to apply means the log
+// is foreign or damaged — fail loudly, do not skip.
+func (h *sessionHub) replayRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("collect: empty topk wal record")
+	}
+	switch rec[0] {
+	case recSessionCreate:
+		var c wireSessionCreate
+		if err := json.Unmarshal(rec[1:], &c); err != nil {
+			return fmt.Errorf("collect: topk create record: %w", err)
+		}
+		if _, exists := h.sessions[c.ID]; exists {
+			return fmt.Errorf("collect: topk create record for existing session %s", c.ID)
+		}
+		pl, err := topk.NewSession(c.Params)
+		if err != nil {
+			return fmt.Errorf("collect: topk create record: %w", err)
+		}
+		advanceEmptyRounds(pl)
+		h.sessions[c.ID] = &liveSession{id: c.ID, pl: pl}
+		h.order = append(h.order, c.ID)
+		return nil
+	case recSessionReports:
+		var t wireSessionReports
+		if err := json.Unmarshal(rec[1:], &t); err != nil {
+			return fmt.Errorf("collect: topk reports record: %w", err)
+		}
+		sess, ok := h.sessions[t.ID]
+		if !ok {
+			return fmt.Errorf("collect: topk reports record for unknown session %s", t.ID)
+		}
+		for _, rep := range t.Reports {
+			if err := sess.pl.Absorb(rep); err != nil {
+				return fmt.Errorf("collect: topk reports record: %w", err)
+			}
+			advanceOnQuota(sess.pl)
+		}
+		return nil
+	case recSessionDelete:
+		var d wireSessionDelete
+		if err := json.Unmarshal(rec[1:], &d); err != nil {
+			return fmt.Errorf("collect: topk delete record: %w", err)
+		}
+		if _, ok := h.sessions[d.ID]; !ok {
+			return fmt.Errorf("collect: topk delete record for unknown session %s", d.ID)
+		}
+		h.removeLocked(d.ID)
+		return nil
+	default:
+		return fmt.Errorf("collect: unknown topk wal record type %#x", rec[0])
+	}
+}
+
+// advanceEmptyRounds advances past rounds with a zero quota (sessions
+// planned for fewer users than rounds), which no report would ever seal.
+func advanceEmptyRounds(pl *topk.Planner) {
+	for !pl.Done() && pl.Quota() == 0 {
+		if err := pl.Advance(); err != nil {
+			return
+		}
+	}
+}
+
+// advanceOnQuota seals the live round once its quota is in, then skips any
+// empty rounds behind it.
+func advanceOnQuota(pl *topk.Planner) {
+	if !pl.Done() && pl.Received() >= pl.Quota() {
+		if err := pl.Advance(); err != nil {
+			return
+		}
+		advanceEmptyRounds(pl)
+	}
+}
+
+// maybeCompact folds the session log into a snapshot once enough record
+// bytes accumulate past the last one. At most one compaction runs at a
+// time; extra triggers are dropped.
+func (h *sessionHub) maybeCompact() {
+	if h.log == nil || h.log.BytesSinceSeal() < h.compactAfter {
+		return
+	}
+	if !h.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer h.compacting.Store(false)
+		if err := h.compact(); err != nil {
+			// Mirrors Server.maybeCompact: compaction failures are loud
+			// but non-fatal — the log keeps growing and replay still works.
+			fmt.Printf("collect: topk session compaction: %v\n", err)
+		}
+	}()
+}
+
+// compact quiesces session ingestion just long enough to roll the log and
+// marshal every session, then seals the snapshot.
+func (h *sessionHub) compact() error {
+	h.ingestMu.Lock()
+	cover, err := h.log.Roll()
+	var snap []byte
+	if err == nil {
+		snap, err = h.snapshotLocked()
+	}
+	h.ingestMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.log.Seal(cover, snap)
+}
+
+// snapshotLocked marshals every session in creation order. Caller holds
+// ingestMu exclusively (no report is mid-apply).
+func (h *sessionHub) snapshotLocked() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := hubSnapshot{NextID: h.nextID}
+	for _, id := range h.order {
+		sess := h.sessions[id]
+		sess.mu.Lock()
+		blob, err := sess.pl.MarshalBinary()
+		sess.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("collect: marshal topk session %s: %w", id, err)
+		}
+		hs.Sessions = append(hs.Sessions, hubSessionSnapshot{ID: id, State: blob})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(hs); err != nil {
+		return nil, err
+	}
+	return state.Encode(hubFingerprint, buf.Bytes()), nil
+}
+
+// lookup returns the session by id.
+func (h *sessionHub) lookup(id string) (*liveSession, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess, ok := h.sessions[id]
+	return sess, ok
+}
+
+// removeLocked drops a session from the map and the creation order.
+// Caller holds h.mu (or, during replay, has exclusive access).
+func (h *sessionHub) removeLocked(id string) {
+	delete(h.sessions, id)
+	for i, o := range h.order {
+		if o == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire types.
+// ---------------------------------------------------------------------------
+
+// WireTopKSessionInfo describes a hosted session: its normalized params,
+// total round count and live position.
+type WireTopKSessionInfo struct {
+	ID     string             `json:"id"`
+	Params topk.SessionParams `json:"params"`
+	Rounds int                `json:"rounds"`
+	Round  int                `json:"round"`
+	Done   bool               `json:"done"`
+}
+
+// WireTopKRound is the live round broadcast (or the done marker).
+type WireTopKRound struct {
+	Done     bool              `json:"done"`
+	Received int               `json:"received"`
+	Config   *topk.RoundConfig `json:"config,omitempty"`
+}
+
+// WireTopKAck acknowledges a round-report batch. Round and Received are
+// the live position after processing, so clients learn immediately when
+// their batch sealed the round. A batch rejected entirely because its
+// round already sealed is answered with status 410 and this same body.
+type WireTopKAck struct {
+	Accepted        int             `json:"accepted"`
+	Rejected        int             `json:"rejected"`
+	Round           int             `json:"round"`
+	Received        int             `json:"received"`
+	Done            bool            `json:"done"`
+	Errors          []WireItemError `json:"errors,omitempty"`
+	ErrorsTruncated bool            `json:"errors_truncated,omitempty"`
+}
+
+// WireTopKStats is the /stats slice of the interactive mining tier.
+type WireTopKStats struct {
+	// Sessions counts tracked sessions; Open those still mid-protocol.
+	Sessions int                   `json:"sessions"`
+	Open     int                   `json:"open"`
+	Detail   []WireTopKSessionStat `json:"detail,omitempty"`
+}
+
+// WireTopKSessionStat is one session's live position.
+type WireTopKSessionStat struct {
+	ID        string `json:"id"`
+	Framework string `json:"framework"`
+	Round     int    `json:"round"`
+	Rounds    int    `json:"rounds"`
+	Received  int    `json:"received"`
+	Quota     int    `json:"quota"`
+	Done      bool   `json:"done"`
+}
+
+// topkStats snapshots every session's position in creation order.
+func (h *sessionHub) stats() *WireTopKStats {
+	h.mu.Lock()
+	order := append([]string(nil), h.order...)
+	sessions := make([]*liveSession, 0, len(order))
+	for _, id := range order {
+		sessions = append(sessions, h.sessions[id])
+	}
+	h.mu.Unlock()
+	st := &WireTopKStats{Sessions: len(sessions)}
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		pl := sess.pl
+		stat := WireTopKSessionStat{
+			ID:        sess.id,
+			Framework: pl.Params().Framework,
+			Round:     pl.Round(),
+			Rounds:    pl.Rounds(),
+			Received:  pl.Received(),
+			Quota:     pl.Quota(),
+			Done:      pl.Done(),
+		}
+		sess.mu.Unlock()
+		if !stat.Done {
+			st.Open++
+		}
+		st.Detail = append(st.Detail, stat)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+// ---------------------------------------------------------------------------
+
+func sessionInfo(id string, pl *topk.Planner) WireTopKSessionInfo {
+	return WireTopKSessionInfo{
+		ID:     id,
+		Params: pl.Params(),
+		Rounds: pl.Rounds(),
+		Round:  pl.Round(),
+		Done:   pl.Done(),
+	}
+}
+
+// handleTopKCreate creates a session from a topk.SessionParams body.
+func (s *Server) handleTopKCreate(w http.ResponseWriter, r *http.Request) {
+	h := s.topk
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var params topk.SessionParams
+	if err := json.Unmarshal(body, &params); err != nil {
+		http.Error(w, "decode session params: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pl, err := topk.NewSession(params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The session must be answerable over the wire: the client half has to
+	// accept the broadcast (domain caps, joint-domain bounds). Catch it at
+	// creation, not when the first client fails.
+	if cfg := pl.Config(); cfg != nil {
+		if _, err := topk.NewRoundEncoder(cfg); err != nil {
+			http.Error(w, "session is not servable: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	advanceEmptyRounds(pl)
+
+	h.ingestMu.RLock()
+	defer h.ingestMu.RUnlock()
+	// The cap check and the slot claim are one critical section (reserved
+	// bridges the WAL-append gap below), so concurrent creates cannot
+	// overshoot maxSessions. Completed sessions are evicted with DELETE,
+	// which frees their slot.
+	h.mu.Lock()
+	if len(h.sessions)+h.reserved >= h.maxSessions {
+		h.mu.Unlock()
+		http.Error(w, fmt.Sprintf("collect: session limit %d reached (DELETE finished sessions to free slots)",
+			h.maxSessions), http.StatusTooManyRequests)
+		return
+	}
+	h.reserved++
+	h.nextID++
+	id := fmt.Sprintf("s%06d", h.nextID)
+	h.mu.Unlock()
+	if h.log != nil {
+		rec, err := json.Marshal(wireSessionCreate{ID: id, Params: pl.Params()})
+		if err == nil {
+			err = h.log.Append(append([]byte{recSessionCreate}, rec...))
+		}
+		if err != nil {
+			h.mu.Lock()
+			h.reserved--
+			h.mu.Unlock()
+			http.Error(w, "collect: wal append: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	h.mu.Lock()
+	h.reserved--
+	h.sessions[id] = &liveSession{id: id, pl: pl}
+	h.order = append(h.order, id)
+	h.mu.Unlock()
+	writeJSON(w, sessionInfo(id, pl))
+}
+
+// handleTopKDelete evicts a session — the way finished (or abandoned)
+// sessions release their slot under the MaxSessions cap. The eviction is
+// write-ahead logged, so a restarted server does not resurrect it.
+func (s *Server) handleTopKDelete(w http.ResponseWriter, r *http.Request) {
+	h := s.topk
+	sess, ok := s.topkSession(w, r)
+	if !ok {
+		return
+	}
+	h.ingestMu.RLock()
+	defer h.ingestMu.RUnlock()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.deleted {
+		http.Error(w, fmt.Sprintf("collect: no session %q", sess.id), http.StatusNotFound)
+		return
+	}
+	if h.log != nil {
+		rec, err := json.Marshal(wireSessionDelete{ID: sess.id})
+		if err == nil {
+			err = h.log.Append(append([]byte{recSessionDelete}, rec...))
+		}
+		if err != nil {
+			http.Error(w, "collect: wal append: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	sess.deleted = true
+	h.mu.Lock()
+	h.removeLocked(sess.id)
+	h.mu.Unlock()
+	writeJSON(w, map[string]string{"deleted": sess.id})
+}
+
+// topkSession resolves the {id} path segment, answering 404 itself.
+func (s *Server) topkSession(w http.ResponseWriter, r *http.Request) (*liveSession, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.topk.lookup(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("collect: no session %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return sess, true
+}
+
+// handleTopKInfo describes an existing session — what a client that only
+// holds the id (e.g. resuming after a server restart) attaches through.
+func (s *Server) handleTopKInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.topkSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	info := sessionInfo(sess.id, sess.pl)
+	sess.mu.Unlock()
+	writeJSON(w, info)
+}
+
+// handleTopKRound serves the live round broadcast.
+func (s *Server) handleTopKRound(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.topkSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	out := WireTopKRound{Done: sess.pl.Done(), Received: sess.pl.Received(), Config: sess.pl.Config()}
+	sess.mu.Unlock()
+	writeJSON(w, out)
+}
+
+// handleTopKResult serves the final rankings; 409 until the session is
+// done (the body names the live round so clients know how far along it is).
+func (s *Server) handleTopKResult(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.topkSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	res, err := sess.pl.Result()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleTopKReports ingests a batch of round reports (JSON array or
+// NDJSON, under the same body cap and 413 behavior as /reports). Reports
+// are absorbed in order into the live round, which seals automatically
+// when its quota is in — reports after the seal (in this batch or a later
+// one) are rejected, and a batch rejected entirely for that reason is
+// answered 410 Gone with the live round index.
+func (s *Server) handleTopKReports(w http.ResponseWriter, r *http.Request) {
+	h := s.topk
+	sess, ok := s.topkSession(w, r)
+	if !ok {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	items, itemErrs, droppedTail, err := decodeBatchItems[topk.RoundReport](body)
+	if err != nil {
+		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	h.ingestMu.RLock()
+	sess.mu.Lock()
+	if sess.deleted {
+		// Evicted between lookup and lock: a report record appended now
+		// would follow the deletion record on replay.
+		sess.mu.Unlock()
+		h.ingestMu.RUnlock()
+		http.Error(w, fmt.Sprintf("collect: no session %q", sess.id), http.StatusNotFound)
+		return
+	}
+	pl := sess.pl
+	// Pass 1 (read-only): classify. Acceptance is order-dependent only
+	// through the quota: once this batch fills the live round, everything
+	// after it in the batch is posting to a sealed round.
+	room := pl.Quota() - pl.Received()
+	if pl.Done() {
+		room = 0
+	}
+	accepted := make([]topk.RoundReport, 0, min(len(items), max0(room)))
+	staleRejects := 0
+	for _, it := range items {
+		switch {
+		case pl.Done():
+			staleRejects++
+			itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: topk.ErrSessionDone.Error()})
+		case len(accepted) >= room:
+			staleRejects++
+			itemErrs = append(itemErrs, WireItemError{Index: it.index,
+				Error: fmt.Sprintf("topk: round %d sealed by this batch", pl.Round())})
+		default:
+			if cerr := pl.CheckReport(it.report); cerr != nil {
+				var rm *topk.RoundMismatchError
+				if errors.As(cerr, &rm) {
+					staleRejects++
+				}
+				itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: cerr.Error()})
+				continue
+			}
+			accepted = append(accepted, it.report)
+		}
+	}
+	// Durability before application: the accepted reports are logged as
+	// one record, so a crash replays exactly what was acknowledged.
+	if h.log != nil && len(accepted) > 0 {
+		rec, err := json.Marshal(wireSessionReports{ID: sess.id, Reports: accepted})
+		if err == nil {
+			err = h.log.Append(append([]byte{recSessionReports}, rec...))
+		}
+		if err != nil {
+			sess.mu.Unlock()
+			h.ingestMu.RUnlock()
+			http.Error(w, "collect: wal append: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	// Pass 2: apply. Every accepted report passed CheckReport against the
+	// state it will be absorbed into, so failures are impossible here.
+	for _, rep := range accepted {
+		if aerr := pl.Absorb(rep); aerr != nil {
+			sess.mu.Unlock()
+			h.ingestMu.RUnlock()
+			http.Error(w, "collect: absorb accepted report: "+aerr.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	advanceOnQuota(pl)
+	ack := WireTopKAck{
+		Accepted: len(accepted),
+		Rejected: len(itemErrs) + droppedTail,
+		Round:    pl.Round(),
+		Received: pl.Received(),
+		Done:     pl.Done(),
+	}
+	sess.mu.Unlock()
+	h.ingestMu.RUnlock()
+	h.maybeCompact()
+
+	if len(itemErrs) > maxBatchErrors {
+		itemErrs = itemErrs[:maxBatchErrors]
+		ack.ErrorsTruncated = true
+	}
+	ack.Errors = itemErrs
+	if ack.Accepted == 0 && len(items) > 0 && staleRejects == len(itemErrs) {
+		// The whole batch raced a seal (or the session finished): 410 Gone,
+		// with the ack body telling the client which round is live now.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(ack) //nolint:errcheck — best-effort error body
+		return
+	}
+	writeJSON(w, ack)
+}
+
+func max0(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Client half.
+// ---------------------------------------------------------------------------
+
+// TopKSession is the client handle for one hosted mining session: create
+// it (NewTopKSession), then per round fetch the broadcast, encode each
+// user's pair locally with topk.NewRoundEncoder — raw pairs never leave
+// the process — and post the reports.
+type TopKSession struct {
+	base string
+	http *http.Client
+	info WireTopKSessionInfo
+}
+
+// NewTopKSession creates a session on the server at baseURL.
+func NewTopKSession(baseURL string, hc *http.Client, params topk.SessionParams) (*TopKSession, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	body, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(baseURL+"/topk/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("collect: create session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collect: create session status %s", resp.Status)
+	}
+	var info WireTopKSessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("collect: decode session info: %w", err)
+	}
+	return &TopKSession{base: baseURL, http: hc, info: info}, nil
+}
+
+// OpenTopKSession attaches to an existing session by id — how a client
+// resumes driving a session a restarted server recovered from its WAL.
+func OpenTopKSession(baseURL string, hc *http.Client, id string) (*TopKSession, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	ts := &TopKSession{base: baseURL, http: hc, info: WireTopKSessionInfo{ID: id}}
+	if err := ts.get("", &ts.info); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Info returns the creation response (normalized params, round count).
+func (ts *TopKSession) Info() WireTopKSessionInfo { return ts.info }
+
+// ID returns the server-assigned session id.
+func (ts *TopKSession) ID() string { return ts.info.ID }
+
+func (ts *TopKSession) get(path string, out any) error {
+	resp, err := ts.http.Get(ts.base + "/topk/sessions/" + ts.info.ID + path)
+	if err != nil {
+		return fmt.Errorf("collect: session %s: %w", ts.info.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{resp.StatusCode, fmt.Sprintf("collect: session %s%s status %s", ts.info.ID, path, resp.Status)}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Round fetches the live round broadcast.
+func (ts *TopKSession) Round() (*WireTopKRound, error) {
+	var out WireTopKRound
+	if err := ts.get("/round", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PostReports ships one batch of round reports. A batch the server
+// answers 410 (the round sealed while the batch was in flight) comes back
+// as an error carrying that status (see StatusCode) plus the ack naming
+// the live round.
+func (ts *TopKSession) PostReports(reps []topk.RoundReport) (*WireTopKAck, error) {
+	body, err := json.Marshal(reps)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ts.http.Post(ts.base+"/topk/sessions/"+ts.info.ID+"/reports", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("collect: session %s reports: %w", ts.info.ID, err)
+	}
+	defer resp.Body.Close()
+	var ack WireTopKAck
+	decodeErr := json.NewDecoder(resp.Body).Decode(&ack)
+	if resp.StatusCode != http.StatusOK {
+		err := &statusError{resp.StatusCode, fmt.Sprintf("collect: session %s reports status %s", ts.info.ID, resp.Status)}
+		if resp.StatusCode == http.StatusGone && decodeErr == nil {
+			return &ack, err
+		}
+		return nil, err
+	}
+	if decodeErr != nil {
+		return nil, fmt.Errorf("collect: decode reports ack: %w", decodeErr)
+	}
+	return &ack, nil
+}
+
+// Result fetches the final per-class rankings; it errors (with a 409
+// status, see StatusCode) while the session is still mid-protocol.
+func (ts *TopKSession) Result() (*topk.Result, error) {
+	var out topk.Result
+	if err := ts.get("/result", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete evicts the session server-side, freeing its slot under the
+// server's session cap. Call it after Result.
+func (ts *TopKSession) Delete() error {
+	req, err := http.NewRequest(http.MethodDelete, ts.base+"/topk/sessions/"+ts.info.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := ts.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("collect: delete session %s: %w", ts.info.ID, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for connection reuse
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{resp.StatusCode, fmt.Sprintf("collect: delete session %s status %s", ts.info.ID, resp.Status)}
+	}
+	return nil
+}

@@ -40,14 +40,17 @@ func RMSE(estimated, truth [][]float64) float64 {
 }
 
 // TopK returns the indices of the k largest values in counts, ties broken
-// by lower index for determinism. If k exceeds the domain, all indices are
-// returned ordered by count.
+// by lower index. The tie-break is part of the contract, not an
+// implementation accident: mined rankings are served to clients and pinned
+// by equivalence tests, so equal scores must order identically across runs
+// and platforms. If k exceeds the domain, all indices are returned ordered
+// by count.
 func TopK(counts []float64, k int) []int {
 	idx := make([]int, len(counts))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
+	sort.Slice(idx, func(a, b int) bool {
 		if counts[idx[a]] != counts[idx[b]] {
 			return counts[idx[a]] > counts[idx[b]]
 		}
@@ -59,13 +62,25 @@ func TopK(counts []float64, k int) []int {
 	return idx[:k]
 }
 
-// TopKInt64 is TopK over raw int64 counts.
+// TopKInt64 is TopK over raw int64 counts with the same deterministic
+// index tie-break. It compares the integers directly: converting to
+// float64 first would collapse counts differing only below 2⁵³ into ties
+// and silently reorder them.
 func TopKInt64(counts []int64, k int) []int {
-	f := make([]float64, len(counts))
-	for i, c := range counts {
-		f[i] = float64(c)
+	idx := make([]int, len(counts))
+	for i := range idx {
+		idx[i] = i
 	}
-	return TopK(f, k)
+	sort.Slice(idx, func(a, b int) bool {
+		if counts[idx[a]] != counts[idx[b]] {
+			return counts[idx[a]] > counts[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
 }
 
 // F1 returns the F1 score of a mined top-k set against the ground-truth

@@ -50,6 +50,43 @@ func TestTopKInt64(t *testing.T) {
 	}
 }
 
+// TestTopKDeterministicTies pins the index tie-break contract: equal
+// scores order by lower index, identically on every run and platform,
+// because served rankings are reproduced bit-for-bit by equivalence tests.
+func TestTopKDeterministicTies(t *testing.T) {
+	counts := []float64{4, 4, 4, 4, 4}
+	for rep := 0; rep < 10; rep++ {
+		got := TopK(counts, 5)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("all-tied TopK = %v, want identity order", got)
+			}
+		}
+	}
+	countsI := []int64{7, 7, 1, 7, 7}
+	want := []int{0, 1, 3, 4}
+	for rep := 0; rep < 10; rep++ {
+		got := TopKInt64(countsI, 4)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tied TopKInt64 = %v want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestTopKInt64ExactBeyondFloat53: counts differing only below float64's
+// 53-bit mantissa must still rank exactly — the old float conversion
+// collapsed them into ties.
+func TestTopKInt64ExactBeyondFloat53(t *testing.T) {
+	const big = int64(1) << 60
+	counts := []int64{big, big + 1, big - 1}
+	got := TopKInt64(counts, 3)
+	if got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("TopKInt64 over 2^60-scale counts = %v, want [1 0 2]", got)
+	}
+}
+
 func TestF1(t *testing.T) {
 	truth := []int{1, 2, 3, 4}
 	if F1([]int{1, 2, 3, 4}, truth) != 1 {

@@ -16,25 +16,25 @@ import (
 type Options struct {
 	// Shuffling replaces PEM's prefix buckets with the seeded shuffled
 	// partition of surviving candidates (Fig. 4).
-	Shuffling bool
+	Shuffling bool `json:"shuffling"`
 	// VP perturbs buckets with the validity perturbation mechanism instead
 	// of substituting a random candidate for invalid items.
-	VP bool
+	VP bool `json:"vp"`
 	// CP applies the correlated perturbation in the final iteration of the
 	// PTS scheme (subject to the noise check with threshold B).
-	CP bool
+	CP bool `json:"cp"`
 	// Global runs Algorithm 1: a sampled user group mines global candidates
 	// for the first half of the iterations before per-class mining starts.
 	// Only the PTS framework can exploit it.
-	Global bool
+	Global bool `json:"global"`
 	// A is the sample fraction for the global phase (paper default 0.2).
-	A float64
+	A float64 `json:"a,omitempty"`
 	// B is the noise-level threshold of Algorithm 2 line 8 (paper default
 	// 2): correlated perturbation is only applied when the routed user
 	// count stays below B times the estimated class size.
-	B float64
+	B float64 `json:"b,omitempty"`
 	// Split is the label-budget fraction ε₁/ε (paper default 0.5).
-	Split float64
+	Split float64 `json:"split,omitempty"`
 }
 
 // Baseline returns the unoptimized configuration.
@@ -65,10 +65,10 @@ type Result struct {
 	// PerClass[c] is the mined ranking for class c, best first, at most k
 	// items (fewer when the scheme could not resolve k items, e.g. PTJ on
 	// data-starved classes).
-	PerClass [][]int
+	PerClass [][]int `json:"per_class"`
 	// UsedCP[c] reports whether the final iteration used correlated
 	// perturbation for class c (PTS only).
-	UsedCP []bool
+	UsedCP []bool `json:"used_cp"`
 }
 
 // halvings returns the number of ceil-halvings to bring pool within target.
@@ -106,73 +106,6 @@ func groupBounds(n, it int) []int {
 		b[i] = n * i / it
 	}
 	return b
-}
-
-// iterAgg aggregates one iteration's bucket reports. It hides the VP /
-// baseline distinction: with VP the flag-set reports are dropped, without
-// it invalid users substituted a random candidate client-side.
-type iterAgg struct {
-	useVP  bool
-	vp     *core.VP
-	vpAcc  *core.VPAccumulator
-	oue    *fo.UE
-	counts []int64
-	n      int
-}
-
-func newIterAgg(buckets int, eps float64, useVP bool) (*iterAgg, error) {
-	a := &iterAgg{useVP: useVP}
-	if useVP {
-		vp, err := core.NewVP(buckets, eps)
-		if err != nil {
-			return nil, err
-		}
-		a.vp = vp
-		a.vpAcc = vp.NewAccumulator()
-		return a, nil
-	}
-	oue, err := fo.NewOUE(buckets, eps)
-	if err != nil {
-		return nil, err
-	}
-	a.oue = oue
-	a.counts = make([]int64, buckets)
-	return a, nil
-}
-
-// add perturbs and aggregates one user's bucket; bucket == core.Invalid
-// marks an invalid item. With the baseline mechanism the caller must have
-// already substituted a random bucket, so Invalid is rejected.
-func (a *iterAgg) add(bucket int, r *xrand.Rand) {
-	if a.useVP {
-		a.vpAcc.Add(a.vp.Perturb(bucket, r))
-		return
-	}
-	if bucket == core.Invalid {
-		panic("topk: baseline aggregation received an invalid bucket")
-	}
-	bits := a.oue.PerturbBits(bucket, r)
-	bits.AddInto(a.counts)
-	a.n++
-}
-
-// scores returns per-bucket raw support counts, the pruning criterion. Raw
-// counts rank identically to calibrated estimates within one iteration
-// because the calibration is a shared affine map.
-func (a *iterAgg) scores() []float64 {
-	if a.useVP {
-		raw := a.vpAcc.RawCounts()
-		out := make([]float64, len(raw))
-		for i, c := range raw {
-			out[i] = float64(c)
-		}
-		return out
-	}
-	out := make([]float64, len(a.counts))
-	for i, c := range a.counts {
-		out[i] = float64(c)
-	}
-	return out
 }
 
 // randomBucket picks the substitution bucket for an invalid user under the
@@ -218,8 +151,9 @@ func rankFinal(sp space, scores []float64, limit int) []int {
 	return out
 }
 
-// singleConfig drives one single-domain mining run (used by HEC per class
-// and by PTJ over the joint pair domain).
+// singleConfig drives one single-domain mining run — the unit the HEC and
+// PTJ sessions are built from, kept as a standalone entry point for the
+// single-domain tests.
 type singleConfig struct {
 	domain    int
 	buckets   int
@@ -230,31 +164,44 @@ type singleConfig struct {
 	vp        bool
 }
 
-// mineSingle runs the iterative pruning scheme over one domain. items holds
-// each user's value, with core.Invalid for users whose value is invalid a
-// priori (HEC label mismatch). Values invalidated later by pruning are
-// handled per iteration.
+// mineSingle runs the iterative pruning scheme over one domain as a thin
+// loop over the session halves: each round the server side lays out the
+// space and aggregates raw bucket counts (roundAgg), while each user
+// perturbs their own value client-side with their own generator
+// (perturbBucket over UserRand), exactly as a served session's clients do.
+// items holds each user's value, with core.Invalid for users whose value
+// is invalid a priori; values invalidated later by pruning are handled per
+// iteration.
 func mineSingle(items []int, cfg singleConfig, r *xrand.Rand) ([]int, error) {
 	if cfg.domain < 2 {
 		return nil, fmt.Errorf("topk: domain %d too small", cfg.domain)
 	}
+	seed := r.Uint64()
 	sp := newSpace(cfg.domain, cfg.buckets, cfg.shuffling, r)
 	iters := iterationsFor(cfg.domain, cfg.buckets, cfg.shuffling)
 	bounds := groupBounds(len(items), iters)
 	for it := 0; it < iters; it++ {
-		agg, err := newIterAgg(sp.Buckets(), cfg.eps, cfg.vp)
+		agg := newRoundAgg(sp.Buckets(), cfg.vp)
+		var (
+			vp  *core.VP
+			ue  *fo.UE
+			err error
+		)
+		if cfg.vp {
+			vp, err = core.NewVP(sp.Buckets(), cfg.eps)
+		} else {
+			ue, err = fo.NewOUE(sp.Buckets(), cfg.eps)
+		}
 		if err != nil {
 			return nil, err
 		}
-		for _, v := range items[bounds[it]:bounds[it+1]] {
+		for u := bounds[it]; u < bounds[it+1]; u++ {
+			ur := UserRand(seed, u)
 			bucket := core.Invalid
-			if v != core.Invalid {
-				bucket = sp.BucketOf(v)
+			if items[u] != core.Invalid {
+				bucket = sp.BucketOf(items[u])
 			}
-			if bucket == core.Invalid && !cfg.vp {
-				bucket = randomBucket(sp, r)
-			}
-			agg.add(bucket, r)
+			agg.add(perturbBucket(sp, vp, ue, bucket, ur).Ones())
 		}
 		if it == iters-1 {
 			return rankFinal(sp, agg.scores(), cfg.limit), nil

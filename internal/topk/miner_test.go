@@ -121,36 +121,40 @@ func TestMineSingleRejectsDegenerateDomain(t *testing.T) {
 	}
 }
 
-func TestIterAggVPDropsFlagged(t *testing.T) {
-	agg, err := newIterAgg(8, 1, true)
+func TestRoundAggVPDropsFlagged(t *testing.T) {
+	vp, err := core.NewVP(8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	agg := newRoundAgg(8, true)
 	r := xrand.New(35)
 	for i := 0; i < 1000; i++ {
-		agg.add(core.Invalid, r)
+		agg.add(vp.Perturb(core.Invalid, r).Ones())
 	}
-	s := agg.scores()
+	if agg.kept+agg.dropped != 1000 || agg.dropped == 0 {
+		t.Fatalf("kept %d dropped %d of 1000 invalid reports", agg.kept, agg.dropped)
+	}
 	// With everything invalid, surviving counts are pure q(1−p) noise, far
 	// below 1000.
-	for b, v := range s {
+	for b, v := range agg.scores() {
 		if v > 300 {
 			t.Fatalf("bucket %d score %v from pure-invalid stream", b, v)
 		}
 	}
 }
 
-func TestIterAggBaselinePanicsOnInvalid(t *testing.T) {
-	agg, err := newIterAgg(8, 1, false)
-	if err != nil {
+func TestValidateBits(t *testing.T) {
+	if err := validateBits([]int{0, 3, 7}, 8); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+	if err := validateBits(nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{-1}, {8}, {3, 3}, {4, 2}} {
+		if validateBits(bad, 8) == nil {
+			t.Errorf("bits %v accepted", bad)
 		}
-	}()
-	agg.add(core.Invalid, xrand.New(1))
+	}
 }
 
 func TestPruneKeep(t *testing.T) {

@@ -8,7 +8,11 @@ import (
 	"repro/internal/xrand"
 )
 
-// Miner is a multi-class top-k mining framework.
+// Miner is a multi-class top-k mining framework. Since the round
+// decomposition, every miner is a thin offline driver over the session
+// halves: Mine plans a session (NewSession), derives per-user generators
+// from the session seed, and drives planner and RoundEncoder to completion
+// (RunSession) — the same code path a served session exercises over HTTP.
 type Miner interface {
 	// Name identifies the framework in experiment output.
 	Name() string
@@ -34,13 +38,40 @@ func checkMineArgs(data *core.Dataset, k int, eps float64) error {
 	return nil
 }
 
+// mineVia is the shared Mine body: draw a session seed from the caller's
+// generator, plan the session, drive it offline.
+func mineVia(framework string, opt Options, data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
+	if err := checkMineArgs(data, k, eps); err != nil {
+		return nil, err
+	}
+	pl, err := NewSession(SessionParams{
+		Framework: framework,
+		Classes:   data.Classes,
+		Items:     data.Items,
+		K:         k,
+		Eps:       eps,
+		Users:     data.N(),
+		Seed:      r.Uint64(),
+		Opt:       opt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("topk: %s: %w", framework, err)
+	}
+	res, err := RunSession(pl, data.Pairs)
+	if err != nil {
+		return nil, fmt.Errorf("topk: %s: %w", framework, err)
+	}
+	return res, nil
+}
+
 // ---------------------------------------------------------------------------
 // HEC: per-class user partition, full budget on items (the strawman).
 // ---------------------------------------------------------------------------
 
-// HEC divides the users into c groups, one per class; within a group a user
-// whose label does not match the group's class is invalid for the whole
-// run. Each group runs the single-domain mining scheme independently.
+// HEC divides the users into c groups, one per class (each user picks its
+// group client-side); within a group a user whose label does not match the
+// group's class is invalid for the whole run. The c single-domain mining
+// runs proceed in lockstep, one shared iteration per round.
 type HEC struct {
 	Opt Options
 }
@@ -53,39 +84,7 @@ func (h *HEC) Name() string { return "HEC" + optSuffix(h.Opt, false) }
 
 // Mine implements Miner.
 func (h *HEC) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
-	if err := checkMineArgs(data, k, eps); err != nil {
-		return nil, err
-	}
-	c := data.Classes
-	// Random class-group assignment, then per-group item streams with
-	// label mismatches marked invalid.
-	groups := make([][]int, c)
-	for _, p := range data.Pairs {
-		g := r.Intn(c)
-		item := p.Item
-		if p.Class != g {
-			item = core.Invalid
-		}
-		groups[g] = append(groups[g], item)
-	}
-	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
-	cfg := singleConfig{
-		domain:    data.Items,
-		buckets:   4 * k,
-		keep:      2 * k,
-		limit:     k,
-		eps:       eps,
-		shuffling: h.Opt.Shuffling,
-		vp:        h.Opt.VP,
-	}
-	for g := 0; g < c; g++ {
-		ranked, err := mineSingle(groups[g], cfg, r)
-		if err != nil {
-			return nil, fmt.Errorf("topk: HEC class %d: %w", g, err)
-		}
-		res.PerClass[g] = ranked
-	}
-	return res, nil
+	return mineVia("hec", h.Opt, data, k, eps, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -109,35 +108,7 @@ func (f *PTJ) Name() string { return "PTJ" + optSuffix(f.Opt, false) }
 
 // Mine implements Miner.
 func (f *PTJ) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
-	if err := checkMineArgs(data, k, eps); err != nil {
-		return nil, err
-	}
-	c, d := data.Classes, data.Items
-	items := make([]int, len(data.Pairs))
-	for i, p := range data.Pairs {
-		items[i] = core.JointIndex(p, d)
-	}
-	cfg := singleConfig{
-		domain:    c * d,
-		buckets:   4 * k * c,
-		keep:      2 * k * c,
-		limit:     4 * k * c, // rank the full final pool; project per class below
-		eps:       eps,
-		shuffling: f.Opt.Shuffling,
-		vp:        f.Opt.VP,
-	}
-	ranked, err := mineSingle(items, cfg, r)
-	if err != nil {
-		return nil, fmt.Errorf("topk: PTJ: %w", err)
-	}
-	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
-	for _, joint := range ranked {
-		cl, item := joint/d, joint%d
-		if len(res.PerClass[cl]) < k {
-			res.PerClass[cl] = append(res.PerClass[cl], item)
-		}
-	}
-	return res, nil
+	return mineVia("ptj", f.Opt, data, k, eps, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -151,8 +122,9 @@ func (f *PTJ) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Resu
 // perturbed labels estimate per-class sizes. The remaining users run
 // Algorithm 2: routed to per-class candidate spaces by perturbed label,
 // with the final iteration using correlated perturbation where the noise
-// check admits it (routed ≤ b·estimated) and validity perturbation
-// elsewhere.
+// check admits it (routed ≤ b·estimated, decided from the label statistics
+// of all earlier rounds and broadcast with the final round's config) and
+// validity perturbation elsewhere.
 type PTS struct {
 	Opt Options
 }
@@ -187,158 +159,26 @@ func optSuffix(o Options, pts bool) string {
 
 // Mine implements Miner.
 func (f *PTS) Mine(data *core.Dataset, k int, eps float64, r *xrand.Rand) (*Result, error) {
-	if err := checkMineArgs(data, k, eps); err != nil {
-		return nil, err
-	}
-	opt := f.Opt
-	c, d := data.Classes, data.Items
-	eps1 := eps * opt.Split
-	eps2 := eps - eps1
-	label, err := fo.NewGRR(c, eps1)
-	if err != nil {
-		return nil, err
-	}
-	// Iteration schedule. With shuffling the pool halves every iteration in
-	// both phases, so the count depends only on the per-class 4k target;
-	// with PEM and a global phase the run starts from the finer 4kc-prefix
-	// layout. IT_f = IT/2 global iterations (Algorithm 1), the rest
-	// per-class (Algorithm 2). Global phases that would leave no per-class
-	// iteration are disabled.
-	iters := iterationsFor(d, 4*k, opt.Shuffling)
-	itF := 0
-	if opt.Global {
-		if !opt.Shuffling {
-			gIters := iterationsFor(d, 4*k*c, opt.Shuffling)
-			if gIters >= 2 {
-				iters = gIters
-				itF = gIters / 2
-			}
-		} else if iters >= 2 {
-			itF = iters / 2
-		}
-	}
-
-	// Partition users: the a-sample drives the global phase, the rest the
-	// per-class phase. Without a global phase all users mine per-class.
-	n := len(data.Pairs)
-	nGlobal := 0
-	if itF > 0 {
-		nGlobal = int(float64(n) * opt.A)
-	}
-	globalUsers := data.Pairs[:nGlobal]
-	classUsers := data.Pairs[nGlobal:]
-	gBounds := groupBounds(len(globalUsers), max(itF, 1))
-	cBounds := groupBounds(len(classUsers), iters-itF)
-
-	// Label statistics for the noise check: raw routed counts and totals.
-	labelRouted := make([]int64, c)
-	labelTotal := 0
-	routeAndCount := func(p core.Pair) int {
-		lab := label.PerturbValue(p.Class, r)
-		labelRouted[lab]++
-		labelTotal++
-		return lab
-	}
-
-	// --- Phase 1: global candidate generation (Algorithm 1). ---
-	var global space
-	if itF > 0 {
-		global = newSpace(d, 4*k*c, opt.Shuffling, r)
-	}
-	for it := 0; it < itF; it++ {
-		agg, err := newIterAgg(global.Buckets(), eps2, opt.VP)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range globalUsers[gBounds[it]:gBounds[it+1]] {
-			routeAndCount(p) // labels only estimate class sizes here
-			bucket := global.BucketOf(p.Item)
-			if bucket == core.Invalid && !opt.VP {
-				bucket = randomBucket(global, r)
-			}
-			agg.add(bucket, r)
-		}
-		global.Prune(agg.scores(), pruneKeep(global, 2*k*c), r)
-	}
-
-	// --- Phase 2: per-class mining (Algorithm 2). ---
-	spaces := make([]space, c)
-	for cl := 0; cl < c; cl++ {
-		if global != nil {
-			spaces[cl] = global.Fork(4*k, r)
-		} else {
-			spaces[cl] = newSpace(d, 4*k, opt.Shuffling, r)
-		}
-	}
-	res := &Result{PerClass: make([][]int, c), UsedCP: make([]bool, c)}
-	itR := iters - itF
-	for it := 0; it < itR; it++ {
-		final := it == itR-1
-		group := classUsers[cBounds[it]:cBounds[it+1]]
-		// Route first: the CP/VP decision of Algorithm 2 line 8 needs the
-		// per-class collected amounts before items are perturbed, and under
-		// CP the item perturbation is conditioned on the label outcome.
-		routed := make([]int, len(group))
-		routedCount := make([]int64, c)
-		for i, p := range group {
-			routed[i] = routeAndCount(p)
-			routedCount[routed[i]]++
-		}
-		useCP := make([]bool, c)
-		if final && opt.CP {
-			for cl := 0; cl < c; cl++ {
-				useCP[cl] = cpFeasible(routedCount[cl], int64(len(group)),
-					labelRouted[cl], int64(labelTotal), label, opt.B)
-				res.UsedCP[cl] = useCP[cl]
-			}
-		}
-		aggs := make([]*iterAgg, c)
-		for cl := 0; cl < c; cl++ {
-			aggs[cl], err = newIterAgg(spaces[cl].Buckets(), eps2, opt.VP)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for i, p := range group {
-			cl := routed[i]
-			bucket := spaces[cl].BucketOf(p.Item)
-			if useCP[cl] && p.Class != cl {
-				// Correlated perturbation: the label moved, so the item is
-				// submitted as invalid regardless of candidate membership.
-				bucket = core.Invalid
-			}
-			if bucket == core.Invalid && !opt.VP {
-				bucket = randomBucket(spaces[cl], r)
-			}
-			aggs[cl].add(bucket, r)
-		}
-		for cl := 0; cl < c; cl++ {
-			if final {
-				res.PerClass[cl] = rankFinal(spaces[cl], aggs[cl].scores(), k)
-			} else {
-				spaces[cl].Prune(aggs[cl].scores(), pruneKeep(spaces[cl], 2*k), r)
-			}
-		}
-	}
-	return res, nil
+	return mineVia("pts", f.Opt, data, k, eps, r)
 }
 
-// cpFeasible implements the Algorithm 2 line 8 noise check: correlated
-// perturbation is applied only when the user amount routed to the class does
-// not exceed b times the estimated true class share. routed/groupTotal is
-// the class's routed share in the final iteration; the estimate n̂/total
-// comes from all labels perturbed so far (the global phase when enabled).
-func cpFeasible(routed, groupTotal, labelCount, labelTotal int64, label *fo.GRR, b float64) bool {
-	if groupTotal == 0 || labelTotal == 0 {
+// cpFeasible implements the Algorithm 2 line 8 noise check in its
+// broadcastable form: correlated perturbation is applied only when the
+// amount routed to the class — labelCount of the labelTotal perturbed
+// labels collected in all rounds before the final one (the global phase
+// when enabled) — does not exceed b times the class's estimated true size
+// n̂, calibrated from those same labels. Deciding from the prior rounds is
+// what lets the switch be fixed when the final round opens and shipped in
+// its broadcast.
+func cpFeasible(labelCount, labelTotal int64, label *fo.GRR, b float64) bool {
+	if labelTotal == 0 {
 		return true // no evidence of excess noise; default to CP
 	}
 	nHat := (float64(labelCount) - float64(labelTotal)*label.Q()) / (label.P() - label.Q())
 	if nHat <= 0 {
 		return false // class too small to estimate: CP would starve it
 	}
-	routedShare := float64(routed) / float64(groupTotal)
-	estShare := nHat / float64(labelTotal)
-	return routedShare <= b*estShare
+	return float64(labelCount) <= b*nHat
 }
 
 func max(a, b int) int {

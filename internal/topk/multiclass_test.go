@@ -165,15 +165,15 @@ func TestCPFeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Large class, routing dominated by true members: CP feasible.
-	if !cpFeasible(400, 1000, 4000, 10000, label, 2) {
+	if !cpFeasible(4000, 10000, label, 2) {
 		t.Fatal("large class rejected")
 	}
 	// Tiny class flooded by mis-routed noise: infeasible.
-	if cpFeasible(300, 1000, 200, 100000, label, 2) {
+	if cpFeasible(200, 100000, label, 2) {
 		t.Fatal("noise-flooded class accepted")
 	}
 	// No data: default to CP.
-	if !cpFeasible(0, 0, 0, 0, label, 2) {
+	if !cpFeasible(0, 0, label, 2) {
 		t.Fatal("empty evidence rejected CP")
 	}
 }

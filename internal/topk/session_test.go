@@ -1,0 +1,312 @@
+package topk
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// sessionConfigs enumerates one configuration per miner, covering both
+// space layouts and the pts phases/CP switch.
+func sessionConfigs() []struct {
+	name  string
+	miner Miner
+	fw    string
+	opt   Options
+} {
+	return []struct {
+		name  string
+		miner Miner
+		fw    string
+		opt   Options
+	}{
+		{"hec-baseline", NewHEC(Baseline()), "hec", Baseline()},
+		{"hec-shuf-vp", NewHEC(Options{Shuffling: true, VP: true}), "hec", Options{Shuffling: true, VP: true}},
+		{"ptj-shuf-vp", NewPTJ(Options{Shuffling: true, VP: true}), "ptj", Options{Shuffling: true, VP: true}},
+		{"ptj-pem", NewPTJ(Baseline()), "ptj", Baseline()},
+		{"pts-optimized", NewPTS(Optimized()), "pts", Optimized()},
+		{"pts-baseline", NewPTS(Baseline()), "pts", Baseline()},
+	}
+}
+
+// TestMineEqualsRunSession pins the offline decomposition contract: Mine
+// draws its session seed as the first Uint64 of the caller's generator and
+// then drives the session halves, so planning the same session explicitly
+// and running it with RunSession is bit-identical. The HTTP equivalence
+// tests in internal/collect rely on exactly this seed derivation.
+func TestMineEqualsRunSession(t *testing.T) {
+	r := xrand.New(90)
+	data := topkDataset(3, 128, 9000, true, r)
+	const k, eps = 4, 5.0
+	for _, tc := range sessionConfigs() {
+		want, err := tc.miner.Mine(data, k, eps, xrand.New(91))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		pl, err := NewSession(SessionParams{
+			Framework: tc.fw, Classes: data.Classes, Items: data.Items,
+			K: k, Eps: eps, Users: data.N(), Seed: xrand.New(91).Uint64(), Opt: tc.opt,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := RunSession(pl, data.Pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: session result %v != Mine result %v", tc.name, got, want)
+		}
+	}
+}
+
+// driveWithCheckpoints runs a session like RunSession, but serializes and
+// restores the planner at every round boundary and once mid-round, and
+// round-trips every broadcast through JSON — the exact state motion a
+// WAL-compacting, restarting session server performs.
+func driveWithCheckpoints(t *testing.T, pl *Planner, pairs []core.Pair) *Result {
+	t.Helper()
+	reload := func() {
+		blob, err := pl.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := UnmarshalSession(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl = restored
+	}
+	user := 0
+	for !pl.Done() {
+		cfg := pl.Config()
+		wire, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var over RoundConfig
+		if err := json.Unmarshal(wire, &over); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := NewRoundEncoder(&over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < cfg.Quota; j++ {
+			if j == cfg.Quota/2 {
+				reload() // mid-round checkpoint: partial aggregates survive
+			}
+			rep, err := enc.Encode(pairs[user], UserRand(pl.Params().Seed, user))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pl.Absorb(rep); err != nil {
+				t.Fatal(err)
+			}
+			user++
+		}
+		if err := pl.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		reload() // round-boundary checkpoint
+	}
+	res, err := pl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSessionCheckpointResumeBitIdentical: a session that is serialized
+// through the state envelope and restored at every boundary (and
+// mid-round), with every broadcast JSON-round-tripped, produces the same
+// rankings as the uninterrupted offline run.
+func TestSessionCheckpointResumeBitIdentical(t *testing.T) {
+	r := xrand.New(92)
+	data := topkDataset(3, 128, 9000, true, r)
+	const k, eps, seed = 4, 5.0, 9292
+	for _, tc := range sessionConfigs() {
+		params := SessionParams{
+			Framework: tc.fw, Classes: data.Classes, Items: data.Items,
+			K: k, Eps: eps, Users: data.N(), Seed: seed, Opt: tc.opt,
+		}
+		plain, err := NewSession(params)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := RunSession(plain, data.Pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ckpt, err := NewSession(params)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := driveWithCheckpoints(t, ckpt, data.Pairs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: checkpointed result %v != plain result %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestSessionReportOrderIrrelevant: within a round, reports commute — the
+// aggregates are integer counts — so a served session where concurrent
+// clients land in arbitrary order matches the in-order offline run.
+func TestSessionReportOrderIrrelevant(t *testing.T) {
+	r := xrand.New(93)
+	data := topkDataset(2, 128, 4000, true, r)
+	const k, eps, seed = 4, 5.0, 777
+	params := SessionParams{
+		Framework: "pts", Classes: data.Classes, Items: data.Items,
+		K: k, Eps: eps, Users: data.N(), Seed: seed, Opt: Optimized(),
+	}
+	forward, err := NewSession(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSession(forward, data.Pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-user reports, absorbed in reverse order within each round.
+	pl, err := NewSession(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := 0
+	for !pl.Done() {
+		cfg := pl.Config()
+		enc, err := NewRoundEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := make([]RoundReport, cfg.Quota)
+		for j := 0; j < cfg.Quota; j++ {
+			reps[j], err = enc.Encode(data.Pairs[user], UserRand(seed, user))
+			if err != nil {
+				t.Fatal(err)
+			}
+			user++
+		}
+		for j := len(reps) - 1; j >= 0; j-- {
+			if err := pl.Absorb(reps[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pl.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := pl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reversed-order result %v != in-order %v", got, want)
+	}
+}
+
+// TestPlannerRejectsBadReports covers the server-side trust boundary.
+func TestPlannerRejectsBadReports(t *testing.T) {
+	pl, err := NewSession(SessionParams{
+		Framework: "pts", Classes: 3, Items: 64, K: 2, Eps: 2, Users: 100, Seed: 1,
+		Opt: Optimized(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := pl.Round()
+	buckets := pl.Config().Spaces[0].Buckets()
+	if err := pl.Absorb(RoundReport{Round: live + 1, Class: 0}); err == nil {
+		t.Fatal("future-round report accepted")
+	} else if _, ok := err.(*RoundMismatchError); !ok {
+		t.Fatalf("future-round error %T, want RoundMismatchError", err)
+	}
+	if pl.Absorb(RoundReport{Round: live, Class: 3}) == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if pl.Absorb(RoundReport{Round: live, Class: 0, Bits: []int{buckets + 1}}) == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+	if pl.Absorb(RoundReport{Round: live, Class: 0, Bits: []int{1, 1}}) == nil {
+		t.Fatal("duplicate bit accepted")
+	}
+	if err := pl.Absorb(RoundReport{Round: live, Class: 0, Bits: []int{0, buckets}}); err != nil {
+		t.Fatalf("valid VP report rejected: %v", err)
+	}
+}
+
+// TestSessionValidation covers parameter and state validation edges.
+func TestSessionValidation(t *testing.T) {
+	bad := []SessionParams{
+		{Framework: "nope", Classes: 2, Items: 8, K: 1, Eps: 1, Users: 10},
+		{Framework: "pts", Classes: 0, Items: 8, K: 1, Eps: 1, Users: 10},
+		{Framework: "pts", Classes: 2, Items: 1, K: 1, Eps: 1, Users: 10},
+		{Framework: "pts", Classes: 2, Items: 8, K: 0, Eps: 1, Users: 10},
+		{Framework: "pts", Classes: 2, Items: 8, K: 1, Eps: 0, Users: 10},
+		{Framework: "pts", Classes: 2, Items: 8, K: 1, Eps: 1, Users: -1},
+	}
+	for i, p := range bad {
+		if _, err := NewSession(p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+	// Framework names are normalized like protocol names.
+	pl, err := NewSession(SessionParams{Framework: "PTS", Classes: 2, Items: 8, K: 1, Eps: 1, Users: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Params().Framework != "pts" {
+		t.Fatalf("framework %q not canonicalized", pl.Params().Framework)
+	}
+	// Corrupt state envelopes error, never panic.
+	blob, err := pl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSession(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := UnmarshalSession(flipped); err == nil {
+		t.Fatal("corrupted state accepted")
+	}
+}
+
+// TestZeroQuotaRounds: a session planned for fewer users than rounds has
+// empty rounds; driving it to completion must still rank (arbitrarily).
+func TestZeroQuotaRounds(t *testing.T) {
+	pl, err := NewSession(SessionParams{
+		Framework: "hec", Classes: 2, Items: 256, K: 2, Eps: 1, Users: 3, Seed: 5,
+		Opt: Options{Shuffling: true, VP: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []core.Pair{{Class: 0, Item: 1}, {Class: 1, Item: 2}, {Class: 0, Item: 3}}
+	res, err := RunSession(pl, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+// TestUserRandDeterministic pins the per-user seed derivation shared by
+// the offline path and served clients.
+func TestUserRandDeterministic(t *testing.T) {
+	if UserSeed(7, 0) == UserSeed(7, 1) || UserSeed(7, 0) == UserSeed(8, 0) {
+		t.Fatal("user seeds collide")
+	}
+	a, b := UserRand(7, 3), UserRand(7, 3)
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("UserRand not deterministic")
+		}
+	}
+}

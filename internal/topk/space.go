@@ -41,6 +41,139 @@ type space interface {
 	// Fork returns an independent copy of the surviving candidates laid out
 	// with the given bucket count — the global-to-per-class hand-off.
 	Fork(buckets int, r *xrand.Rand) space
+	// Desc returns the wire description of the current layout, from which
+	// spaceFromDesc rebuilds an identical space. It is what a mining
+	// session broadcasts each round so clients compute their own bucket.
+	Desc() SpaceDesc
+}
+
+// SpaceDesc is the serializable description of a candidate-space layout —
+// the part of a round broadcast that lets a client locate its own item
+// without the server learning anything. Exactly one of the two layouts is
+// populated, selected by Kind.
+type SpaceDesc struct {
+	// Kind is SpaceShuffle or SpacePrefix.
+	Kind string `json:"kind"`
+	// Domain is the item domain size d the space indexes into.
+	Domain int `json:"domain"`
+
+	// Shuffled layout (the paper's scheme): the surviving candidates in
+	// their current shuffled order, bucket j owning Pool[Starts[j]:Starts[j+1]].
+	Pool   []int `json:"pool,omitempty"`
+	Starts []int `json:"starts,omitempty"`
+
+	// Prefix layout (PEM baseline): the candidate prefixes of the current
+	// Length over TotalBits-bit items.
+	TotalBits int   `json:"total_bits,omitempty"`
+	Length    int   `json:"length,omitempty"`
+	Prefixes  []int `json:"prefixes,omitempty"`
+}
+
+// Space layout kinds carried in SpaceDesc.Kind.
+const (
+	SpaceShuffle = "shuffle"
+	SpacePrefix  = "prefix"
+)
+
+// MaxWireDomain caps the item domain a served mining session accepts.
+// Reconstructing a shuffled space allocates an item→bucket table of Domain
+// entries, so the cap bounds what an adversarial (or fuzzed) round config
+// can make a client allocate. 2²² items is far beyond the paper's domains.
+const MaxWireDomain = 1 << 22
+
+// Buckets returns the number of buckets the description lays out.
+func (sd *SpaceDesc) Buckets() int {
+	if sd.Kind == SpaceShuffle {
+		return len(sd.Starts) - 1
+	}
+	return len(sd.Prefixes)
+}
+
+// spaceFromDesc validates a wire description and rebuilds the space. Every
+// structural invariant is checked — the bytes come from the network — so an
+// accepted description behaves exactly like the space that produced it.
+func spaceFromDesc(sd SpaceDesc) (space, error) {
+	if sd.Domain < 1 || sd.Domain > MaxWireDomain {
+		return nil, fmt.Errorf("topk: space domain %d outside [1,%d]", sd.Domain, MaxWireDomain)
+	}
+	switch sd.Kind {
+	case SpaceShuffle:
+		return shuffleFromDesc(sd)
+	case SpacePrefix:
+		return prefixFromDesc(sd)
+	}
+	return nil, fmt.Errorf("topk: unknown space kind %q", sd.Kind)
+}
+
+func shuffleFromDesc(sd SpaceDesc) (*shuffleSpace, error) {
+	if len(sd.Prefixes) > 0 || sd.TotalBits != 0 || sd.Length != 0 {
+		return nil, fmt.Errorf("topk: shuffle space carries prefix fields")
+	}
+	if len(sd.Pool) == 0 || len(sd.Pool) > sd.Domain {
+		return nil, fmt.Errorf("topk: shuffle pool of %d candidates over domain %d", len(sd.Pool), sd.Domain)
+	}
+	if len(sd.Starts) < 2 || sd.Starts[0] != 0 || sd.Starts[len(sd.Starts)-1] != len(sd.Pool) {
+		return nil, fmt.Errorf("topk: shuffle starts do not cover the pool")
+	}
+	s := &shuffleSpace{
+		domain:   sd.Domain,
+		pool:     append([]int(nil), sd.Pool...),
+		starts:   append([]int(nil), sd.Starts...),
+		bucketOf: make([]int32, sd.Domain),
+	}
+	for i := range s.bucketOf {
+		s.bucketOf[i] = -1
+	}
+	for j := 0; j+1 < len(s.starts); j++ {
+		if s.starts[j+1] <= s.starts[j] {
+			return nil, fmt.Errorf("topk: empty or reversed bucket %d", j)
+		}
+		for i := s.starts[j]; i < s.starts[j+1]; i++ {
+			v := s.pool[i]
+			if v < 0 || v >= sd.Domain {
+				return nil, fmt.Errorf("topk: pool candidate %d outside [0,%d)", v, sd.Domain)
+			}
+			if s.bucketOf[v] != -1 {
+				return nil, fmt.Errorf("topk: candidate %d appears twice in the pool", v)
+			}
+			s.bucketOf[v] = int32(j)
+		}
+	}
+	return s, nil
+}
+
+func prefixFromDesc(sd SpaceDesc) (*prefixSpace, error) {
+	if len(sd.Pool) > 0 || len(sd.Starts) > 0 {
+		return nil, fmt.Errorf("topk: prefix space carries shuffle fields")
+	}
+	if sd.TotalBits != bitsFor(sd.Domain) {
+		return nil, fmt.Errorf("topk: prefix total bits %d != %d for domain %d", sd.TotalBits, bitsFor(sd.Domain), sd.Domain)
+	}
+	if sd.Length < 1 || sd.Length > sd.TotalBits {
+		return nil, fmt.Errorf("topk: prefix length %d outside [1,%d]", sd.Length, sd.TotalBits)
+	}
+	if len(sd.Prefixes) == 0 {
+		return nil, fmt.Errorf("topk: empty prefix set")
+	}
+	s := &prefixSpace{
+		totalBits: sd.TotalBits,
+		length:    sd.Length,
+		prefixes:  append([]int(nil), sd.Prefixes...),
+		domain:    sd.Domain,
+	}
+	limit := 1 << uint(sd.Length)
+	seen := make(map[int]struct{}, len(s.prefixes))
+	for _, p := range s.prefixes {
+		if p < 0 || p >= limit {
+			return nil, fmt.Errorf("topk: prefix %d outside [0,%d)", p, limit)
+		}
+		if _, dup := seen[p]; dup {
+			return nil, fmt.Errorf("topk: prefix %d appears twice", p)
+		}
+		seen[p] = struct{}{}
+	}
+	s.reindex()
+	return s, nil
 }
 
 // iterations returns the paper's iteration count IT = log2(d/(4k)) + 1,
@@ -163,6 +296,16 @@ func (s *shuffleSpace) Candidate(b int) int {
 	return s.pool[s.starts[b]]
 }
 
+// Desc implements space.
+func (s *shuffleSpace) Desc() SpaceDesc {
+	return SpaceDesc{
+		Kind:   SpaceShuffle,
+		Domain: s.domain,
+		Pool:   append([]int(nil), s.pool...),
+		Starts: append([]int(nil), s.starts...),
+	}
+}
+
 // Fork returns an independent copy of the surviving pool laid out with the
 // given bucket count — the hand-off from the global candidate phase to the
 // per-class phase.
@@ -276,6 +419,17 @@ func (s *prefixSpace) Candidate(b int) int {
 		return -1 // padding leaf beyond the real domain
 	}
 	return v
+}
+
+// Desc implements space.
+func (s *prefixSpace) Desc() SpaceDesc {
+	return SpaceDesc{
+		Kind:      SpacePrefix,
+		Domain:    s.domain,
+		TotalBits: s.totalBits,
+		Length:    s.length,
+		Prefixes:  append([]int(nil), s.prefixes...),
+	}
 }
 
 // Fork returns an independent copy at the current prefix length. The bucket

@@ -1,0 +1,303 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/xrand"
+)
+
+// This file is the wire layer of interactive mining: the round broadcast a
+// session server publishes (RoundConfig), the one-round answer a user ships
+// back (RoundReport), and the client half that turns a pair into that
+// answer (RoundEncoder). Everything crossing the network is validated
+// structurally — both directions carry untrusted bytes: the server must not
+// let a malformed report corrupt an aggregate, and a client must not let a
+// malicious broadcast make it allocate absurdly or panic.
+
+// RoundConfig is one round's broadcast: everything a user needs to compute
+// their own bucket and perturb their pair for exactly this round. It is
+// self-contained — a client that fetched only this object can answer.
+type RoundConfig struct {
+	// Framework is the mining framework: hec, ptj or pts.
+	Framework string `json:"framework"`
+	// Classes × Items is the pair domain users' raw data lives in.
+	Classes int `json:"classes"`
+	Items   int `json:"items"`
+	// Round is this round's index in [0, Rounds); Final marks the last,
+	// ranking round.
+	Round  int  `json:"round"`
+	Rounds int  `json:"rounds"`
+	Final  bool `json:"final"`
+	// Quota is how many reports the server accepts before sealing the
+	// round and advancing.
+	Quota int `json:"quota"`
+	// VP selects validity perturbation for the item report (reports carry
+	// one extra flag bit); otherwise invalid items substitute a random
+	// bucket client-side and reports are plain OUE vectors.
+	VP bool `json:"vp"`
+	// Eps is the item-side budget ε (hec, ptj: the full budget; pts: ε₂).
+	Eps float64 `json:"eps"`
+	// EpsLabel is the GRR label budget ε₁ (pts only).
+	EpsLabel float64 `json:"eps_label,omitempty"`
+	// Global marks a pts Algorithm 1 round: every user mines the single
+	// global candidate space regardless of label; the perturbed label
+	// still ships so the server can estimate class sizes.
+	Global bool `json:"global,omitempty"`
+	// CP is the per-class correlated-perturbation switch of the final pts
+	// round (Algorithm 2 line 8, decided by the server from the label
+	// statistics of all earlier rounds): when CP[c] is set, a user whose
+	// perturbed label landed on c but whose true class differs submits an
+	// invalid item.
+	CP []bool `json:"cp,omitempty"`
+	// Spaces describes the candidate space layout(s): one per class (hec
+	// and the pts per-class phase), or a single space (ptj's joint domain
+	// and the pts global phase).
+	Spaces []SpaceDesc `json:"spaces"`
+}
+
+// RoundReport is one user's answer to one round: the round it answers, the
+// wire class (hec: the self-chosen group; pts: the perturbed label; ptj:
+// always 0) and the set bits of the perturbed bucket vector (Buckets bits,
+// plus the validity flag bit at index Buckets under VP).
+type RoundReport struct {
+	Round int   `json:"round"`
+	Class int   `json:"class"`
+	Bits  []int `json:"bits"`
+}
+
+// goldenGamma is the SplitMix64 increment; seeds spaced by it are exactly
+// the SplitMix64 state sequence, which is the recommended way to derive
+// decorrelated xoshiro seeds.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// UserSeed derives the i-th user's perturbation seed from a session seed.
+// Both the offline Mine path and a served session's clients derive their
+// per-user generators this way, which is what makes the two paths
+// bit-identical under the same seed and user assignment.
+func UserSeed(session uint64, i int) uint64 {
+	return session + goldenGamma*(uint64(i)+1)
+}
+
+// UserRand returns the i-th user's perturbation generator for a session.
+func UserRand(session uint64, i int) *xrand.Rand {
+	return xrand.New(UserSeed(session, i))
+}
+
+// canonicalFramework normalizes and validates a mining framework name.
+func canonicalFramework(name string) (string, error) {
+	switch canon := core.CanonicalProtocolName(name); canon {
+	case "hec", "ptj", "pts":
+		return canon, nil
+	default:
+		return "", fmt.Errorf("topk: unknown mining framework %q (want hec, ptj or pts)", name)
+	}
+}
+
+// validateBits checks a wire bit list: strictly increasing indices in
+// [0, limit). Strict monotonicity also rejects duplicates, which would
+// otherwise double-count into the bucket aggregate.
+func validateBits(bits []int, limit int) error {
+	prev := -1
+	for _, b := range bits {
+		if b < 0 || b >= limit {
+			return fmt.Errorf("topk: report bit %d outside [0,%d)", b, limit)
+		}
+		if b <= prev {
+			return fmt.Errorf("topk: report bits not strictly increasing at %d", b)
+		}
+		prev = b
+	}
+	return nil
+}
+
+// ValidateRoundConfig structurally validates a broadcast, returning the
+// reconstructed candidate spaces. It is the client-side trust boundary:
+// everything RoundEncoder assumes about the config is established here.
+func ValidateRoundConfig(cfg *RoundConfig) ([]space, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("topk: nil round config")
+	}
+	fw, err := canonicalFramework(cfg.Framework)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Classes < 1 || cfg.Classes > MaxWireDomain {
+		return nil, fmt.Errorf("topk: %d classes outside [1,%d]", cfg.Classes, MaxWireDomain)
+	}
+	if cfg.Items < 2 || cfg.Items > MaxWireDomain {
+		return nil, fmt.Errorf("topk: item domain %d outside [2,%d]", cfg.Items, MaxWireDomain)
+	}
+	if cfg.Rounds < 1 || cfg.Round < 0 || cfg.Round >= cfg.Rounds {
+		return nil, fmt.Errorf("topk: round %d outside [0,%d)", cfg.Round, cfg.Rounds)
+	}
+	if cfg.Quota < 0 {
+		return nil, fmt.Errorf("topk: negative round quota %d", cfg.Quota)
+	}
+	if !(cfg.Eps > 0) {
+		return nil, fmt.Errorf("topk: non-positive item budget %v", cfg.Eps)
+	}
+	wantSpaces, wantDomain := 1, cfg.Items
+	switch fw {
+	case "hec":
+		if cfg.EpsLabel != 0 || cfg.Global || cfg.CP != nil {
+			return nil, fmt.Errorf("topk: hec round carries pts fields")
+		}
+		wantSpaces = cfg.Classes
+	case "ptj":
+		if cfg.EpsLabel != 0 || cfg.Global || cfg.CP != nil {
+			return nil, fmt.Errorf("topk: ptj round carries pts fields")
+		}
+		joint := int64(cfg.Classes) * int64(cfg.Items)
+		if joint > MaxWireDomain {
+			return nil, fmt.Errorf("topk: joint domain %d exceeds %d", joint, MaxWireDomain)
+		}
+		wantDomain = int(joint)
+	case "pts":
+		if !(cfg.EpsLabel > 0) {
+			return nil, fmt.Errorf("topk: pts round with non-positive label budget %v", cfg.EpsLabel)
+		}
+		if !cfg.Global {
+			wantSpaces = cfg.Classes
+		}
+		if cfg.CP != nil {
+			if cfg.Global || !cfg.Final {
+				return nil, fmt.Errorf("topk: CP switches outside the final per-class round")
+			}
+			if len(cfg.CP) != cfg.Classes {
+				return nil, fmt.Errorf("topk: %d CP switches for %d classes", len(cfg.CP), cfg.Classes)
+			}
+		}
+	}
+	if len(cfg.Spaces) != wantSpaces {
+		return nil, fmt.Errorf("topk: %s round carries %d spaces, want %d", fw, len(cfg.Spaces), wantSpaces)
+	}
+	spaces := make([]space, len(cfg.Spaces))
+	for i, sd := range cfg.Spaces {
+		if sd.Domain != wantDomain {
+			return nil, fmt.Errorf("topk: space %d over domain %d, want %d", i, sd.Domain, wantDomain)
+		}
+		sp, err := spaceFromDesc(sd)
+		if err != nil {
+			return nil, fmt.Errorf("topk: space %d: %w", i, err)
+		}
+		spaces[i] = sp
+	}
+	return spaces, nil
+}
+
+// RoundEncoder is the client half of interactive mining: built from one
+// round's broadcast, it perturbs a user's own pair into that round's
+// report. The raw pair never leaves the encoder — only the perturbed
+// bucket vector (and, for pts, the GRR-perturbed label) does. Encoders are
+// safe for concurrent use as long as each goroutine supplies its own rand,
+// so one encoder per fetched round config serves any number of users.
+type RoundEncoder struct {
+	cfg    RoundConfig
+	fw     string
+	spaces []space
+	label  *fo.GRR // pts label mechanism
+	vps    []*core.VP
+	ues    []*fo.UE
+}
+
+// NewRoundEncoder validates a broadcast and prepares the client half for
+// that round. The config is copied; later mutation does not affect the
+// encoder.
+func NewRoundEncoder(cfg *RoundConfig) (*RoundEncoder, error) {
+	spaces, err := ValidateRoundConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fw, _ := canonicalFramework(cfg.Framework)
+	e := &RoundEncoder{cfg: *cfg, fw: fw, spaces: spaces}
+	if fw == "pts" {
+		if e.label, err = fo.NewGRR(cfg.Classes, cfg.EpsLabel); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VP {
+		e.vps = make([]*core.VP, len(spaces))
+		for i, sp := range spaces {
+			if e.vps[i], err = core.NewVP(sp.Buckets(), cfg.Eps); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		e.ues = make([]*fo.UE, len(spaces))
+		for i, sp := range spaces {
+			if e.ues[i], err = fo.NewOUE(sp.Buckets(), cfg.Eps); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// Config returns the broadcast the encoder was built from.
+func (e *RoundEncoder) Config() RoundConfig { return e.cfg }
+
+// perturbBucket runs the item-side perturbation for one bucket (which may
+// be core.Invalid): validity perturbation when vp is non-nil, otherwise
+// random-bucket substitution followed by plain OUE.
+func perturbBucket(sp space, vp *core.VP, ue *fo.UE, bucket int, r *xrand.Rand) *bitvec.Vector {
+	if vp != nil {
+		return vp.Perturb(bucket, r)
+	}
+	if bucket == core.Invalid {
+		bucket = randomBucket(sp, r)
+	}
+	return ue.PerturbBits(bucket, r)
+}
+
+// Encode perturbs one user's pair into this round's report, drawing all
+// randomness from r (one generator per user; see UserRand).
+func (e *RoundEncoder) Encode(pair core.Pair, r *xrand.Rand) (RoundReport, error) {
+	if pair.Class < 0 || pair.Class >= e.cfg.Classes {
+		return RoundReport{}, fmt.Errorf("topk: pair class %d outside [0,%d)", pair.Class, e.cfg.Classes)
+	}
+	if pair.Item < 0 || pair.Item >= e.cfg.Items {
+		return RoundReport{}, fmt.Errorf("topk: pair item %d outside [0,%d)", pair.Item, e.cfg.Items)
+	}
+	var cls, idx, item int
+	switch e.fw {
+	case "hec":
+		// The user joins a uniform random group; a label mismatch makes
+		// them invalid for the run (Section II-D deniability).
+		cls = r.Intn(e.cfg.Classes)
+		idx = cls
+		item = pair.Item
+		if pair.Class != cls {
+			item = core.Invalid
+		}
+	case "ptj":
+		item = core.JointIndex(pair, e.cfg.Items)
+	case "pts":
+		cls = e.label.PerturbValue(pair.Class, r)
+		item = pair.Item
+		if !e.cfg.Global {
+			idx = cls
+			if len(e.cfg.CP) > 0 && e.cfg.CP[cls] && pair.Class != cls {
+				// Correlated perturbation: the label moved, so the item
+				// ships as invalid regardless of candidate membership.
+				item = core.Invalid
+			}
+		}
+	}
+	sp := e.spaces[idx]
+	bucket := core.Invalid
+	if item != core.Invalid {
+		bucket = sp.BucketOf(item)
+	}
+	var vp *core.VP
+	var ue *fo.UE
+	if e.cfg.VP {
+		vp = e.vps[idx]
+	} else {
+		ue = e.ues[idx]
+	}
+	bits := perturbBucket(sp, vp, ue, bucket, r)
+	return RoundReport{Round: e.cfg.Round, Class: cls, Bits: bits.Ones()}, nil
+}

@@ -9,12 +9,49 @@
 // simulated user its own generator without coordination.
 package xrand
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Rand is a deterministic pseudo-random generator. It is NOT safe for
 // concurrent use; derive one per goroutine with Split.
 type Rand struct {
 	s0, s1, s2, s3 uint64
+}
+
+// randStateBytes is the serialized size of a Rand: four little-endian
+// uint64 state words.
+const randStateBytes = 32
+
+// MarshalBinary serializes the generator state so long-running protocols
+// (interactive top-k mining sessions) can checkpoint mid-stream and resume
+// bit-identically after a restart.
+func (r *Rand) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, randStateBytes)
+	for _, s := range [4]uint64{r.s0, r.s1, r.s2, r.s3} {
+		out = binary.LittleEndian.AppendUint64(out, s)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores state serialized by MarshalBinary. An all-zero
+// state is rejected: xoshiro256** is stuck at zero forever from it, and no
+// MarshalBinary output ever contains one.
+func (r *Rand) UnmarshalBinary(data []byte) error {
+	if len(data) != randStateBytes {
+		return fmt.Errorf("xrand: state is %d bytes, want %d", len(data), randStateBytes)
+	}
+	s0 := binary.LittleEndian.Uint64(data[0:])
+	s1 := binary.LittleEndian.Uint64(data[8:])
+	s2 := binary.LittleEndian.Uint64(data[16:])
+	s3 := binary.LittleEndian.Uint64(data[24:])
+	if s0|s1|s2|s3 == 0 {
+		return fmt.Errorf("xrand: all-zero generator state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+	return nil
 }
 
 // splitmix64 advances x and returns the next SplitMix64 output. It is the

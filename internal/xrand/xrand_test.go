@@ -290,3 +290,33 @@ func TestGeometricSkipMean(t *testing.T) {
 		t.Fatalf("geometric mean %v, want %v", mean, want)
 	}
 }
+
+func TestMarshalBinaryRoundTrip(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		r.Uint64() // advance to an arbitrary mid-stream state
+	}
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Rand
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if restored.Uint64() != r.Uint64() {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestUnmarshalBinaryRejectsBadState(t *testing.T) {
+	var r Rand
+	if err := r.UnmarshalBinary(make([]byte, 31)); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if err := r.UnmarshalBinary(make([]byte, 32)); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+}

@@ -232,3 +232,39 @@ func NewPTJMiner(opt MinerOptions) Miner { return topk.NewPTJ(opt) }
 
 // NewPTSMiner builds the PTS top-k miner (Algorithms 1 and 2).
 func NewPTSMiner(opt MinerOptions) Miner { return topk.NewPTS(opt) }
+
+// Interactive mining sessions: the round-based client/server decomposition
+// of the miners. A SessionPlanner (server half) broadcasts per-round
+// candidate-space configs and absorbs one-round reports; a RoundEncoder
+// (client half) perturbs one user's pair into a report for exactly that
+// round. Every Miner's Mine is a thin offline loop over these halves, and
+// internal/collect serves them over HTTP (/topk/sessions).
+type (
+	// SessionPlanner owns one mining session's round state.
+	SessionPlanner = topk.Planner
+	// SessionParams fully determines a mining session.
+	SessionParams = topk.SessionParams
+	// RoundConfig is one round's broadcast.
+	RoundConfig = topk.RoundConfig
+	// RoundReport is one user's one-round answer.
+	RoundReport = topk.RoundReport
+	// RoundEncoder is the client half for one round's broadcast.
+	RoundEncoder = topk.RoundEncoder
+)
+
+// NewMiningSession plans an interactive mining session (server half).
+func NewMiningSession(p SessionParams) (*SessionPlanner, error) { return topk.NewSession(p) }
+
+// NewRoundEncoder builds the client half for one round's broadcast.
+func NewRoundEncoder(cfg *RoundConfig) (*RoundEncoder, error) { return topk.NewRoundEncoder(cfg) }
+
+// RunMiningSession drives a session to completion in-process with the
+// canonical per-user generators — the offline equivalent of a served
+// session.
+func RunMiningSession(pl *SessionPlanner, pairs []Pair) (*MinerResult, error) {
+	return topk.RunSession(pl, pairs)
+}
+
+// MiningUserRand returns user i's canonical perturbation generator for a
+// session seed; served clients and the offline path share it.
+func MiningUserRand(session uint64, i int) *Rand { return topk.UserRand(session, i) }

@@ -1,0 +1,96 @@
+// Ingestion benchmark for the interactive mining tier: batched round
+// reports posted to a hosted top-k session over real HTTP. Reports are
+// pre-perturbed and pre-marshalled outside the timer, so the numbers
+// isolate server-side round ingestion (request handling, decode, shape
+// validation against the live round, aggregate fold) — the per-round hot
+// path of a served mining session.
+//
+// `make bench-json` snapshots this alongside the frequency-ingestion
+// numbers into BENCH_ingest.json.
+package mcim_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+const (
+	topkBenchClasses = 5
+	topkBenchItems   = 1024
+	topkBenchK       = 8
+	topkBenchBatch   = 512
+)
+
+// BenchmarkTopKRoundIngest posts 512-report round batches into a PTS
+// session whose first round is far larger than the benchmark will fill, so
+// every request lands in one live round. The comparable number is
+// reports/s (ns/op is per request).
+func BenchmarkTopKRoundIngest(b *testing.B) {
+	proto, err := core.NewProtocol("ptscp", topkBenchClasses, topkBenchItems, 2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := collect.NewServer(proto, collect.WithTopKSessions(collect.TopKOptions{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	b.Cleanup(hs.Close)
+
+	// Plan a session whose round-0 quota (an a/2-fraction of users in the
+	// global phase) dwarfs any realistic b.N × batch.
+	const users = 1 << 28
+	ts, err := collect.NewTopKSession(hs.URL, nil, topk.SessionParams{
+		Framework: "pts", Classes: topkBenchClasses, Items: topkBenchItems,
+		K: topkBenchK, Eps: 2, Users: users, Seed: 7, Opt: topk.Optimized(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd, err := ts.Round()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rd.Config.Quota < 1<<24 {
+		b.Fatalf("round 0 quota %d too small for a stable benchmark", rd.Config.Quota)
+	}
+	enc, err := topk.NewRoundEncoder(rd.Config)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(99)
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		reps := make([]topk.RoundReport, topkBenchBatch)
+		for j := range reps {
+			rep, err := enc.Encode(core.Pair{Class: r.Intn(topkBenchClasses), Item: r.Intn(topkBenchItems)}, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[j] = rep
+		}
+		if bodies[i], err = json.Marshal(reps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hc := hs.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, hc, hs.URL+"/topk/sessions/"+ts.ID()+"/reports", bodies[i%len(bodies)])
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	reports := b.N * topkBenchBatch
+	if elapsed > 0 {
+		b.ReportMetric(float64(reports)/elapsed.Seconds(), "reports/s")
+	}
+}
