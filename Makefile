@@ -21,11 +21,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=20m ./...
 
-# Snapshot the ingestion + perturbation benchmarks (frequency reports and
-# top-k mining rounds) into BENCH_ingest.json (ns/op, B/op, allocs/op,
-# reports/s per benchmark).
+# Snapshot the ingestion + perturbation benchmarks (frequency reports,
+# top-k mining rounds and the numeric mean tier) into BENCH_ingest.json
+# (ns/op, B/op, allocs/op, reports/s per benchmark).
 bench-json:
-	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -44,12 +44,14 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Short-budget runs of the wire-facing fuzz targets (-fuzz takes one
-# target per invocation): the two frequency-report decoders, the
-# aggregator-state envelope decoder behind /merge, checkpoints and WAL
-# snapshots, and the interactive-mining round-config/round-report codec.
+# target per invocation): the two frequency-report decoders, the numeric
+# mean-report decoder, the aggregator-state envelope decoder behind
+# /merge, checkpoints and WAL snapshots, and the interactive-mining
+# round-config/round-report codec.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/collect
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=10s ./internal/collect
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMeanReport$$' -fuzztime=10s ./internal/collect
 	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=10s ./internal/collect
 	$(GO) test -run='^$$' -fuzz='^FuzzRoundWire$$' -fuzztime=10s ./internal/topk
 

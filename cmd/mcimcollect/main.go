@@ -17,6 +17,15 @@
 //
 //	mcimcollect -serve -wal-dir /var/lib/mcim/wal -wal-sync interval
 //
+// With -mean the server additionally hosts the numeric mean tier under
+// /mean: clients perturb (label, value) pairs locally and the server
+// calibrates classwise means and class sizes. The tier shares the server's
+// classes, ε and split, is durable under -wal-dir (its log lives in
+// <dir>/mean) and federates through the same POST /merge. Pass
+// -framework none to serve the mean tier alone:
+//
+//	mcimcollect -serve -framework none -mean cpmean -classes 3 -eps 2
+//
 // With -topk the server additionally hosts interactive top-k mining
 // sessions under /topk/sessions: clients create a session, fetch each
 // round's candidate-space broadcast, perturb locally and post one-round
@@ -57,7 +66,8 @@ func main() {
 		simulate  = flag.Bool("simulate", false, "run a simulated client population")
 		addr      = flag.String("addr", ":8090", "server listen address")
 		url       = flag.String("url", "http://localhost:8090", "server URL (simulate mode)")
-		framework = flag.String("framework", "ptscp", "frequency-estimation framework (serve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
+		framework = flag.String("framework", "ptscp", "frequency-estimation framework (serve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive> | none (serve another tier alone)")
+		meanOn    = flag.String("mean", "", "also serve the numeric mean tier under /mean: hecmean | ptsmean | cpmean (serve mode; empty = off)")
 		classes   = flag.Int("classes", 5, "number of classes")
 		items     = flag.Int("items", 1000, "item domain size")
 		eps       = flag.Float64("eps", 2, "privacy budget ε")
@@ -80,12 +90,23 @@ func main() {
 
 	switch {
 	case *serve:
-		proto, err := core.NewProtocol(*framework, *classes, *items, *eps, *split)
-		if err != nil {
-			log.Fatal(err)
+		var proto *core.Protocol
+		if *framework != "" && *framework != "none" {
+			var err error
+			proto, err = core.NewProtocol(*framework, *classes, *items, *eps, *split)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		opts := []collect.ServerOption{
 			collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody),
+		}
+		if *meanOn != "" {
+			np, err := core.NewNumericProtocol(*meanOn, *classes, *eps, *split)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, collect.WithMean(np))
 		}
 		if *topkOn {
 			opts = append(opts, collect.WithTopKSessions(collect.TopKOptions{MaxSessions: *topkMax}))
@@ -109,7 +130,11 @@ func main() {
 			log.Fatal(err)
 		}
 		if *walDir != "" {
-			log.Printf("write-ahead log in %s (sync=%s), %d reports recovered", *walDir, *walSync, srv.Reports())
+			log.Printf("write-ahead log in %s (sync=%s), %d reports recovered", *walDir, *walSync, srv.Reports()+srv.MeanReports())
+		}
+		if *meanOn != "" {
+			np := srv.MeanProtocol()
+			log.Printf("numeric mean tier (%s, c=%d ε=%v) enabled under /mean", np.Name(), np.Classes(), np.Epsilon())
 		}
 		if *topkOn {
 			log.Printf("interactive top-k mining sessions enabled under /topk/sessions")
@@ -168,9 +193,12 @@ func runServer(addr string, srv *collect.Server, drain time.Duration) {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
-		srv.Protocol().Name(), addr, srv.Protocol().Classes(), srv.Protocol().Items(),
-		srv.Protocol().Epsilon(), srv.Shards())
+	if p := srv.Protocol(); p != nil {
+		log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
+			p.Name(), addr, p.Classes(), p.Items(), p.Epsilon(), srv.Shards())
+	} else {
+		log.Printf("collecting on %s (no frequency tier)", addr)
+	}
 
 	select {
 	case err := <-errc:
@@ -191,5 +219,9 @@ func runServer(addr string, srv *collect.Server, drain time.Duration) {
 	if err := srv.Close(); err != nil {
 		log.Printf("close wal: %v", err)
 	}
-	log.Printf("final total: %d reports ingested", srv.Reports())
+	if n := srv.MeanReports(); n > 0 {
+		log.Printf("final total: %d reports ingested (%d frequency, %d mean)", srv.Reports()+n, srv.Reports(), n)
+	} else {
+		log.Printf("final total: %d reports ingested", srv.Reports())
+	}
 }

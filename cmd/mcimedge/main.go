@@ -8,8 +8,11 @@
 // traffic shape: the root sees one envelope per edge per push interval
 // instead of millions of per-client requests.
 //
-// The edge learns its protocol from the upstream /config, so a fleet of
-// edges is configured by pointing them at the root:
+// The edge learns its protocols from the upstream /config AND /mean/config
+// — when the root also serves the numeric mean tier, the edge mounts it,
+// accepts /mean reports locally and pushes mean envelopes through the same
+// /merge endpoint (envelopes route by fingerprint) — so a fleet of edges
+// is configured by pointing them at the root:
 //
 //	mcimedge -addr :8091 -upstream http://root:8090 -push-every 10s
 //
@@ -53,12 +56,15 @@ func main() {
 	)
 	flag.Parse()
 
-	proto, _, err := fetchProtocol(*upstream)
+	proto, meanProto, err := fetchProtocols(*upstream)
 	if err != nil {
 		log.Fatalf("fetch upstream config: %v", err)
 	}
 	opts := []collect.ServerOption{
 		collect.WithShards(*shards), collect.WithMaxBodyBytes(*maxBody),
+	}
+	if meanProto != nil {
+		opts = append(opts, collect.WithMean(meanProto))
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)
@@ -71,8 +77,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *walDir != "" && srv.Reports() > 0 {
-		log.Printf("recovered %d unpushed reports from %s", srv.Reports(), *walDir)
+	if *walDir != "" && srv.Reports()+srv.MeanReports() > 0 {
+		log.Printf("recovered %d unpushed reports from %s (%d frequency, %d mean)",
+			srv.Reports()+srv.MeanReports(), *walDir, srv.Reports(), srv.MeanReports())
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -81,10 +88,17 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("edge collecting %s reports on %s, pushing to %s every %v",
-		proto.Name(), *addr, *upstream, *pushEvery)
+	tiers := ""
+	if proto != nil {
+		tiers = proto.Name() + " "
+	}
+	if meanProto != nil {
+		tiers += "+ mean(" + meanProto.Name() + ") "
+	}
+	log.Printf("edge collecting %sreports on %s, pushing to %s every %v",
+		tiers, *addr, *upstream, *pushEvery)
 
-	pusher := &pusher{srv: srv, proto: proto, upstream: *upstream}
+	pusher := &pusher{srv: srv, proto: proto, meanProto: meanProto, upstream: *upstream}
 	ticker := time.NewTicker(*pushEvery)
 	defer ticker.Stop()
 
@@ -128,78 +142,118 @@ func walNote(dir string) string {
 	return " (recoverable from " + dir + ")"
 }
 
-// fetchProtocol resolves the upstream round's protocol through the shared
-// collect.FetchProtocol rules, retrying briefly so an edge can come up
-// before (or while) the root restarts.
-func fetchProtocol(upstream string) (*core.Protocol, collect.WireConfig, error) {
+// fetchProtocols resolves the upstream's tiers through the shared
+// collect.FetchProtocol / collect.FetchMeanProtocol rules, retrying
+// briefly so an edge can come up before (or while) the root restarts. The
+// edge mirrors exactly the subset of tiers the root serves: a tier is
+// treated as absent only on a definitive 404 (collect.ErrTierNotServed) —
+// a transient failure (timeout, 5xx) is retried rather than silently
+// disabling the tier for the edge's whole lifetime. At least one tier
+// must resolve.
+func fetchProtocols(upstream string) (*core.Protocol, *core.NumericProtocol, error) {
 	var lastErr error
 	for attempt, delay := 0, time.Second; attempt < 5; attempt, delay = attempt+1, delay*2 {
 		if attempt > 0 {
 			time.Sleep(delay)
 		}
-		proto, cfg, err := collect.FetchProtocol(upstream, nil)
-		if err == nil {
-			return proto, cfg, nil
+		proto, _, ferr := collect.FetchProtocol(upstream, nil)
+		meanProto, _, merr := collect.FetchMeanProtocol(upstream, nil)
+		freqAbsent := errors.Is(ferr, collect.ErrTierNotServed)
+		meanAbsent := errors.Is(merr, collect.ErrTierNotServed)
+		if freqAbsent && meanAbsent {
+			return nil, nil, fmt.Errorf("upstream %s serves neither the frequency nor the mean tier", upstream)
 		}
-		lastErr = err
+		if (ferr == nil || freqAbsent) && (merr == nil || meanAbsent) {
+			if freqAbsent {
+				proto = nil
+			}
+			if meanAbsent {
+				meanProto = nil
+			}
+			return proto, meanProto, nil
+		}
+		lastErr = errors.Join(ferr, merr)
 	}
-	return nil, collect.WireConfig{}, lastErr
+	return nil, nil, lastErr
 }
 
-// pusher drains the edge aggregate and ships it upstream, merging the
-// envelope back on failure so the reports ride the next push instead of
-// being lost.
+// pusher drains the edge aggregates — the frequency tier's and, when
+// mounted, the mean tier's — and ships each as one envelope upstream,
+// merging an envelope back on a retriable failure so the reports ride the
+// next push instead of being lost.
 type pusher struct {
-	srv      *collect.Server
-	proto    *core.Protocol
-	upstream string
-	unpushed int
+	srv       *collect.Server
+	proto     *core.Protocol
+	meanProto *core.NumericProtocol
+	upstream  string
+	unpushed  int
 }
 
 func (p *pusher) push() {
-	taken, err := p.srv.Drain()
+	// Whatever happens below, the "unpushed" gauge must reflect what is
+	// actually still held locally, across both tiers.
+	defer func() { p.unpushed = p.srv.Reports() + p.srv.MeanReports() }()
+	if p.proto != nil {
+		env, n, ok := drainEnvelope("frequency", p.srv.Drain, p.proto.MarshalAggregator)
+		if ok {
+			p.ship(env, n, "")
+		}
+	}
+	if p.meanProto != nil {
+		env, n, ok := drainEnvelope("mean", p.srv.DrainMean, p.meanProto.MarshalAggregator)
+		if ok {
+			p.ship(env, n, "mean ")
+		}
+	}
+}
+
+// drainEnvelope drains one tier and marshals the taken aggregate,
+// reporting ok=false when there is nothing to push (empty, or the drain /
+// marshal failed — failures keep the reports local and are logged).
+func drainEnvelope[A interface{ N() int }](tier string, drain func() (A, error), marshal func(A) ([]byte, error)) (env []byte, n int, ok bool) {
+	taken, err := drain()
 	if err != nil {
 		// Drain is atomic: the reports stayed local (in memory and in the
 		// WAL), so the next tick simply retries the whole drain.
-		log.Printf("push: drain: %v (reports held locally)", err)
-		p.unpushed = p.srv.Reports()
-		return
+		log.Printf("push: drain %s tier: %v (reports held locally)", tier, err)
+		return nil, 0, false
 	}
-	n := taken.N()
-	if n == 0 {
-		p.unpushed = p.srv.Reports()
-		return
+	if n = taken.N(); n == 0 {
+		return nil, 0, false
 	}
-	env, err := p.proto.MarshalAggregator(taken)
+	env, err = marshal(taken)
 	if err != nil {
-		log.Printf("push: marshal %d reports: %v (dropped)", n, err)
-		p.unpushed = p.srv.Reports()
-		return
+		log.Printf("push: marshal %d %s reports: %v (dropped)", n, tier, err)
+		return nil, 0, false
 	}
+	return env, n, true
+}
+
+// ship POSTs one envelope to the upstream /merge and handles the verdict;
+// label distinguishes the tiers in logs.
+func (p *pusher) ship(env []byte, n int, label string) {
 	verdict, err := postMerge(p.upstream, env)
-	// Whatever happens below, the "unpushed" gauge must reflect what is
-	// actually still held locally.
-	defer func() { p.unpushed = p.srv.Reports() }()
 	switch verdict {
 	case pushOK:
-		log.Printf("pushed %d reports upstream", n)
+		log.Printf("pushed %d %sreports upstream", n, label)
 	case pushRetriable:
 		// The upstream definitively did not ingest the envelope and the
 		// condition is transient (5xx, or the connection never came up):
 		// fold it back in and retry next tick together with whatever
-		// arrived meanwhile.
+		// arrived meanwhile. MergeState routes the envelope to its tier by
+		// fingerprint.
 		if _, merr := p.srv.MergeState(env); merr != nil {
-			log.Printf("push: upstream unavailable (%v) AND local re-merge failed (%v): %d reports dropped", err, merr, n)
+			log.Printf("push: upstream unavailable (%v) AND local re-merge failed (%v): %d %sreports dropped", err, merr, n, label)
 			return
 		}
-		log.Printf("push: upstream unavailable (%v): %d reports held for retry", err, n)
+		log.Printf("push: upstream unavailable (%v): %d %sreports held for retry", err, n, label)
 	case pushPermanent:
 		// The upstream refused the envelope for a reason a retry cannot
 		// fix (fingerprint mismatch after a root reconfiguration, an
 		// envelope over the upstream's size cap): retrying the identical
 		// push forever would only grow the local backlog without bound.
 		// Drop it and say so loudly — this is an operator problem.
-		log.Printf("push: upstream permanently refused (%v): %d reports dropped — check that the upstream round configuration matches", err, n)
+		log.Printf("push: upstream permanently refused (%v): %d %sreports dropped — check that the upstream round configuration matches", err, n, label)
 	default: // pushAmbiguous
 		// The request may have been delivered and the response lost, so
 		// the upstream may already have ingested the envelope. Re-pushing
@@ -207,7 +261,7 @@ func (p *pusher) push() {
 		// estimates; dropping loses at most this push's noise-level
 		// contribution. Same at-most-once call collect.Client makes for
 		// in-flight batches.
-		log.Printf("push: transport error (%v): %d reports dropped (upstream may have ingested them)", err, n)
+		log.Printf("push: transport error (%v): %d %sreports dropped (upstream may have ingested them)", err, n, label)
 	}
 }
 

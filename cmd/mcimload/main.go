@@ -7,7 +7,11 @@
 //   - -mode topk creates an interactive top-k mining session and drives the
 //     whole population through its rounds — fetch broadcast, perturb
 //     locally, post reports, repeat — scoring the mined rankings with
-//     NCR/F1 against the ground-truth per-class top-k.
+//     NCR/F1 against the ground-truth per-class top-k;
+//   - -mode mean drives K concurrent buffered clients submitting numeric
+//     (label, value) reports to the server's mean tier over a gaussian
+//     per-class population, scoring the served classwise means (MAE) and
+//     class-size estimates (relative error) against the ground truth.
 //
 // Both modes report sustained throughput (reports/sec) and request latency
 // percentiles (p50/p99/max) — the numbers that tell you whether the serving
@@ -19,6 +23,7 @@
 //
 //	mcimload -selfserve -framework ptscp -users 200000 -clients 8 -batch 256 -shards 8
 //	mcimload -selfserve -mode topk -miner pts -k 8 -users 200000 -clients 8
+//	mcimload -selfserve -mode mean -mean-framework cpmean -users 200000 -clients 8
 //
 // Against an external server (mcimcollect -serve; top-k mode needs it
 // started with -topk):
@@ -47,6 +52,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/mean"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 	"repro/internal/xrand"
@@ -68,8 +74,11 @@ type summary struct {
 	P99Micros  float64 `json:"p99_us"`
 	MaxMicros  float64 `json:"max_us"`
 	// Frequency mode.
-	RMSE            *float64 `json:"rmse,omitempty"`
+	RMSE *float64 `json:"rmse,omitempty"`
+	// Frequency and mean modes.
 	ClassSizeRelErr *float64 `json:"class_size_rel_err,omitempty"`
+	// Mean mode: mean absolute error of the served classwise means.
+	MeanMAE *float64 `json:"mean_mae,omitempty"`
 	// Top-k mode.
 	K      int      `json:"k,omitempty"`
 	Rounds int      `json:"rounds,omitempty"`
@@ -79,11 +88,12 @@ type summary struct {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "freq", "workload: freq (frequency estimation) | topk (interactive mining session)")
+		mode      = flag.String("mode", "freq", "workload: freq (frequency estimation) | topk (interactive mining session) | mean (numeric mean tier)")
 		url       = flag.String("url", "", "external server URL (mutually exclusive with -selfserve)")
 		selfserve = flag.Bool("selfserve", false, "spin up an in-process server to drive")
 		framework = flag.String("framework", "ptscp", "frequency-estimation framework (selfserve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
 		miner     = flag.String("miner", "pts", "mining framework (topk mode): hec | ptj | pts")
+		meanFw    = flag.String("mean-framework", "cpmean", "mean framework (mean mode, selfserve): hecmean | ptsmean | cpmean")
 		optimized = flag.Bool("optimized", true, "topk mode: run the paper's full optimization set (false = baseline)")
 		k         = flag.Int("k", 8, "per-class ranking size (topk mode)")
 		shards    = flag.Int("shards", 0, "server accumulator shards (selfserve mode; 0 = GOMAXPROCS)")
@@ -108,23 +118,36 @@ func main() {
 	if *clients < 1 || *users < 1 {
 		log.Fatalf("mcimload: need at least 1 client and 1 user")
 	}
-	if *mode != "freq" && *mode != "topk" {
-		log.Fatalf("mcimload: unknown mode %q (want freq or topk)", *mode)
+	if *mode != "freq" && *mode != "topk" && *mode != "mean" {
+		log.Fatalf("mcimload: unknown mode %q (want freq, topk or mean)", *mode)
 	}
-	if *mode == "topk" && *batch < 1 {
-		// Rounds have no single-report path; normalize here so the -json
-		// summary records the batch size actually used.
+	if (*mode == "topk" || *mode == "mean") && *batch < 1 {
+		// These paths have no single-report submission; normalize here so
+		// the -json summary records the batch size actually used.
 		*batch = 256
 	}
 
 	base := *url
 	if *selfserve {
-		proto, err := core.NewProtocol(*framework, *classes, *items, *eps, *split)
-		if err != nil {
-			log.Fatal(err)
+		var opts []collect.ServerOption
+		var proto *core.Protocol
+		if *mode == "mean" {
+			// A mean-only server: the frequency tier is not driven, so it is
+			// not mounted.
+			np, err := core.NewNumericProtocol(*meanFw, *classes, *eps, *split)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = []collect.ServerOption{collect.WithShards(*shards), collect.WithMean(np)}
+		} else {
+			var err error
+			proto, err = core.NewProtocol(*framework, *classes, *items, *eps, *split)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = []collect.ServerOption{collect.WithShards(*shards), collect.WithTopKSessions(collect.TopKOptions{})}
 		}
-		srv, err := collect.NewServer(proto,
-			collect.WithShards(*shards), collect.WithTopKSessions(collect.TopKOptions{}))
+		srv, err := collect.NewServer(proto, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,36 +157,54 @@ func main() {
 		}
 		go http.Serve(ln, srv.Handler()) //nolint:errcheck — dies with the process
 		base = "http://" + ln.Addr().String()
-		log.Printf("in-process %s server on %s (c=%d d=%d ε=%v, %d shards, topk sessions on)",
-			proto.Name(), base, *classes, *items, *eps, srv.Shards())
+		if *mode == "mean" {
+			log.Printf("in-process mean-tier server (%s) on %s (c=%d ε=%v, %d shards)",
+				*meanFw, base, *classes, *eps, srv.Shards())
+		} else {
+			log.Printf("in-process %s server on %s (c=%d d=%d ε=%v, %d shards, topk sessions on)",
+				proto.Name(), base, *classes, *items, *eps, srv.Shards())
+		}
 	}
 
-	// The population must match the server's domain, so it is generated
-	// from the fetched config (which also validates the server is up).
-	probe, err := collect.NewClient(base, nil, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := probe.Config()
-	data, err := buildDataset(*dsName, cfg.Classes, cfg.Items, *users, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r := xrand.New(*seed + 1)
-	data = data.Shuffled(r)
-
-	sum := summary{
-		Mode: *mode, Dataset: data.Name,
-		Users: data.N(), Clients: *clients, Batch: *batch,
-	}
-	switch *mode {
-	case "freq":
-		sum.Framework = cfg.Protocol
-		runFreq(base, probe, data, &sum, *batch, *ndjson, *clients, *seed, *jsonOut)
-	case "topk":
-		sum.Framework = *miner
-		sum.K = *k
-		runTopK(base, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
+	sum := summary{Mode: *mode, Clients: *clients, Batch: *batch}
+	if *mode == "mean" {
+		// The population must match the server's mean domain, generated from
+		// the fetched /mean/config (which also validates the server is up).
+		probe, err := collect.NewMeanClient(base, nil, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcfg := probe.Config()
+		data := buildMeanDataset(mcfg.Classes, *users, *seed)
+		sum.Framework = mcfg.Protocol
+		sum.Dataset = data.Name
+		sum.Users = data.N()
+		runMean(base, probe, data, &sum, *clients, *batch, *ndjson, *seed, *jsonOut)
+	} else {
+		// The population must match the server's domain, so it is generated
+		// from the fetched config (which also validates the server is up).
+		probe, err := collect.NewClient(base, nil, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := probe.Config()
+		data, err := buildDataset(*dsName, cfg.Classes, cfg.Items, *users, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := xrand.New(*seed + 1)
+		data = data.Shuffled(r)
+		sum.Dataset = data.Name
+		sum.Users = data.N()
+		switch *mode {
+		case "freq":
+			sum.Framework = cfg.Protocol
+			runFreq(base, probe, data, &sum, *batch, *ndjson, *clients, *seed, *jsonOut)
+		case "topk":
+			sum.Framework = *miner
+			sum.K = *k
+			runTopK(base, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -174,8 +215,10 @@ func main() {
 	// Operational snapshot: on WAL-backed servers this also shows the
 	// durability cost of the run (segments written, bytes not yet folded
 	// into a snapshot).
-	if stats, err := probe.Stats(); err == nil {
-		log.Printf("server: %d reports over %d shards (%s)", stats.Reports, stats.Shards, stats.Protocol)
+	if stats, err := fetchStats(base); err == nil {
+		if stats.Protocol != "" {
+			log.Printf("server: %d reports over %d shards (%s)", stats.Reports, stats.Shards, stats.Protocol)
+		}
 		if stats.WAL != nil {
 			log.Printf("server wal: %d segments, %d bytes since last compaction (last snapshot %q)",
 				stats.WAL.Segments, stats.WAL.BytesSinceCompaction, stats.WAL.LastSnapshot)
@@ -183,7 +226,32 @@ func main() {
 		if stats.TopK != nil {
 			log.Printf("server topk: %d sessions (%d open)", stats.TopK.Sessions, stats.TopK.Open)
 		}
+		if stats.Mean != nil {
+			log.Printf("server mean tier: %d reports (%s)", stats.Mean.Reports, stats.Mean.Protocol)
+			if stats.Mean.WAL != nil {
+				log.Printf("server mean wal: %d segments, %d bytes since last compaction",
+					stats.Mean.WAL.Segments, stats.Mean.WAL.BytesSinceCompaction)
+			}
+		}
 	}
+}
+
+// fetchStats reads /stats directly, working against any server shape
+// (including mean-only servers that mount no frequency /config).
+func fetchStats(base string) (*collect.WireStats, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats status %s", resp.Status)
+	}
+	var st collect.WireStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // out prints human-readable results unless the run is in -json mode (where
@@ -410,6 +478,153 @@ func runTopK(base string, data *core.Dataset, sum *summary,
 	f1 := f1Sum / float64(data.Classes)
 	sum.NCR, sum.F1 = &ncr, &f1
 	out(jsonOut, "quality: mean NCR %.3f, mean F1 %.3f over %d classes (k=%d)", ncr, f1, data.Classes, k)
+}
+
+// buildMeanDataset generates the gaussian per-class population for the
+// mean workload: class c's values are normal around a center spread across
+// [−0.8, 0.8] (σ = 0.2, truncated to the value domain), with skewed class
+// sizes so the class-size estimators have something non-trivial to
+// recover.
+func buildMeanDataset(classes, users int, seed uint64) *mean.Dataset {
+	r := xrand.New(seed)
+	centers := make([]float64, classes)
+	for c := range centers {
+		if classes > 1 {
+			centers[c] = -0.8 + 1.6*float64(c)/float64(classes-1)
+		}
+	}
+	// Class weights decay harmonically: class c has weight 1/(c+1).
+	weights := make([]float64, classes)
+	total := 0.0
+	for c := range weights {
+		weights[c] = 1 / float64(c+1)
+		total += weights[c]
+	}
+	d := &mean.Dataset{Classes: classes, Name: "GAUSS"}
+	for i := 0; i < users; i++ {
+		u, c := r.Float64()*total, 0
+		for u > weights[c] && c < classes-1 {
+			u -= weights[c]
+			c++
+		}
+		x := centers[c] + 0.2*r.NormFloat64()
+		if x > 1 {
+			x = 1
+		}
+		if x < -1 {
+			x = -1
+		}
+		d.Values = append(d.Values, mean.Value{Class: c, X: x})
+	}
+	return d
+}
+
+// runMean drives the numeric mean-tier ingestion workload: K concurrent
+// buffered clients, each perturbing its slice of the population locally
+// (the canonical user index rides along, so HEC-Mean's partition is
+// consistent across workers) and shipping batch requests.
+func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *summary,
+	clients, batch int, ndjson bool, seed uint64, jsonOut bool) {
+	est0, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := est0.Reports
+	log.Printf("population %s: %d users over %d classes, values in [-1,1]",
+		data.Name, data.N(), data.Classes)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+		firstErr  error
+	)
+	perWorker := (data.N() + clients - 1) / clients
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		lo := w * perWorker
+		hi := min(lo+perWorker, data.N())
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, firstUser int, values []mean.Value) {
+			defer wg.Done()
+			client, err := collect.NewMeanClient(base, nil, seed+uint64(w)*7919,
+				collect.WithMeanBatchSize(batch), collect.WithMeanNDJSON(ndjson))
+			var lats []time.Duration
+			n := 0
+			if err == nil {
+				// Buffered submission: reports accumulate locally and ship as
+				// one batch request per `batch` reports. A Buffer call that
+				// shrank the buffer performed a flush — that is the request
+				// whose latency we record.
+				for i, v := range values {
+					before := client.Pending()
+					t0 := time.Now()
+					if err = client.Buffer(firstUser+i, v); err != nil {
+						break
+					}
+					if client.Pending() <= before {
+						lats = append(lats, time.Since(t0))
+						n++
+					}
+				}
+				if err == nil && client.Pending() > 0 {
+					t0 := time.Now()
+					if err = client.Flush(); err == nil {
+						lats = append(lats, time.Since(t0))
+						n++
+					}
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lats...)
+			requests += n
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w, lo, data.Values[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+	fillTiming(sum, latencies, requests, elapsed, data.N())
+	out(jsonOut, "drove %d clients, %d requests (batch=%d, ndjson=%v) in %v",
+		clients, requests, batch, ndjson, elapsed.Round(time.Millisecond))
+	out(jsonOut, "throughput: %.0f reports/sec", sum.ReportsSec)
+	p50, p99, maxLat := percentiles(latencies)
+	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), maxLat.Round(time.Microsecond))
+
+	est, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := est.Reports - baseline; got != data.N() {
+		log.Fatalf("server ingested %d of %d reports this run", got, data.N())
+	}
+	if baseline > 0 {
+		log.Printf("note: server held %d reports before this run; accuracy below reflects all %d", baseline, est.Reports)
+	}
+	truth, sizes := data.TrueMeans()
+	maeSum, relErrSum, relErrN := 0.0, 0.0, 0
+	for c := range truth {
+		maeSum += math.Abs(est.Means[c] - truth[c])
+		if sizes[c] > 0 {
+			relErrSum += math.Abs(est.ClassSizes[c]-float64(sizes[c])) / float64(sizes[c])
+			relErrN++
+		}
+	}
+	mae := maeSum / float64(data.Classes)
+	relErr := relErrSum / float64(relErrN)
+	sum.MeanMAE, sum.ClassSizeRelErr = &mae, &relErr
+	out(jsonOut, "accuracy: per-class mean MAE %.4f, class-size mean relative error %.2f%% over %d classes",
+		mae, 100*relErr, data.Classes)
 }
 
 // fillTiming populates the summary's shared throughput/latency fields.

@@ -5,13 +5,23 @@
 // perturbation (PTS-Mean) and the correlated mechanism (CP-Mean), whose
 // deniable invalidity symbol is the numerical analogue of the validity
 // flag.
+//
+// The second half serves the same estimation over HTTP: an in-process
+// collection server mounts the mean tier (batched ingestion, sharded
+// aggregation), a client perturbs every pair locally with the canonical
+// user index, and the served means come back bit-identical to the offline
+// Estimate pass — the served tier is the offline estimator, deployed.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"reflect"
 
 	mcim "repro"
+	"repro/internal/collect"
 )
 
 func main() {
@@ -69,4 +79,49 @@ func main() {
 	}
 	fmt.Println("\nHEC-Mean shrinks toward 0 (2/3 of each group is substituted noise);")
 	fmt.Println("CP-Mean's difference estimator cancels mis-routed users exactly.")
+
+	// --- Served ≡ offline -------------------------------------------------
+	// Mount the mean tier on a collection server and drive it with the same
+	// seed and user assignment as an offline pass; the HTTP pipeline must
+	// reproduce the offline estimates bit for bit.
+	const servedSeed = 99
+	proto, err := mcim.NewNumericProtocol("cpmean", data.Classes, eps, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := collect.NewServer(nil, collect.WithMean(proto), collect.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler()) //nolint:errcheck — dies with the process
+	base := "http://" + ln.Addr().String()
+
+	client, err := collect.NewMeanClient(base, nil, servedSeed, collect.WithMeanBatchSize(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range data.Values {
+		if err := client.Buffer(i, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	served, err := client.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, err := cp.Estimate(data, mcim.NewRand(servedSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserved over HTTP (%d reports via %s): means %v\n",
+		served.Reports, base, served.Means)
+	fmt.Printf("served ≡ offline (means):       %v\n", reflect.DeepEqual(served.Means, offline.Means))
+	fmt.Printf("served ≡ offline (class sizes): %v\n", reflect.DeepEqual(served.ClassSizes, offline.ClassSizes))
 }

@@ -99,6 +99,13 @@ func WithRetry(retries int, base time.Duration) ClientOption {
 	}
 }
 
+// ErrTierNotServed reports a tier-config fetch the server answered with
+// 404: the server is reachable but does not mount that tier (a mean-only
+// server has no /config; a server without WithMean has no /mean/config).
+// Callers use it to distinguish "tier genuinely absent" from transient
+// failures worth retrying (cmd/mcimedge).
+var ErrTierNotServed = errors.New("collect: server does not serve this tier")
+
 // FetchProtocol reads the collection round configuration a server
 // advertises at baseURL/config and reconstructs the matching protocol.
 // Servers that predate the protocol field are assumed to speak ptscp. It
@@ -114,6 +121,9 @@ func FetchProtocol(baseURL string, hc *http.Client) (*core.Protocol, WireConfig,
 		return nil, cfg, fmt.Errorf("collect: fetch config: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, cfg, fmt.Errorf("%w: /config answered %s", ErrTierNotServed, resp.Status)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, cfg, fmt.Errorf("collect: config status %s", resp.Status)
 	}
@@ -173,23 +183,29 @@ func (c *Client) perturb(pair core.Pair) WireReport {
 	return c.proto.EncodeReport(c.enc.Encode(pair, c.rng))
 }
 
-// retry runs do, retrying with capped exponential backoff as long as
+// retryOn5xx runs do, retrying with capped exponential backoff as long as
 // StatusCode reports a 5xx — the one class of failure where the server
 // definitively did not ingest the request, so a retry can never
 // double-count. Transport errors and 4xx responses surface immediately.
-func (c *Client) retry(do func() error) error {
-	delay := c.retryBase
+// Shared by the frequency Client and the MeanClient.
+func retryOn5xx(retries int, base time.Duration, sleep func(time.Duration), do func() error) error {
+	delay := base
 	for attempt := 0; ; attempt++ {
 		err := do()
 		code, ok := StatusCode(err)
-		if err == nil || !ok || code < 500 || attempt >= c.retries {
+		if err == nil || !ok || code < 500 || attempt >= retries {
 			return err
 		}
-		c.sleep(delay)
-		if delay < c.retryBase*maxRetryDelayFactor {
+		sleep(delay)
+		if delay < base*maxRetryDelayFactor {
 			delay *= 2
 		}
 	}
+}
+
+// retry applies the client's retry policy to one submission.
+func (c *Client) retry(do func() error) error {
+	return retryOn5xx(c.retries, c.retryBase, c.sleep, do)
 }
 
 // Submit perturbs the pair under the protocol's encoder and POSTs the

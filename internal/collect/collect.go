@@ -98,6 +98,8 @@ type WireStats struct {
 	// open sessions, each one's live round and how many reports it has
 	// folded this round.
 	TopK *WireTopKStats `json:"topk,omitempty"`
+	// Mean is present only on servers hosting the numeric mean tier.
+	Mean *WireMeanStats `json:"mean,omitempty"`
 }
 
 // WireWALStats is the durability slice of /stats: how much log a restart
@@ -142,6 +144,10 @@ type Server struct {
 	// topk hosts interactive mining sessions when WithTopKSessions is set
 	// (see topk.go); nil otherwise.
 	topk *sessionHub
+
+	// mean hosts the numeric mean tier when WithMean is set (see mean.go);
+	// nil otherwise.
+	mean *meanHub
 }
 
 // ServerOption configures a Server beyond the protocol parameters.
@@ -219,7 +225,9 @@ func WithCompactAfter(n int64) ServerOption {
 
 // NewServer builds a collection server for the given protocol's reports.
 // The protocol must have a wire codec (every canonical protocol does);
-// build one with core.NewProtocol.
+// build one with core.NewProtocol. p may be nil when the server hosts
+// another tier — NewServer(nil, WithMean(np)) serves the numeric mean tier
+// alone, with the frequency endpoints unmounted.
 //
 // A caveat for OLH-backed protocols (pts+olh): their aggregators retain
 // every report (OLH recovers supports by rehashing, so there is no compact
@@ -227,44 +235,70 @@ func WithCompactAfter(n int64) ServerOption {
 // /estimates read costs O(N·d). Fine for bounded rounds; prefer a
 // unary-encoded protocol for open-ended collection.
 func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
-	if p == nil {
-		return nil, fmt.Errorf("collect: nil protocol")
-	}
-	if err := p.WireSupported(); err != nil {
-		return nil, fmt.Errorf("collect: protocol %s cannot serve the wire: %w", p.Name(), err)
-	}
-	// Clients rebuild their encoder from the name in /config alone, so a
-	// name that core.NewProtocol cannot resolve — or one that resolves to
-	// different mechanisms than the server actually aggregates with, which
-	// would decode cleanly but calibrate wrongly — would serve a round no
-	// client can correctly join. Fail at construction instead.
-	rebuilt, err := core.NewProtocol(p.Name(), p.Classes(), p.Items(), p.Epsilon(), p.Split())
-	if err != nil {
-		return nil, fmt.Errorf("collect: protocol name %q is not client-reconstructible (use a canonical name or \"pts+<item>\"): %w", p.Name(), err)
-	}
-	if err := p.WireCompatible(rebuilt); err != nil {
-		return nil, fmt.Errorf("collect: protocol %q does not match what clients reconstruct from that name: %w", p.Name(), err)
+	if p != nil {
+		if err := p.WireSupported(); err != nil {
+			return nil, fmt.Errorf("collect: protocol %s cannot serve the wire: %w", p.Name(), err)
+		}
+		// Clients rebuild their encoder from the name in /config alone, so a
+		// name that core.NewProtocol cannot resolve — or one that resolves to
+		// different mechanisms than the server actually aggregates with, which
+		// would decode cleanly but calibrate wrongly — would serve a round no
+		// client can correctly join. Fail at construction instead.
+		rebuilt, err := core.NewProtocol(p.Name(), p.Classes(), p.Items(), p.Epsilon(), p.Split())
+		if err != nil {
+			return nil, fmt.Errorf("collect: protocol name %q is not client-reconstructible (use a canonical name or \"pts+<item>\"): %w", p.Name(), err)
+		}
+		if err := p.WireCompatible(rebuilt); err != nil {
+			return nil, fmt.Errorf("collect: protocol %q does not match what clients reconstruct from that name: %w", p.Name(), err)
+		}
 	}
 	s := &Server{
-		proto: p,
-		cfg: WireConfig{
-			Protocol: p.Name(),
-			Classes:  p.Classes(),
-			Items:    p.Items(),
-			Epsilon:  p.Epsilon(),
-			Split:    p.Split(),
-		},
+		proto:        p,
 		maxBody:      DefaultMaxBodyBytes,
 		mergeMaxBody: DefaultMergeMaxBodyBytes,
 		compactAfter: DefaultCompactAfterBytes,
 		shards:       make([]*shard, runtime.GOMAXPROCS(0)),
 	}
+	if p != nil {
+		s.cfg = WireConfig{
+			Protocol: p.Name(),
+			Classes:  p.Classes(),
+			Items:    p.Items(),
+			Epsilon:  p.Epsilon(),
+			Split:    p.Split(),
+		}
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if p == nil && s.mean == nil && s.topk == nil {
+		return nil, fmt.Errorf("collect: nil protocol and no other tier to serve (WithMean, WithTopKSessions)")
+	}
 	s.cfg.MaxBodyBytes = s.maxBody
-	for i := range s.shards {
-		s.shards[i] = &shard{acc: p.NewAggregator()}
+	shardCount := len(s.shards)
+	if p != nil {
+		for i := range s.shards {
+			s.shards[i] = &shard{acc: p.NewAggregator()}
+		}
+	} else {
+		s.shards = nil
+	}
+	if s.mean != nil {
+		// The mean tier's clients self-configure from /mean/config the same
+		// way frequency clients do from /config, so the same
+		// reconstructibility check applies.
+		np := s.mean.proto
+		if np == nil {
+			return nil, fmt.Errorf("collect: nil numeric protocol")
+		}
+		rebuilt, err := core.NewNumericProtocol(np.Name(), np.Classes(), np.Epsilon(), np.Split())
+		if err != nil {
+			return nil, fmt.Errorf("collect: numeric protocol name %q is not client-reconstructible: %w", np.Name(), err)
+		}
+		if err := np.WireCompatible(rebuilt); err != nil {
+			return nil, fmt.Errorf("collect: numeric protocol %q does not match what clients reconstruct from that name: %w", np.Name(), err)
+		}
+		s.mean.init(shardCount, s.maxBody)
 	}
 	if s.walDir != "" {
 		// Every accepted /merge envelope becomes one WAL record (plus a
@@ -273,8 +307,16 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 		if max := int64(wal.MaxRecordBytes - 1); s.mergeMaxBody > max {
 			s.mergeMaxBody = max
 		}
-		if err := s.openWAL(); err != nil {
-			return nil, err
+		if p != nil {
+			if err := s.openWAL(); err != nil {
+				return nil, err
+			}
+		}
+		if s.mean != nil {
+			if err := s.openMeanWAL(); err != nil {
+				s.Close()
+				return nil, err
+			}
 		}
 	}
 	if s.topk != nil && s.walDir != "" {
@@ -298,9 +340,18 @@ func (s *Server) Shards() int { return len(s.shards) }
 //	POST /report    → accept one WireReport
 //	POST /reports   → accept a batch of WireReports (JSON array or NDJSON)
 //	POST /merge     → accept a fingerprinted aggregator state envelope
+//	                  (routed to the frequency or mean tier by fingerprint)
 //	GET  /estimates → WireEstimates (the protocol's calibrated frequencies)
 //	GET  /stats     → WireStats (reports ingested, shard count, protocol, WAL)
 //	GET  /healthz   → 200 ok
+//
+// With WithMean, the numeric mean tier is mounted too (the frequency
+// endpoints are omitted when the server was built with a nil protocol):
+//
+//	GET  /mean/config    → WireMeanConfig
+//	POST /mean/report    → accept one WireMeanReport
+//	POST /mean/reports   → accept a batch (JSON array or NDJSON)
+//	GET  /mean/estimates → WireMeanEstimates (means + class sizes)
 //
 // With WithTopKSessions, the interactive mining tier is mounted too:
 //
@@ -312,15 +363,23 @@ func (s *Server) Shards() int { return len(s.shards) }
 //	GET    /topk/sessions/{id}/result   → per-class rankings
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /config", s.handleConfig)
-	mux.HandleFunc("POST /report", s.handleReport)
-	mux.HandleFunc("POST /reports", s.handleReportBatch)
+	if s.proto != nil {
+		mux.HandleFunc("GET /config", s.handleConfig)
+		mux.HandleFunc("POST /report", s.handleReport)
+		mux.HandleFunc("POST /reports", s.handleReportBatch)
+		mux.HandleFunc("GET /estimates", s.handleEstimates)
+	}
 	mux.HandleFunc("POST /merge", s.handleMerge)
-	mux.HandleFunc("GET /estimates", s.handleEstimates)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.mean != nil {
+		mux.HandleFunc("GET /mean/config", s.handleMeanConfig)
+		mux.HandleFunc("POST /mean/report", s.handleMeanReport)
+		mux.HandleFunc("POST /mean/reports", s.handleMeanReportBatch)
+		mux.HandleFunc("GET /mean/estimates", s.handleMeanEstimates)
+	}
 	if s.topk != nil {
 		mux.HandleFunc("POST /topk/sessions", s.handleTopKCreate)
 		mux.HandleFunc("GET /topk/sessions/{id}", s.handleTopKInfo)
@@ -337,7 +396,13 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := WireStats{Protocol: s.proto.Name(), Reports: s.Reports(), Shards: s.Shards()}
+	st := WireStats{Reports: s.Reports(), Shards: s.Shards()}
+	if s.proto != nil {
+		st.Protocol = s.proto.Name()
+	}
+	if s.mean != nil {
+		st.Mean = s.mean.stats()
+	}
 	if s.topk != nil {
 		st.TopK = s.topk.stats()
 	}
@@ -474,6 +539,12 @@ func (s *Server) Reports() int {
 	return int(s.total.Load())
 }
 
+// errNoFrequencyTier is returned by the frequency state operations on a
+// server built without a frequency protocol (NewServer(nil, ...)).
+func errNoFrequencyTier() error {
+	return fmt.Errorf("collect: server has no frequency tier (built with a nil protocol)")
+}
+
 // Snapshot serializes the aggregation state (aggregate counts only — no
 // individual reports beyond what the protocol's aggregator retains by
 // design) into a versioned, fingerprinted state envelope, so the server can
@@ -481,6 +552,9 @@ func (s *Server) Reports() int {
 // The snapshot is the merged view; shard layout is not preserved. Every
 // protocol supports it.
 func (s *Server) Snapshot() ([]byte, error) {
+	if s.proto == nil {
+		return nil, errNoFrequencyTier()
+	}
 	return s.proto.MarshalAggregator(s.merged())
 }
 
@@ -491,6 +565,9 @@ func (s *Server) Snapshot() ([]byte, error) {
 // superseding every record written before the restore. The restored counts
 // land on one shard; subsequent ingestion spreads over all shards as usual.
 func (s *Server) Restore(data []byte) error {
+	if s.proto == nil {
+		return errNoFrequencyTier()
+	}
 	restored, err := s.proto.UnmarshalAggregator(data)
 	if err != nil {
 		return err

@@ -149,12 +149,18 @@ func (s *Server) Compact() error {
 }
 
 // Close flushes and closes the server's logs — the report WAL and, when
-// interactive mining is enabled, the session WAL (a no-op without them).
-// Serve traffic must be quiesced first — http.Server.Shutdown before Close.
+// mounted, the mean tier's and the mining session WALs (a no-op without
+// them). Serve traffic must be quiesced first — http.Server.Shutdown
+// before Close.
 func (s *Server) Close() error {
 	var err error
 	if s.wal != nil {
 		err = s.wal.Close()
+	}
+	if s.mean != nil && s.mean.log != nil {
+		if merr := s.mean.log.Close(); err == nil {
+			err = merr
+		}
 	}
 	if s.topk != nil && s.topk.log != nil {
 		if terr := s.topk.log.Close(); err == nil {

@@ -1,0 +1,544 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mean"
+	"repro/internal/wal"
+)
+
+// This file is the numeric mean tier: the collection server hosts the
+// classwise mean-estimation frameworks (internal/mean via
+// core.NumericProtocol) with full parity to the frequency tier — batched
+// ingestion over the same JSON-array/NDJSON machinery and 413 body cap,
+// sharded aggregation merged exactly on read, write-ahead durability with
+// compaction snapshots, and edge→root federation through the shared POST
+// /merge endpoint (envelopes route by fingerprint, so one root federates
+// both tiers).
+//
+//	GET  /mean/config    → WireMeanConfig (protocol name + round parameters)
+//	POST /mean/report    → accept one WireMeanReport
+//	POST /mean/reports   → accept a batch (JSON array or NDJSON)
+//	GET  /mean/estimates → WireMeanEstimates (calibrated means + class sizes)
+//
+// A server can host the mean tier alongside a frequency protocol or on its
+// own (NewServer(nil, WithMean(p))). On a WAL-backed server the tier keeps
+// its own log under <dir>/mean with the same sync options, so the two
+// tiers' records never interleave and each compacts independently.
+//
+// meanHub deliberately mirrors the frequency tier's machinery
+// (collect.go/durable.go/merge.go) method for method — same locking
+// discipline, same write-ahead contract, same drain-undo semantics. A fix
+// to either tier's concurrency or durability path almost certainly applies
+// to the other; keep them in lockstep.
+
+// WireMeanConfig describes the mean collection round so clients can
+// self-configure: Protocol names the framework (hecmean, ptsmean, cpmean)
+// whose Encoder clients must run.
+type WireMeanConfig struct {
+	Protocol     string  `json:"protocol"`
+	Classes      int     `json:"classes"`
+	Epsilon      float64 `json:"epsilon"`
+	Split        float64 `json:"split"`
+	MaxBodyBytes int64   `json:"max_body_bytes,omitempty"`
+}
+
+// WireMeanReport is one perturbed mean report on the wire.
+type WireMeanReport = core.WireMeanReport
+
+// WireMeanEstimates is the mean tier's calibrated output.
+type WireMeanEstimates struct {
+	Reports    int       `json:"reports"`
+	Means      []float64 `json:"means"`
+	ClassSizes []float64 `json:"class_sizes"`
+}
+
+// WireMeanStats is the mean slice of /stats.
+type WireMeanStats struct {
+	Protocol string `json:"protocol"`
+	Reports  int    `json:"reports"`
+	// WAL is present only on servers running with a write-ahead log.
+	WAL *WireWALStats `json:"wal,omitempty"`
+}
+
+// WithMean mounts the numeric mean tier for p's reports under /mean. The
+// protocol name must be client-reconstructible (every canonical name is);
+// NewServer verifies it the same way it verifies the frequency protocol.
+func WithMean(p *core.NumericProtocol) ServerOption {
+	return func(s *Server) { s.mean = &meanHub{proto: p} }
+}
+
+// meanShard is one independently locked mean aggregator.
+type meanShard struct {
+	mu  sync.Mutex
+	acc mean.Aggregator
+}
+
+// meanHub owns the mean tier's state: its protocol, shards and (on durable
+// servers) its write-ahead log. Concurrency mirrors the frequency tier:
+// writes land on a round-robin shard, reads merge all shards exactly, and
+// ingestMu orders report appends (reader side) against whole-state
+// transitions — restore, drain, compaction (writer side).
+type meanHub struct {
+	proto *core.NumericProtocol
+	cfg   WireMeanConfig
+
+	ingestMu     sync.RWMutex
+	log          *wal.Log
+	compactAfter int64
+	compacting   atomic.Bool
+
+	next   atomic.Uint64
+	total  atomic.Int64
+	shards []*meanShard
+}
+
+// init builds the hub's shards; called from NewServer after options.
+func (h *meanHub) init(shards int, maxBody int64) {
+	p := h.proto
+	h.cfg = WireMeanConfig{
+		Protocol:     p.Name(),
+		Classes:      p.Classes(),
+		Epsilon:      p.Epsilon(),
+		Split:        p.Split(),
+		MaxBodyBytes: maxBody,
+	}
+	h.shards = make([]*meanShard, shards)
+	for i := range h.shards {
+		h.shards[i] = &meanShard{acc: p.NewAggregator()}
+	}
+}
+
+// MeanProtocol returns the numeric protocol the server aggregates for, or
+// nil when the mean tier is not mounted.
+func (s *Server) MeanProtocol() *core.NumericProtocol {
+	if s.mean == nil {
+		return nil
+	}
+	return s.mean.proto
+}
+
+// MeanReports returns the number of mean reports accumulated so far (0
+// when the tier is not mounted).
+func (s *Server) MeanReports() int {
+	if s.mean == nil {
+		return 0
+	}
+	return int(s.mean.total.Load())
+}
+
+// errNoMeanTier is returned by the mean state operations on a server
+// without the tier.
+func errNoMeanTier() error { return fmt.Errorf("collect: server has no mean tier (WithMean)") }
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleMeanConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.mean.cfg)
+}
+
+func (s *Server) handleMeanReport(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var rep WireMeanReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	decoded, err := s.mean.proto.DecodeMeanReport(rep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.mean.ingest([]WireMeanReport{rep}, []mean.Report{decoded}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int{"reports": s.MeanReports()})
+}
+
+// handleMeanReportBatch ingests a batch of mean reports through the same
+// batch machinery as the frequency endpoint: JSON array or NDJSON, whole
+// body under the server's size cap (413 beyond it), per-item validation
+// with itemized rejections.
+func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	items, itemErrs, droppedTail, err := decodeBatchItems[WireMeanReport](body)
+	if err != nil {
+		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	decoded := make([]mean.Report, 0, len(items))
+	accepted := make([]WireMeanReport, 0, len(items))
+	for _, it := range items {
+		rep, derr := s.mean.proto.DecodeMeanReport(it.report)
+		if derr != nil {
+			itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: derr.Error()})
+			continue
+		}
+		decoded = append(decoded, rep)
+		accepted = append(accepted, it.report)
+	}
+	if err := s.mean.ingest(accepted, decoded); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var ack WireBatchAck
+	ack.Accepted = len(decoded)
+	ack.Rejected = len(itemErrs) + droppedTail
+	ack.Reports = s.MeanReports()
+	if len(itemErrs) > maxBatchErrors {
+		itemErrs = itemErrs[:maxBatchErrors]
+		ack.ErrorsTruncated = true
+	}
+	ack.Errors = itemErrs
+	writeJSON(w, ack)
+}
+
+func (s *Server) handleMeanEstimates(w http.ResponseWriter, _ *http.Request) {
+	acc := s.mean.merged()
+	writeJSON(w, WireMeanEstimates{
+		Reports:    acc.N(),
+		Means:      acc.Means(),
+		ClassSizes: acc.ClassSizes(),
+	})
+}
+
+// meanStats assembles the /stats mean block.
+func (h *meanHub) stats() *WireMeanStats {
+	st := &WireMeanStats{Protocol: h.proto.Name(), Reports: int(h.total.Load())}
+	if h.log != nil {
+		ws := h.log.Stats()
+		st.WAL = &WireWALStats{
+			Segments:             ws.Segments,
+			BytesSinceCompaction: ws.BytesSinceCompaction,
+		}
+		if !ws.LastSnapshot.IsZero() {
+			st.WAL.LastSnapshot = ws.LastSnapshot.UTC().Format(time.RFC3339)
+		}
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion, aggregation, durability — the same write-ahead discipline as
+// the frequency tier, against the hub's own log.
+// ---------------------------------------------------------------------------
+
+// ingest makes a batch of accepted mean reports durable (wire forms logged
+// before any aggregator sees them) and folds the decoded forms into a
+// shard. A WAL append failure rejects the whole batch: nothing was
+// applied, so the client may safely retry.
+func (h *meanHub) ingest(wires []WireMeanReport, reps []mean.Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	h.ingestMu.RLock()
+	if h.log != nil {
+		body, err := json.Marshal(wires)
+		if err == nil {
+			err = h.log.Append(append([]byte{recBatch}, body...))
+		}
+		if err != nil {
+			h.ingestMu.RUnlock()
+			return fmt.Errorf("collect: mean wal append: %w", err)
+		}
+	}
+	h.apply(reps)
+	h.ingestMu.RUnlock()
+	h.maybeCompact()
+	return nil
+}
+
+// apply folds decoded reports into one round-robin shard under a single
+// lock acquisition, advancing the total under the shard lock so restores
+// cannot interleave between a write and its count.
+func (h *meanHub) apply(reps []mean.Report) {
+	sh := h.shards[h.next.Add(1)%uint64(len(h.shards))]
+	sh.mu.Lock()
+	for _, rep := range reps {
+		sh.acc.Add(rep)
+	}
+	h.total.Add(int64(len(reps)))
+	sh.mu.Unlock()
+}
+
+// merged returns a point-in-time exact merge of all shards.
+func (h *meanHub) merged() mean.Aggregator {
+	out := h.proto.NewAggregator()
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		err := out.Merge(sh.acc)
+		sh.mu.Unlock()
+		if err != nil {
+			panic("collect: mean shard merge: " + err.Error()) // identical protocol by construction
+		}
+	}
+	return out
+}
+
+// install swaps the whole mean aggregate for agg, holding every shard lock
+// across the swap and the counter reset.
+func (h *meanHub) install(agg mean.Aggregator) {
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+	}
+	for i, sh := range h.shards {
+		if i == 0 {
+			sh.acc = agg
+		} else {
+			sh.acc = h.proto.NewAggregator()
+		}
+	}
+	h.total.Store(int64(agg.N()))
+	for _, sh := range h.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// mergeShard folds agg into one round-robin shard.
+func (h *meanHub) mergeShard(agg mean.Aggregator) error {
+	sh := h.shards[h.next.Add(1)%uint64(len(h.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.acc.Merge(agg); err != nil {
+		return fmt.Errorf("collect: merge mean state: %w", err)
+	}
+	h.total.Add(int64(agg.N()))
+	return nil
+}
+
+// mergeDurable logs the envelope (write-ahead) and folds agg into a shard
+// — the mean half of the shared POST /merge endpoint.
+func (h *meanHub) mergeDurable(env []byte, agg mean.Aggregator) (int, error) {
+	n := agg.N()
+	if n == 0 {
+		return 0, nil
+	}
+	h.ingestMu.RLock()
+	if h.log != nil {
+		if err := h.log.Append(envelopeRecord(env)); err != nil {
+			h.ingestMu.RUnlock()
+			return 0, fmt.Errorf("%w: mean wal append: %v", errNotDurable, err)
+		}
+	}
+	err := h.mergeShard(agg)
+	h.ingestMu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	h.maybeCompact()
+	return n, nil
+}
+
+// openMeanWAL opens and replays the mean tier's log under <dir>/mean.
+// Called from NewServer before the handler is exposed.
+func (s *Server) openMeanWAL() error {
+	h := s.mean
+	h.compactAfter = s.compactAfter
+	l, err := wal.Open(filepath.Join(s.walDir, "mean"), s.walOpts)
+	if err != nil {
+		return fmt.Errorf("collect: mean tier: %w", err)
+	}
+	err = l.Replay(
+		func(snap []byte) error {
+			agg, err := h.proto.UnmarshalAggregator(snap)
+			if err != nil {
+				return fmt.Errorf("collect: mean wal snapshot does not match protocol %s: %w", h.proto.Name(), err)
+			}
+			h.install(agg)
+			return nil
+		},
+		h.replayRecord,
+	)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	h.log = l
+	return nil
+}
+
+// replayRecord re-applies one mean WAL record; a record that fails to
+// decode means the log does not belong to this protocol configuration —
+// fail loudly, do not skip.
+func (h *meanHub) replayRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("collect: empty mean wal record")
+	}
+	switch rec[0] {
+	case recBatch:
+		var wires []WireMeanReport
+		if err := json.Unmarshal(rec[1:], &wires); err != nil {
+			return fmt.Errorf("collect: mean wal batch record: %w", err)
+		}
+		reps := make([]mean.Report, len(wires))
+		for i, wr := range wires {
+			rep, err := h.proto.DecodeMeanReport(wr)
+			if err != nil {
+				return fmt.Errorf("collect: mean wal batch record does not match protocol %s: %w", h.proto.Name(), err)
+			}
+			reps[i] = rep
+		}
+		if len(reps) > 0 {
+			h.apply(reps)
+		}
+		return nil
+	case recEnvelope:
+		agg, err := h.proto.UnmarshalAggregator(rec[1:])
+		if err != nil {
+			return fmt.Errorf("collect: mean wal envelope record: %w", err)
+		}
+		return h.mergeShard(agg)
+	default:
+		return fmt.Errorf("collect: unknown mean wal record type %#x", rec[0])
+	}
+}
+
+// maybeCompact kicks off a background compaction of the mean log once
+// compactAfter bytes accumulate past its last snapshot.
+func (h *meanHub) maybeCompact() {
+	if h.log == nil || h.log.BytesSinceSeal() < h.compactAfter {
+		return
+	}
+	if !h.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer h.compacting.Store(false)
+		if err := h.compact(); err != nil {
+			log.Printf("collect: background mean wal compaction: %v", err)
+		}
+	}()
+}
+
+// compact folds the mean log down to one snapshot envelope plus an empty
+// tail, quiescing mean ingestion just long enough to roll and marshal.
+func (h *meanHub) compact() error {
+	h.ingestMu.Lock()
+	cover, err := h.log.Roll()
+	var env []byte
+	if err == nil {
+		env, err = h.proto.MarshalAggregator(h.merged())
+	}
+	h.ingestMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.log.Seal(cover, env)
+}
+
+// CompactMean folds the mean tier's WAL into a snapshot of its current
+// aggregate, like Compact does for the frequency log. It errors on servers
+// without a mean tier or without a WAL.
+func (s *Server) CompactMean() error {
+	if s.mean == nil {
+		return errNoMeanTier()
+	}
+	if s.mean.log == nil {
+		return fmt.Errorf("collect: mean tier has no WAL to compact")
+	}
+	return s.mean.compact()
+}
+
+// SnapshotMean serializes the mean tier's aggregate into a fingerprinted
+// state envelope — the merged view, shard layout not preserved.
+func (s *Server) SnapshotMean() ([]byte, error) {
+	if s.mean == nil {
+		return nil, errNoMeanTier()
+	}
+	return s.mean.proto.MarshalAggregator(s.mean.merged())
+}
+
+// RestoreMean replaces the mean aggregate with a SnapshotMean envelope
+// from an identical protocol; the WAL (when present) is moved past its
+// history first, so a failure leaves the running state untouched.
+func (s *Server) RestoreMean(data []byte) error {
+	if s.mean == nil {
+		return errNoMeanTier()
+	}
+	h := s.mean
+	restored, err := h.proto.UnmarshalAggregator(data)
+	if err != nil {
+		return err
+	}
+	h.ingestMu.Lock()
+	defer h.ingestMu.Unlock()
+	if h.log != nil {
+		cover, err := h.log.Roll()
+		if err != nil {
+			return fmt.Errorf("collect: mean wal roll for restore: %w", err)
+		}
+		if err := h.log.Seal(cover, data); err != nil {
+			return fmt.Errorf("collect: mean wal seal for restore: %w", err)
+		}
+	}
+	h.install(restored)
+	return nil
+}
+
+// DrainMean atomically removes and returns the mean tier's entire
+// aggregate, leaving it empty — the edge collector's push primitive for
+// the mean tier, with the same atomicity contract as Drain: if the WAL
+// cannot be moved past the drained state, the aggregate is folded back in
+// and nothing is handed out.
+func (s *Server) DrainMean() (mean.Aggregator, error) {
+	if s.mean == nil {
+		return nil, errNoMeanTier()
+	}
+	h := s.mean
+	h.ingestMu.Lock()
+	defer h.ingestMu.Unlock()
+	taken := h.takeLocked()
+	if h.log != nil {
+		cover, err := h.log.Roll()
+		if err != nil {
+			h.mergeShard(taken) // records still logged: memory-only undo
+			return nil, fmt.Errorf("collect: mean wal roll after drain: %w", err)
+		}
+		env, err := h.proto.MarshalAggregator(h.proto.NewAggregator())
+		if err == nil {
+			err = h.log.Seal(cover, env)
+		}
+		if err != nil {
+			h.mergeShard(taken)
+			return nil, fmt.Errorf("collect: mean wal seal after drain: %w", err)
+		}
+	}
+	return taken, nil
+}
+
+// takeLocked swaps every shard for a fresh aggregator and returns the
+// merged removed state. Caller holds ingestMu exclusively.
+func (h *meanHub) takeLocked() mean.Aggregator {
+	taken := h.proto.NewAggregator()
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range h.shards {
+		if err := taken.Merge(sh.acc); err != nil {
+			panic("collect: mean shard merge: " + err.Error()) // identical protocol by construction
+		}
+		sh.acc = h.proto.NewAggregator()
+	}
+	h.total.Store(0)
+	for _, sh := range h.shards {
+		sh.mu.Unlock()
+	}
+	return taken
+}

@@ -1,0 +1,67 @@
+package collect
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzNumericProtocols covers both symbol alphabets: the two-symbol sign
+// reports (hecmean, ptsmean) and the three-symbol reports with a deniable
+// ⊥ (cpmean).
+func fuzzNumericProtocols(f *testing.F) []*core.NumericProtocol {
+	f.Helper()
+	out := make([]*core.NumericProtocol, 0, len(core.NumericProtocolNames()))
+	for _, name := range core.NumericProtocolNames() {
+		p, err := core.NewNumericProtocol(name, 3, 1, 0.5)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FuzzDecodeMeanReport drives the mean-report wire decoder with arbitrary
+// JSON: it must never panic, and accepted reports must be in-shape and
+// safe to accumulate.
+func FuzzDecodeMeanReport(f *testing.F) {
+	f.Add([]byte(`{"label":0,"symbol":0}`))
+	f.Add([]byte(`{"label":2,"symbol":1}`))
+	f.Add([]byte(`{"label":1,"symbol":2}`))
+	f.Add([]byte(`{"label":-1,"symbol":0}`))
+	f.Add([]byte(`{"label":3,"symbol":0}`))
+	f.Add([]byte(`{"label":0,"symbol":-7}`))
+	f.Add([]byte(`{"label":0,"symbol":99}`))
+	f.Add([]byte(`{"label":9007199254740993,"symbol":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"label":0}`))
+	f.Add([]byte(`{"symbol":1}`))
+	f.Add([]byte(`null`))
+	protos := fuzzNumericProtocols(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rep WireMeanReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return // malformed JSON is rejected upstream
+		}
+		for _, p := range protos {
+			decoded, err := p.DecodeMeanReport(rep)
+			if err != nil {
+				continue
+			}
+			if decoded.Label < 0 || decoded.Label >= p.Classes() {
+				t.Fatalf("%s accepted out-of-domain label %d", p.Name(), decoded.Label)
+			}
+			if decoded.Symbol < 0 || decoded.Symbol >= p.Symbols() {
+				t.Fatalf("%s accepted out-of-alphabet symbol %d", p.Name(), decoded.Symbol)
+			}
+			// Accepted reports must be safe to accumulate.
+			acc := p.NewAggregator()
+			acc.Add(decoded)
+			if acc.N() != 1 {
+				t.Fatalf("%s aggregator did not count the report", p.Name())
+			}
+		}
+	})
+}

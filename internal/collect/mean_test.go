@@ -1,0 +1,553 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mean"
+	"repro/internal/wal"
+	"repro/internal/xrand"
+)
+
+// meanFrameworks is every numeric protocol the mean-tier tests cover.
+var meanFrameworks = []string{"hecmean", "ptsmean", "cpmean"}
+
+func mustNumericProtocol(t testing.TB, name string, classes int, eps, split float64) *core.NumericProtocol {
+	t.Helper()
+	p, err := core.NewNumericProtocol(name, classes, eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// newMeanServer builds a mean-only collection server (nil frequency
+// protocol) for the given numeric framework.
+func newMeanServer(t testing.TB, name string, classes int, eps, split float64, opts ...ServerOption) *Server {
+	t.Helper()
+	srv, err := NewServer(nil, append([]ServerOption{WithMean(mustNumericProtocol(t, name, classes, eps, split))}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// meanTestDataset is a small deterministic skewed population.
+func meanTestDataset(classes, n int, seed uint64) *mean.Dataset {
+	r := xrand.New(seed)
+	d := &mean.Dataset{Classes: classes, Name: "test"}
+	for i := 0; i < n; i++ {
+		c := r.Intn(classes)
+		x := 0.5*float64(c) - 0.4 + 0.2*r.NormFloat64()
+		if x > 1 {
+			x = 1
+		}
+		if x < -1 {
+			x = -1
+		}
+		d.Values = append(d.Values, mean.Value{Class: c, X: x})
+	}
+	return d
+}
+
+// meanWireStream deterministically encodes n reports for proto, with the
+// canonical user index running over the stream.
+func meanWireStream(t testing.TB, proto *core.NumericProtocol, n int, seed uint64) []WireMeanReport {
+	t.Helper()
+	enc, r := proto.Encoder(), xrand.New(seed)
+	out := make([]WireMeanReport, n)
+	for i := range out {
+		v := mean.Value{Class: i % proto.Classes(), X: float64(i%21)/10 - 1}
+		out[i] = proto.EncodeMeanReport(enc.Encode(v, i, r))
+	}
+	return out
+}
+
+// ingestMeanWires pushes a wire stream through the mean ingest path in
+// batches, as the batch endpoint would.
+func ingestMeanWires(t testing.TB, srv *Server, wires []WireMeanReport, batch int) {
+	t.Helper()
+	for len(wires) > 0 {
+		n := min(batch, len(wires))
+		chunk := wires[:n]
+		reps := make([]mean.Report, n)
+		for i, wr := range chunk {
+			rep, err := srv.mean.proto.DecodeMeanReport(wr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		if err := srv.mean.ingest(chunk, reps); err != nil {
+			t.Fatal(err)
+		}
+		wires = wires[n:]
+	}
+}
+
+// offlineEstimator builds the mean.Estimator matching a canonical numeric
+// protocol name.
+func offlineEstimator(t testing.TB, name string, eps, split float64) mean.Estimator {
+	t.Helper()
+	switch name {
+	case "hecmean":
+		return mean.NewHECMean(eps)
+	case "ptsmean":
+		e, err := mean.NewPTSMean(eps, split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	case "cpmean":
+		e, err := mean.NewCPMeanEstimator(eps, split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	default:
+		t.Fatalf("unknown mean framework %q", name)
+		return nil
+	}
+}
+
+// TestServedMeanMatchesOffline pins the tier's acceptance criterion: the
+// full HTTP pipeline — /mean/config fetch, client-side encoding with the
+// canonical user index, buffered batch ingestion over sharded aggregators
+// — produces estimates bit-identical to the offline Estimator.Estimate
+// pass under the same seed and user assignment, for every framework.
+func TestServedMeanMatchesOffline(t *testing.T) {
+	const classes, n, eps, split = 3, 4000, 2.0, 0.5
+	const seed = 42
+	data := meanTestDataset(classes, n, 9)
+	for _, name := range meanFrameworks {
+		t.Run(name, func(t *testing.T) {
+			srv := newMeanServer(t, name, classes, eps, split, WithShards(4))
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			client, err := NewMeanClient(ts.URL, ts.Client(), seed, WithMeanBatchSize(128))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := client.Protocol().Name(); got != name {
+				t.Fatalf("client negotiated %q, want %q", got, name)
+			}
+			for i, v := range data.Values {
+				if err := client.Buffer(i, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := client.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			served, err := client.Estimates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if served.Reports != n {
+				t.Fatalf("served %d reports, want %d", served.Reports, n)
+			}
+
+			offline, err := offlineEstimator(t, name, eps, split).Estimate(data, xrand.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(served.Means, offline.Means) {
+				t.Fatalf("served means %v not bit-identical to offline %v", served.Means, offline.Means)
+			}
+			if !reflect.DeepEqual(served.ClassSizes, offline.ClassSizes) {
+				t.Fatalf("served class sizes %v not bit-identical to offline %v", served.ClassSizes, offline.ClassSizes)
+			}
+		})
+	}
+}
+
+// TestFederatedMeanMergeEqualsCentralized pins federation parity for the
+// mean tier: 4 edge collectors ingesting disjoint slices and pushing their
+// drained state through the root's POST /merge produce estimates
+// bit-identical to one centralized server ingesting the whole stream, for
+// every framework.
+func TestFederatedMeanMergeEqualsCentralized(t *testing.T) {
+	const classes, n, edges = 3, 1500, 4
+	for _, name := range meanFrameworks {
+		t.Run(name, func(t *testing.T) {
+			proto := mustNumericProtocol(t, name, classes, 2, 0.5)
+			wires := meanWireStream(t, proto, n, 29)
+
+			central := newMeanServer(t, name, classes, 2, 0.5)
+			ingestMeanWires(t, central, wires, 64)
+
+			root := newMeanServer(t, name, classes, 2, 0.5)
+			ts := httptest.NewServer(root.Handler())
+			defer ts.Close()
+
+			for e := 0; e < edges; e++ {
+				edge := newMeanServer(t, name, classes, 2, 0.5)
+				var slice []WireMeanReport
+				for i := e; i < n; i += edges {
+					slice = append(slice, wires[i])
+				}
+				ingestMeanWires(t, edge, slice, 64)
+				taken, err := edge.DrainMean()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if edge.MeanReports() != 0 {
+					t.Fatalf("edge %d holds %d reports after drain", e, edge.MeanReports())
+				}
+				env, err := edge.mean.proto.MarshalAggregator(taken)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.Post(ts.URL+"/merge", "application/octet-stream", bytes.NewReader(env))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ack WireMergeAck
+				if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("edge %d push status %d", e, resp.StatusCode)
+				}
+				if ack.Merged != len(slice) {
+					t.Fatalf("edge %d merged %d reports, want %d", e, ack.Merged, len(slice))
+				}
+			}
+
+			if root.MeanReports() != n {
+				t.Fatalf("root holds %d reports, want %d", root.MeanReports(), n)
+			}
+			rootAgg, centralAgg := root.mean.merged(), central.mean.merged()
+			if !reflect.DeepEqual(rootAgg.Means(), centralAgg.Means()) {
+				t.Fatal("federated means not bit-identical to centralized ingestion")
+			}
+			if !reflect.DeepEqual(rootAgg.ClassSizes(), centralAgg.ClassSizes()) {
+				t.Fatal("federated class sizes not bit-identical to centralized ingestion")
+			}
+		})
+	}
+}
+
+// TestMeanWALCrashRecoveryBitIdentical pins mean-tier durability: ingest
+// through a WAL-backed server, tear the process down SIGKILL-style (no
+// Close, a torn frame on disk) — once mid-stream and once after a
+// compaction — restart on the same directory, and the recovered estimates
+// must be bit-identical to an uninterrupted run.
+func TestMeanWALCrashRecoveryBitIdentical(t *testing.T) {
+	const classes, n = 3, 1200
+	for _, name := range meanFrameworks {
+		t.Run(name, func(t *testing.T) {
+			proto := mustNumericProtocol(t, name, classes, 2, 0.5)
+			wires := meanWireStream(t, proto, n, 17)
+
+			ref := newMeanServer(t, name, classes, 2, 0.5)
+			ingestMeanWires(t, ref, wires, 64)
+
+			dir := t.TempDir()
+			walOpts := WithWALOptions(wal.Options{Sync: wal.SyncAlways, SegmentBytes: 8 << 10})
+			crashed := newMeanServer(t, name, classes, 2, 0.5, WithWAL(dir), walOpts)
+			ingestMeanWires(t, crashed, wires[:600], 64)
+			// Mid-stream compaction: recovery must come from snapshot + tail,
+			// not raw records alone.
+			if err := crashed.CompactMean(); err != nil {
+				t.Fatal(err)
+			}
+			ingestMeanWires(t, crashed, wires[600:], 64)
+			// No crashed.Close(): the process is "killed". Leave a torn frame
+			// behind, as a mid-write kill would (the mean tier logs under
+			// <dir>/mean).
+			tearLastSegment(t, dir+"/mean")
+
+			restarted := newMeanServer(t, name, classes, 2, 0.5, WithWAL(dir), walOpts)
+			defer restarted.Close()
+			if restarted.MeanReports() != n {
+				t.Fatalf("recovered %d reports, want %d", restarted.MeanReports(), n)
+			}
+			recovered, reference := restarted.mean.merged(), ref.mean.merged()
+			if !reflect.DeepEqual(recovered.Means(), reference.Means()) {
+				t.Fatal("recovered means not bit-identical to uninterrupted run")
+			}
+			if !reflect.DeepEqual(recovered.ClassSizes(), reference.ClassSizes()) {
+				t.Fatal("recovered class sizes not bit-identical to uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestMeanWALRefusesForeignSnapshot checks a restart refuses a mean WAL
+// whose compaction snapshot belongs to a different numeric protocol.
+func TestMeanWALRefusesForeignSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	a := newMeanServer(t, "cpmean", 3, 2, 0.5, WithWAL(dir))
+	ingestMeanWires(t, a, meanWireStream(t, a.mean.proto, 50, 1), 10)
+	if err := a.CompactMean(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(nil, WithMean(mustNumericProtocol(t, "ptsmean", 3, 2, 0.5)), WithWAL(dir)); err == nil {
+		t.Fatal("ptsmean server replayed a cpmean WAL")
+	}
+}
+
+// TestMergeRoutesBothTiers checks the shared federation endpoint on a
+// server hosting both tiers: envelopes land in the tier whose fingerprint
+// they carry, and an envelope matching neither is a 409.
+func TestMergeRoutesBothTiers(t *testing.T) {
+	freq := mustProtocol(t, "ptscp", 2, 6, 2, 0.5)
+	srv, err := NewServer(freq, WithMean(mustNumericProtocol(t, "cpmean", 2, 2, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A frequency envelope.
+	freqPeer, err := NewServer(mustProtocol(t, "ptscp", 2, 6, 2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWires(t, freqPeer, wireStream(t, freqPeer.proto, 30, 3), 10)
+	freqEnv, err := freqPeer.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mean envelope.
+	meanPeer := newMeanServer(t, "cpmean", 2, 2, 0.5)
+	ingestMeanWires(t, meanPeer, meanWireStream(t, meanPeer.mean.proto, 40, 4), 10)
+	meanEnv, err := meanPeer.SnapshotMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(env []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/merge", "application/octet-stream", bytes.NewReader(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(freqEnv); code != http.StatusOK {
+		t.Fatalf("frequency envelope status %d", code)
+	}
+	if code := post(meanEnv); code != http.StatusOK {
+		t.Fatalf("mean envelope status %d", code)
+	}
+	if srv.Reports() != 30 {
+		t.Fatalf("frequency tier holds %d reports, want 30", srv.Reports())
+	}
+	if srv.MeanReports() != 40 {
+		t.Fatalf("mean tier holds %d reports, want 40", srv.MeanReports())
+	}
+	// Wrong-budget mean envelope: valid, just not ours → 409.
+	foreign := newMeanServer(t, "cpmean", 2, 1, 0.5)
+	ingestMeanWires(t, foreign, meanWireStream(t, foreign.mean.proto, 10, 5), 10)
+	foreignEnv, err := foreign.SnapshotMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(foreignEnv); code != http.StatusConflict {
+		t.Fatalf("foreign mean envelope status %d, want 409", code)
+	}
+	if code := post([]byte("garbage")); code != http.StatusBadRequest {
+		t.Fatal("corrupt envelope not a 400")
+	}
+	// MergeState (the programmatic form mcimedge's re-merge uses) routes
+	// identically.
+	if _, err := srv.MergeState(foreignEnv); !errors.Is(err, core.ErrIncompatibleState) {
+		t.Fatalf("MergeState foreign envelope err=%v, want ErrIncompatibleState", err)
+	}
+	n, err := srv.MergeState(meanEnv)
+	if err != nil || n != 40 {
+		t.Fatalf("MergeState mean envelope = %d, %v", n, err)
+	}
+	if srv.MeanReports() != 80 {
+		t.Fatalf("mean tier holds %d reports after re-merge, want 80", srv.MeanReports())
+	}
+}
+
+// TestMeanEndpointValidation covers the batch machinery reused by the mean
+// tier: per-item rejections with itemized errors, the 413 body cap, the
+// single-report endpoint, /mean/config and the /stats mean block.
+func TestMeanEndpointValidation(t *testing.T) {
+	srv := newMeanServer(t, "cpmean", 2, 2, 0.5, WithMaxBodyBytes(1024))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Mixed batch: valid, bad label, bad symbol.
+	body := `[{"label":0,"symbol":1},{"label":9,"symbol":0},{"label":1,"symbol":7},{"label":1,"symbol":2}]`
+	resp, err := http.Post(ts.URL+"/mean/reports", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack WireBatchAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Accepted != 2 || ack.Rejected != 2 || len(ack.Errors) != 2 {
+		t.Fatalf("ack %+v, want 2 accepted / 2 itemized rejections", ack)
+	}
+	if ack.Errors[0].Index != 1 || ack.Errors[1].Index != 2 {
+		t.Fatalf("rejection indices %+v", ack.Errors)
+	}
+
+	// NDJSON path.
+	resp, err = http.Post(ts.URL+"/mean/reports", NDJSONContentType,
+		strings.NewReader("{\"label\":0,\"symbol\":0}\n{\"label\":1,\"symbol\":1}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Accepted != 2 || ack.Rejected != 0 {
+		t.Fatalf("ndjson ack %+v", ack)
+	}
+
+	// Oversized body → 413.
+	big := bytes.Repeat([]byte(`{"label":0,"symbol":0} `), 200)
+	resp, err = http.Post(ts.URL+"/mean/reports", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status %d, want 413", resp.StatusCode)
+	}
+
+	// Single-report endpoint.
+	resp, err = http.Post(ts.URL+"/mean/report", "application/json", strings.NewReader(`{"label":1,"symbol":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single report status %d", resp.StatusCode)
+	}
+	if srv.MeanReports() != 5 {
+		t.Fatalf("server holds %d mean reports, want 5", srv.MeanReports())
+	}
+
+	// /mean/config and /stats.
+	var cfg WireMeanConfig
+	resp, err = http.Get(ts.URL + "/mean/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cfg.Protocol != "cpmean" || cfg.Classes != 2 || cfg.MaxBodyBytes != 1024 {
+		t.Fatalf("config %+v", cfg)
+	}
+	var st WireStats
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Mean == nil || st.Mean.Reports != 5 || st.Mean.Protocol != "cpmean" {
+		t.Fatalf("stats mean block %+v", st.Mean)
+	}
+	// A mean-only server mounts no frequency endpoints.
+	resp, err = http.Get(ts.URL + "/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/config on a mean-only server: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMeanDrainRemerge documents the edge retry loop for the mean tier:
+// drain, fail to push, MergeState the envelope back, drain again — nothing
+// lost or double-counted.
+func TestMeanDrainRemerge(t *testing.T) {
+	edge := newMeanServer(t, "ptsmean", 2, 2, 0.5)
+	wires := meanWireStream(t, edge.mean.proto, 40, 4)
+	ingestMeanWires(t, edge, wires[:30], 10)
+	taken, err := edge.DrainMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := edge.mean.proto.MarshalAggregator(taken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edge.MergeState(env); err != nil {
+		t.Fatal(err)
+	}
+	ingestMeanWires(t, edge, wires[30:], 10)
+	retaken, err := edge.DrainMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retaken.N() != 40 {
+		t.Fatalf("second drain carries %d reports, want all 40", retaken.N())
+	}
+	direct := newMeanServer(t, "ptsmean", 2, 2, 0.5)
+	ingestMeanWires(t, direct, wires, 10)
+	if !reflect.DeepEqual(retaken.Means(), direct.mean.merged().Means()) {
+		t.Fatal("re-merged drain not bit-identical to direct ingestion")
+	}
+}
+
+// TestMeanCheckpointRestart pins SnapshotMean/RestoreMean: snapshot,
+// rebuild, restore, continue — bit-identical to a server that never
+// restarted.
+func TestMeanCheckpointRestart(t *testing.T) {
+	proto := mustNumericProtocol(t, "cpmean", 2, 3, 0.5)
+	wires := meanWireStream(t, proto, 600, 3)
+
+	whole := newMeanServer(t, "cpmean", 2, 3, 0.5)
+	ingestMeanWires(t, whole, wires, 50)
+
+	a := newMeanServer(t, "cpmean", 2, 3, 0.5)
+	ingestMeanWires(t, a, wires[:300], 50)
+	snap, err := a.SnapshotMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newMeanServer(t, "cpmean", 2, 3, 0.5, WithShards(3))
+	if err := b.RestoreMean(snap); err != nil {
+		t.Fatal(err)
+	}
+	ingestMeanWires(t, b, wires[300:], 50)
+	if b.MeanReports() != 600 {
+		t.Fatalf("restored server holds %d reports, want 600", b.MeanReports())
+	}
+	if !reflect.DeepEqual(b.mean.merged().Means(), whole.mean.merged().Means()) {
+		t.Fatal("restart not bit-identical")
+	}
+	// A foreign snapshot is refused and leaves the state untouched.
+	foreign := newMeanServer(t, "cpmean", 2, 1, 0.5)
+	fenv, err := foreign.SnapshotMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreMean(fenv); !errors.Is(err, core.ErrIncompatibleState) {
+		t.Fatalf("foreign restore err=%v", err)
+	}
+	if b.MeanReports() != 600 {
+		t.Fatal("failed restore mutated the aggregate")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/state"
 )
 
 // This file is the federation tier: POST /merge accepts another server's
@@ -23,45 +24,77 @@ type WireMergeAck struct {
 	Reports int `json:"reports"`
 }
 
-// handleMerge ingests one state envelope. The envelope must carry this
-// server's exact protocol fingerprint: a mismatch — another framework,
-// domain, budget, or mechanism set — is answered with 409 Conflict, since
-// folding it in would silently corrupt calibration; corrupt envelopes are
-// 400s; a durability failure while logging the merge is a 500 and the
-// envelope was not merged.
+// errNotDurable marks a merge the server could not make durable (the WAL
+// append failed): the envelope was NOT applied and the push may be safely
+// retried. The federation endpoint answers it with a 500, distinguishing
+// it from the 400/409 rejection statuses.
+var errNotDurable = errors.New("collect: merge not made durable")
+
+// handleMerge ingests one state envelope. The envelope must carry the
+// exact fingerprint of one of the server's tiers — the frequency protocol
+// or, when mounted, the mean tier's numeric protocol; it routes to that
+// tier's aggregate. A mismatch — another framework, domain, budget, or
+// mechanism set — is answered with 409 Conflict, since folding it in would
+// silently corrupt calibration; corrupt envelopes are 400s; a durability
+// failure while logging the merge is a 500 and the envelope was not
+// merged.
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.readBodyLimit(w, r, s.mergeMaxBody)
 	if !ok {
 		return
 	}
-	agg, err := s.proto.UnmarshalAggregator(body)
+	n, err := s.MergeState(body)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, core.ErrIncompatibleState) {
+		switch {
+		case errors.Is(err, core.ErrIncompatibleState):
 			status = http.StatusConflict
+		case errors.Is(err, errNotDurable):
+			status = http.StatusInternalServerError
 		}
 		http.Error(w, err.Error(), status)
 		return
 	}
-	n, err := s.mergeDurable(body, agg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, WireMergeAck{Merged: n, Reports: s.Reports()})
+	writeJSON(w, WireMergeAck{Merged: n, Reports: s.Reports() + s.MeanReports()})
 }
 
-// MergeState folds a state envelope (as produced by Snapshot, Drain +
-// MarshalAggregator, or a peer's /merge push) into the server's aggregate,
-// returning the number of reports it contributed. It is the programmatic
-// form of POST /merge and shares its durability semantics: with a WAL, the
-// envelope is logged before it is applied.
+// MergeState folds a state envelope (as produced by Snapshot, SnapshotMean,
+// Drain/DrainMean + MarshalAggregator, or a peer's /merge push) into the
+// tier whose protocol fingerprint the envelope carries, returning the
+// number of reports it contributed. It is the programmatic form of POST
+// /merge and shares its durability semantics: with a WAL, the envelope is
+// logged before it is applied. An envelope matching neither tier is
+// core.ErrIncompatibleState.
 func (s *Server) MergeState(env []byte) (int, error) {
-	agg, err := s.proto.UnmarshalAggregator(env)
+	fp, _, err := state.Decode(env)
 	if err != nil {
 		return 0, err
 	}
-	return s.mergeDurable(env, agg)
+	if s.proto != nil && fp == s.proto.Fingerprint() {
+		agg, err := s.proto.UnmarshalAggregator(env)
+		if err != nil {
+			return 0, err
+		}
+		return s.mergeDurable(env, agg)
+	}
+	if s.mean != nil && fp == s.mean.proto.Fingerprint() {
+		agg, err := s.mean.proto.UnmarshalAggregator(env)
+		if err != nil {
+			return 0, err
+		}
+		return s.mean.mergeDurable(env, agg)
+	}
+	served := "no tier"
+	switch {
+	case s.proto != nil && s.mean != nil:
+		served = fmt.Sprintf("%q / %q", s.proto.Fingerprint(), s.mean.proto.Fingerprint())
+	case s.proto != nil:
+		served = fmt.Sprintf("%q", s.proto.Fingerprint())
+	case s.mean != nil:
+		served = fmt.Sprintf("%q", s.mean.proto.Fingerprint())
+	}
+	return 0, fmt.Errorf("%w: envelope %q matches none of this server's tiers (%s)",
+		core.ErrIncompatibleState, fp, served)
 }
 
 // mergeDurable logs the envelope (write-ahead) and folds agg into a shard.
@@ -74,7 +107,7 @@ func (s *Server) mergeDurable(env []byte, agg core.Aggregator) (int, error) {
 	if s.wal != nil {
 		if err := s.wal.Append(envelopeRecord(env)); err != nil {
 			s.ingestMu.RUnlock()
-			return 0, fmt.Errorf("collect: wal append: %w", err)
+			return 0, fmt.Errorf("%w: wal append: %v", errNotDurable, err)
 		}
 	}
 	err := s.mergeShard(agg)
@@ -117,6 +150,9 @@ func (s *Server) mergeShard(agg core.Aggregator) error {
 // returned — handing the state out anyway would let a restart replay (and
 // the caller push) the same reports twice.
 func (s *Server) Drain() (core.Aggregator, error) {
+	if s.proto == nil {
+		return nil, errNoFrequencyTier()
+	}
 	// ingestMu is held exclusively across the take AND the WAL roll+seal:
 	// releasing it between them would let a concurrent background
 	// compaction seal the post-drain state and prune the drained records,

@@ -214,22 +214,23 @@ func (f *CPMeanEstimator) Name() string { return "CP-Mean" }
 // Epsilon implements Estimator.
 func (f *CPMeanEstimator) Epsilon() float64 { return f.eps }
 
+// Estimate implements Estimator as a thin loop over the CP halves.
+func (f *CPMeanEstimator) Estimate(d *Dataset, r *xrand.Rand) (Estimates, error) {
+	halves, err := NewCPMeanHalves(d.Classes, f.eps, f.split)
+	if err != nil {
+		return Estimates{}, err
+	}
+	return estimateVia(halves, d, r)
+}
+
 // EstimateMeans implements Estimator.
 func (f *CPMeanEstimator) EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	m, err := NewCPMean(d.Classes, f.eps, f.split)
-	if err != nil {
-		return nil, err
-	}
-	acc := m.NewAccumulator()
-	for _, v := range d.Values {
-		acc.Add(m.Perturb(v, r))
-	}
-	out := make([]float64, d.Classes)
-	for c := range out {
-		out[c] = acc.EstimateMean(c)
-	}
-	return out, nil
+	est, err := f.Estimate(d, r)
+	return est.Means, err
+}
+
+// EstimateClassSizes implements Estimator.
+func (f *CPMeanEstimator) EstimateClassSizes(d *Dataset, r *xrand.Rand) ([]float64, error) {
+	est, err := f.Estimate(d, r)
+	return est.ClassSizes, err
 }

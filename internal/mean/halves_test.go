@@ -1,0 +1,218 @@
+package mean
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// meanHalves builds every framework's decomposition at one parameter set.
+func meanHalves(t testing.TB, classes int, eps, split float64) map[string]*Halves {
+	t.Helper()
+	hec, err := NewHECMeanHalves(classes, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := NewPTSMeanHalves(classes, eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewCPMeanHalves(classes, eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Halves{"hec": hec, "pts": pts, "cp": cp}
+}
+
+// estimators pairs each framework's Estimator with the halves name.
+func estimators(t testing.TB, eps, split float64) map[string]Estimator {
+	t.Helper()
+	pts, err := NewPTSMean(eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewCPMeanEstimator(eps, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Estimator{"hec": NewHECMean(eps), "pts": pts, "cp": cp}
+}
+
+// TestMeanStreamingEqualsBatch pins the decomposition's core equivalence:
+// Estimator.Estimate (the thin batch loop) equals the same report stream
+// fed one report at a time through sharded aggregators merged at the end —
+// bit-identical, for every framework.
+func TestMeanStreamingEqualsBatch(t *testing.T) {
+	const classes, perClass, eps, split = 3, 4000, 2.0, 0.5
+	data := gaussianDataset([]float64{0.6, -0.3, 0.1}, perClass, xrand.New(11))
+	halves := meanHalves(t, classes, eps, split)
+	ests := estimators(t, eps, split)
+	for name, h := range halves {
+		t.Run(name, func(t *testing.T) {
+			batch, err := ests[name].Estimate(data, xrand.New(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Stream the same encodes over three shards, merge, estimate.
+			shards := []Aggregator{h.NewAggregator(), h.NewAggregator(), h.NewAggregator()}
+			r := xrand.New(77)
+			for i, v := range data.Values {
+				shards[i%len(shards)].Add(h.Encoder.Encode(v, i, r))
+			}
+			merged := h.NewAggregator()
+			for _, sh := range shards {
+				if err := merged.Merge(sh); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if merged.N() != data.N() {
+				t.Fatalf("merged N %d, want %d", merged.N(), data.N())
+			}
+			if !reflect.DeepEqual(merged.Means(), batch.Means) {
+				t.Fatalf("streaming means %v != batch %v", merged.Means(), batch.Means)
+			}
+			if !reflect.DeepEqual(merged.ClassSizes(), batch.ClassSizes) {
+				t.Fatalf("streaming class sizes %v != batch %v", merged.ClassSizes(), batch.ClassSizes)
+			}
+		})
+	}
+}
+
+// TestMeanSnapshotRoundTrip checks marshal → unmarshal → estimates is
+// bit-identical for every framework's aggregator.
+func TestMeanSnapshotRoundTrip(t *testing.T) {
+	const classes = 3
+	for name, h := range meanHalves(t, classes, 2, 0.5) {
+		t.Run(name, func(t *testing.T) {
+			agg, r := h.NewAggregator(), xrand.New(5)
+			for i := 0; i < 2000; i++ {
+				agg.Add(h.Encoder.Encode(Value{Class: i % classes, X: 0.4}, i, r))
+			}
+			blob, err := agg.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := h.NewAggregator()
+			if err := restored.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			if restored.N() != agg.N() {
+				t.Fatalf("restored N %d, want %d", restored.N(), agg.N())
+			}
+			if !reflect.DeepEqual(restored.Means(), agg.Means()) {
+				t.Fatal("restored means not bit-identical")
+			}
+			if !reflect.DeepEqual(restored.ClassSizes(), agg.ClassSizes()) {
+				t.Fatal("restored class sizes not bit-identical")
+			}
+			// A snapshot from a different class count must be refused and
+			// leave the aggregator unchanged.
+			other := meanHalves(t, classes+1, 2, 0.5)[name]
+			foreign, err := other.NewAggregator().MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := restored.Means()
+			if err := restored.UnmarshalBinary(foreign); err == nil {
+				t.Fatal("cross-domain snapshot accepted")
+			}
+			if !reflect.DeepEqual(restored.Means(), before) {
+				t.Fatal("failed restore mutated the aggregator")
+			}
+		})
+	}
+}
+
+// TestMeanSnapshotValidation hand-builds inconsistent states and checks
+// the decoders refuse them.
+func TestMeanSnapshotValidation(t *testing.T) {
+	h := meanHalves(t, 2, 2, 0.5)
+	// Sign aggregators: totals must reconcile with the counts.
+	bad, err := gobEncode(signState{Plus: []int64{3, 0}, Minus: []int64{0, 0}, Total: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hec", "pts"} {
+		if err := h[name].NewAggregator().UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s accepted a snapshot whose signs do not reconcile", name)
+		}
+	}
+	neg, err := gobEncode(signState{Plus: []int64{-1, 1}, Minus: []int64{0, 0}, Total: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h["hec"].NewAggregator().UnmarshalBinary(neg); err == nil {
+		t.Error("hec accepted negative counts")
+	}
+	// CP: signs may not exceed the label's report count.
+	badCP, err := gobEncode(cpState{Plus: []int64{3, 0}, Minus: []int64{1, 0}, Labels: []int64{2, 0}, Total: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h["cp"].NewAggregator().UnmarshalBinary(badCP); err == nil {
+		t.Error("cp accepted more signs than reports")
+	}
+	if err := h["cp"].NewAggregator().UnmarshalBinary([]byte("not gob")); err == nil {
+		t.Error("cp accepted garbage bytes")
+	}
+}
+
+// TestMeanEncoderPanicsOnMisuse pins the encoder contract: out-of-domain
+// inputs at the perturbation site panic instead of corrupting aggregates.
+func TestMeanEncoderPanicsOnMisuse(t *testing.T) {
+	h := meanHalves(t, 2, 1, 0.5)["cp"]
+	r := xrand.New(1)
+	for name, bad := range map[string]func(){
+		"negative user":  func() { h.Encoder.Encode(Value{Class: 0, X: 0}, -1, r) },
+		"class too big":  func() { h.Encoder.Encode(Value{Class: 2, X: 0}, 0, r) },
+		"value range":    func() { h.Encoder.Encode(Value{Class: 0, X: 1.5}, 0, r) },
+		"NaN value":      func() { h.Encoder.Encode(Value{Class: 0, X: math.NaN()}, 0, r) },
+		"negative class": func() { h.Encoder.Encode(Value{Class: -1, X: 0}, 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestEstimateClassSizes checks the satellite: class-size estimates flow
+// from the same pass as the means and track the truth for the calibrated
+// frameworks (PTS, CP) on a skewed population.
+func TestEstimateClassSizes(t *testing.T) {
+	r := xrand.New(19)
+	d := &Dataset{Classes: 3, Name: "skewed"}
+	sizes := []int{50000, 20000, 8000}
+	for c, n := range sizes {
+		for i := 0; i < n; i++ {
+			d.Values = append(d.Values, Value{Class: c, X: 0.3})
+		}
+	}
+	for name, est := range estimators(t, 2, 0.5) {
+		got, err := est.Estimate(d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.ClassSizes) != d.Classes || len(got.Means) != d.Classes {
+			t.Fatalf("%s: malformed estimates %+v", name, got)
+		}
+		sizes2, err := est.EstimateClassSizes(d, r)
+		if err != nil || len(sizes2) != d.Classes {
+			t.Fatalf("%s: EstimateClassSizes: %v %v", name, sizes2, err)
+		}
+		if name == "hec" {
+			continue // the strawman has no class-size signal (uniform prior)
+		}
+		for c, want := range sizes {
+			if rel := math.Abs(got.ClassSizes[c]-float64(want)) / float64(want); rel > 0.15 {
+				t.Errorf("%s class %d size %v, want ≈%d (rel err %.2f)", name, c, got.ClassSizes[c], want, rel)
+			}
+		}
+	}
+}

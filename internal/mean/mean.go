@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/fo"
 	"repro/internal/xrand"
 )
 
@@ -77,14 +76,52 @@ func (d *Dataset) TrueMeans() (means []float64, sizes []int) {
 	return means, sizes
 }
 
+// Estimates is the full output of one ε-LDP mean-collection pass: the
+// calibrated classwise means and the class-size estimates derived from the
+// same reports — within one Estimate call the budget is spent once and
+// both calibrations read the same aggregate.
+type Estimates struct {
+	Means      []float64
+	ClassSizes []float64
+}
+
 // Estimator is a multi-class mean-estimation framework.
 type Estimator interface {
 	// Name identifies the framework in output.
 	Name() string
 	// Epsilon returns the per-user budget.
 	Epsilon() float64
-	// EstimateMeans returns classwise mean estimates.
+	// Estimate runs one collection pass over the dataset — each user's
+	// pair is perturbed by the framework's client half in dataset order,
+	// with the dataset index as the canonical user index — and returns
+	// both the classwise means and the class sizes.
+	Estimate(d *Dataset, r *xrand.Rand) (Estimates, error)
+	// EstimateMeans returns just the classwise mean estimates of one
+	// Estimate pass. Each call is its own independent pass: it consumes
+	// fresh randomness (and, deployed for real, a fresh ε budget) — to
+	// get means AND sizes from the same reports, call Estimate once, not
+	// both single-view methods.
 	EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error)
+	// EstimateClassSizes returns just the classwise population estimates
+	// of one Estimate pass, with the same independent-pass caveat as
+	// EstimateMeans.
+	EstimateClassSizes(d *Dataset, r *xrand.Rand) ([]float64, error)
+}
+
+// estimateVia is the batch path every framework's Estimate runs through:
+// encode each value in dataset order under its canonical user index, fold
+// into one aggregator, calibrate. Feeding the same reports through any
+// sharded-then-merged set of aggregators — or a collection server's /mean
+// tier — reproduces this output bit-identically.
+func estimateVia(h *Halves, d *Dataset, r *xrand.Rand) (Estimates, error) {
+	if err := d.Validate(); err != nil {
+		return Estimates{}, err
+	}
+	agg := h.NewAggregator()
+	for i, v := range d.Values {
+		agg.Add(h.Encoder.Encode(v, i, r))
+	}
+	return Estimates{Means: agg.Means(), ClassSizes: agg.ClassSizes()}, nil
 }
 
 // roundSign stochastically rounds x ∈ [−1,1] to ±1 with E[sign] = x.
@@ -148,11 +185,12 @@ func (s *SR) SumVariance(n int) float64 {
 // HECMean — strawman.
 // ---------------------------------------------------------------------------
 
-// HECMean partitions users into c groups; a user whose label mismatches
-// their group's class submits a uniform random value in [−1,1] for
-// deniability. Group means are calibrated as if all members were valid, so
-// invalid users drag every class mean toward 0 — the numerical analogue of
-// the Section II-D invalid-data problem.
+// HECMean partitions users into c groups by their canonical index (user
+// mod c); a user whose label mismatches their group's class submits a
+// uniform random value in [−1,1] for deniability. Group means are
+// calibrated as if all members were valid, so invalid users drag every
+// class mean toward 0 — the numerical analogue of the Section II-D
+// invalid-data problem.
 type HECMean struct {
 	eps float64
 }
@@ -166,33 +204,25 @@ func (h *HECMean) Name() string { return "HEC-Mean" }
 // Epsilon implements Estimator.
 func (h *HECMean) Epsilon() float64 { return h.eps }
 
+// Estimate implements Estimator as a thin loop over the HEC halves.
+func (h *HECMean) Estimate(d *Dataset, r *xrand.Rand) (Estimates, error) {
+	halves, err := NewHECMeanHalves(d.Classes, h.eps)
+	if err != nil {
+		return Estimates{}, err
+	}
+	return estimateVia(halves, d, r)
+}
+
 // EstimateMeans implements Estimator.
 func (h *HECMean) EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	sr, err := NewSR(h.eps)
-	if err != nil {
-		return nil, err
-	}
-	sums := make([]float64, d.Classes)
-	counts := make([]float64, d.Classes)
-	for _, v := range d.Values {
-		g := r.Intn(d.Classes)
-		x := v.X
-		if v.Class != g {
-			x = 2*r.Float64() - 1 // uniform substitute
-		}
-		sums[g] += float64(sr.Perturb(x, r))
-		counts[g]++
-	}
-	out := make([]float64, d.Classes)
-	for c := range out {
-		if counts[c] > 0 {
-			out[c] = sr.Calibrate(sums[c]) / counts[c]
-		}
-	}
-	return out, nil
+	est, err := h.Estimate(d, r)
+	return est.Means, err
+}
+
+// EstimateClassSizes implements Estimator.
+func (h *HECMean) EstimateClassSizes(d *Dataset, r *xrand.Rand) ([]float64, error) {
+	est, err := h.Estimate(d, r)
+	return est.ClassSizes, err
 }
 
 // ---------------------------------------------------------------------------
@@ -225,44 +255,26 @@ func (f *PTSMean) Name() string { return "PTS-Mean" }
 // Epsilon implements Estimator.
 func (f *PTSMean) Epsilon() float64 { return f.eps }
 
+// Estimate implements Estimator as a thin loop over the PTS halves; the
+// Eq.-style migration calibration lives in the aggregator.
+func (f *PTSMean) Estimate(d *Dataset, r *xrand.Rand) (Estimates, error) {
+	halves, err := NewPTSMeanHalves(d.Classes, f.eps, f.split)
+	if err != nil {
+		return Estimates{}, err
+	}
+	return estimateVia(halves, d, r)
+}
+
 // EstimateMeans implements Estimator.
 func (f *PTSMean) EstimateMeans(d *Dataset, r *xrand.Rand) ([]float64, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	label, err := fo.NewGRR(d.Classes, f.eps*f.split)
-	if err != nil {
-		return nil, err
-	}
-	sr, err := NewSR(f.eps * (1 - f.split))
-	if err != nil {
-		return nil, err
-	}
-	signSums := make([]float64, d.Classes)
-	labelCounts := make([]float64, d.Classes)
-	for _, v := range d.Values {
-		lab := label.PerturbValue(v.Class, r)
-		labelCounts[lab]++
-		signSums[lab] += float64(sr.Perturb(v.X, r))
-	}
-	n := float64(d.N())
-	p1, q1 := label.P(), label.Q()
-	// Calibrated routed sums and the global sum.
-	total := 0.0
-	routed := make([]float64, d.Classes)
-	for c := range routed {
-		routed[c] = sr.Calibrate(signSums[c])
-		total += routed[c]
-	}
-	out := make([]float64, d.Classes)
-	for c := range out {
-		tC := (routed[c] - q1*total) / (p1 - q1)
-		nC := (labelCounts[c] - n*q1) / (p1 - q1)
-		if nC > 1 {
-			out[c] = clamp(tC / nC)
-		}
-	}
-	return out, nil
+	est, err := f.Estimate(d, r)
+	return est.Means, err
+}
+
+// EstimateClassSizes implements Estimator.
+func (f *PTSMean) EstimateClassSizes(d *Dataset, r *xrand.Rand) ([]float64, error) {
+	est, err := f.Estimate(d, r)
+	return est.ClassSizes, err
 }
 
 // clamp restricts a mean estimate to the value domain [−1, 1].

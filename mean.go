@@ -1,9 +1,21 @@
 package mcim
 
-import "repro/internal/mean"
+import (
+	"repro/internal/core"
+	"repro/internal/mean"
+)
 
 // Numerical-item extension (the paper's stated future work): classwise mean
 // estimation for values in [−1, 1] under ε-LDP on the (label, value) pair.
+//
+// Like the frequency frameworks, every mean estimator decomposes into a
+// client half (MeanEncoder — perturb one user's pair into a MeanReport)
+// and a server half (MeanAggregator — fold reports, merge shards, read
+// calibrated means and class sizes), vended as a matched pair by a
+// NumericProtocol together with the wire codec and the fingerprinted state
+// envelope. The collection server (internal/collect) serves the tier under
+// /mean with batched ingestion, write-ahead durability and edge→root
+// federation at full parity with the frequency tier.
 type (
 	// NumericValue is one user's (label, value) pair.
 	NumericValue = mean.Value
@@ -11,6 +23,22 @@ type (
 	NumericDataset = mean.Dataset
 	// MeanEstimator is a multi-class mean-estimation framework.
 	MeanEstimator = mean.Estimator
+	// MeanEstimates is one collection pass's full output: calibrated
+	// classwise means plus the class-size estimates from the same reports.
+	MeanEstimates = mean.Estimates
+	// MeanEncoder is the client half: Encode perturbs one user's pair
+	// (with their canonical index) into a MeanReport.
+	MeanEncoder = mean.Encoder
+	// MeanAggregator is the server half: Add folds reports in, Merge
+	// combines shards exactly, Means/ClassSizes read the calibration.
+	MeanAggregator = mean.Aggregator
+	// MeanReport is one perturbed (label, symbol) report.
+	MeanReport = mean.Report
+	// NumericProtocol vends a mean framework's matched halves plus the
+	// wire codec between them.
+	NumericProtocol = core.NumericProtocol
+	// WireMeanReport is the JSON wire form of a MeanReport.
+	WireMeanReport = core.WireMeanReport
 	// CPMean is the correlated perturbation mechanism for numerical items
 	// (sign rounding with a deniable invalidity symbol).
 	CPMean = mean.CPMean
@@ -35,3 +63,15 @@ func NewCPMeanEstimator(eps, split float64) (MeanEstimator, error) {
 func NewCPMean(classes int, eps, split float64) (*CPMean, error) {
 	return mean.NewCPMean(classes, eps, split)
 }
+
+// NewNumericProtocol vends the matched client/server halves of a canonical
+// mean framework — "hecmean", "ptsmean" or "cpmean" (estimator-style
+// display names like "CP-Mean" canonicalize) — over classes classes at
+// budget eps; split = ε₁/ε where the framework splits the budget.
+func NewNumericProtocol(name string, classes int, eps, split float64) (*NumericProtocol, error) {
+	return core.NewNumericProtocol(name, classes, eps, split)
+}
+
+// NumericProtocolNames lists the canonical framework names
+// NewNumericProtocol accepts.
+func NumericProtocolNames() []string { return core.NumericProtocolNames() }

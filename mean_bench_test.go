@@ -1,0 +1,78 @@
+// Ingestion benchmark for the numeric mean tier, mirroring
+// BenchmarkCollectIngest: wire bodies are pre-perturbed and pre-marshalled
+// outside the timer, so the numbers isolate server-side ingestion over
+// real loopback HTTP. Mean reports are tiny (label + symbol), so this path
+// bounds the per-report fixed cost of the batch machinery.
+//
+// `make bench-json` snapshots these numbers into BENCH_ingest.json.
+package mcim_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/mean"
+	"repro/internal/xrand"
+)
+
+// benchMeanProtocol builds the cpmean protocol at the benchmark shape.
+func benchMeanProtocol(b *testing.B) *core.NumericProtocol {
+	b.Helper()
+	p, err := core.NewNumericProtocol("cpmean", benchClasses, benchEps, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchMeanBodies pre-marshals nBodies batch bodies of batchSize mean
+// reports each.
+func benchMeanBodies(b *testing.B, nBodies, batchSize int) [][]byte {
+	b.Helper()
+	proto := benchMeanProtocol(b)
+	enc := proto.Encoder()
+	r := xrand.New(42)
+	bodies := make([][]byte, nBodies)
+	user := 0
+	for i := range bodies {
+		wires := make([]collect.WireMeanReport, batchSize)
+		for j := range wires {
+			v := mean.Value{Class: r.Intn(benchClasses), X: 2*r.Float64() - 1}
+			wires[j] = proto.EncodeMeanReport(enc.Encode(v, user, r))
+			user++
+		}
+		blob, err := json.Marshal(wires)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = blob
+	}
+	return bodies
+}
+
+// BenchmarkMeanIngest measures sustained server-side ingestion of the mean
+// tier over POST /mean/reports (512-report batches, GOMAXPROCS-sharded
+// aggregators). The comparable number is the reports/s metric.
+func BenchmarkMeanIngest(b *testing.B) {
+	srv, err := collect.NewServer(nil, collect.WithMean(benchMeanProtocol(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	bodies := benchMeanBodies(b, 16, benchBatchSize)
+	hc := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, hc, ts.URL+"/mean/reports", bodies[i%len(bodies)])
+	}
+	b.StopTimer()
+	if got := srv.MeanReports(); got != b.N*benchBatchSize {
+		b.Fatalf("server ingested %d of %d mean reports", got, b.N*benchBatchSize)
+	}
+	b.ReportMetric(float64(b.N*benchBatchSize)/b.Elapsed().Seconds(), "reports/s")
+}
