@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt fmt-fix lint staticcheck fuzz ci
+.PHONY: all build test race bench bench-json bench-check fmt fmt-fix lint staticcheck fuzz ci
 
 all: build test
 
@@ -27,6 +27,19 @@ bench:
 bench-json:
 	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
 
+# The bench-regression gate: rerun the snapshot benchmarks and diff them
+# against the committed BENCH_ingest.json, failing when anything regressed
+# beyond BENCH_THRESHOLD (a fraction; 0.15 = 15%). CI overrides the
+# threshold upward because its runners differ from the hardware the
+# committed numbers were taken on.
+BENCH_THRESHOLD ?= 0.15
+
+bench-check:
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest' -benchmem -benchtime=1s . | \
+		$(GO) run ./cmd/benchsnap -compare BENCH_ingest.json -threshold $(BENCH_THRESHOLD) -out bench-compare.txt || \
+		{ cat bench-compare.txt; exit 1; }
+	@cat bench-compare.txt
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
@@ -44,15 +57,26 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Short-budget runs of the wire-facing fuzz targets (-fuzz takes one
-# target per invocation): the two frequency-report decoders, the numeric
-# mean-report decoder, the aggregator-state envelope decoder behind
-# /merge, checkpoints and WAL snapshots, and the interactive-mining
-# round-config/round-report codec.
+# target per invocation): the two frequency-report decoders, the binary
+# batch frame decoder (both tiers), the numeric mean-report decoder, the
+# aggregator-state envelope decoder behind /merge, checkpoints and WAL
+# snapshots, and the interactive-mining round-config/round-report codec.
+#
+# `make fuzz` runs every target in sequence; `make fuzz
+# FUZZ_TARGET=FuzzDecodeBatch` runs exactly one, which is how CI fans the
+# targets out over a job matrix. Targets live in ./internal/collect unless
+# FUZZ_PKG_<target> says otherwise.
+FUZZ_TIME ?= 10s
+FUZZ_TARGETS := FuzzDecode FuzzDecodeBatch FuzzDecodeBinaryBatch FuzzDecodeMeanReport FuzzUnmarshalEnvelope FuzzRoundWire
+FUZZ_PKG_FuzzRoundWire := ./internal/topk
+
 fuzz:
-	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/collect
-	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=10s ./internal/collect
-	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMeanReport$$' -fuzztime=10s ./internal/collect
-	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=10s ./internal/collect
-	$(GO) test -run='^$$' -fuzz='^FuzzRoundWire$$' -fuzztime=10s ./internal/topk
+ifdef FUZZ_TARGET
+	$(GO) test -run='^$$' -fuzz='^$(FUZZ_TARGET)$$' -fuzztime=$(FUZZ_TIME) $(or $(FUZZ_PKG_$(FUZZ_TARGET)),./internal/collect)
+else
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		$(MAKE) --no-print-directory fuzz FUZZ_TARGET=$$t; \
+	done
+endif
 
 ci: fmt lint staticcheck build race fuzz bench

@@ -7,6 +7,18 @@
 //
 // Every metric column is kept, including custom b.ReportMetric units like
 // reports/s, keyed by unit with '/' flattened to '_per_'.
+//
+// With -compare it becomes the repo's bench-regression gate instead: the
+// fresh run on stdin is diffed against a committed snapshot, and the exit
+// status is nonzero when any shared benchmark regressed beyond -threshold
+// (fraction, default 0.15). Throughput (reports/s, higher is better) is the
+// preferred comparison metric, falling back to ns/op (lower is better); a
+// benchmark present in the old snapshot but missing from the fresh run is a
+// warning, not a failure, so renames do not wedge CI. In compare mode -out
+// names the human-readable report file (default stdout):
+//
+//	go test -run='^$' -bench='CollectIngest|MeanIngest' -benchmem . | \
+//	  benchsnap -compare BENCH_ingest.json -threshold 0.15 -out bench-compare.txt
 package main
 
 import (
@@ -40,7 +52,9 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default stdout)")
+	out := flag.String("out", "", "output path (default stdout); the comparison report in -compare mode")
+	comparePath := flag.String("compare", "", "committed snapshot to diff the fresh run against (enables gate mode)")
+	threshold := flag.Float64("threshold", 0.15, "allowed regression fraction in -compare mode (0.15 = 15%)")
 	flag.Parse()
 
 	snap, err := parse(bufio.NewScanner(os.Stdin))
@@ -49,6 +63,34 @@ func main() {
 	}
 	if len(snap.Benchmarks) == 0 {
 		log.Fatal("benchsnap: no benchmark lines on stdin")
+	}
+	if *comparePath != "" {
+		if *threshold <= 0 {
+			log.Fatal("benchsnap: -threshold must be positive")
+		}
+		blob, err := os.ReadFile(*comparePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var old Snapshot
+		if err := json.Unmarshal(blob, &old); err != nil {
+			log.Fatalf("benchsnap: parse %s: %v", *comparePath, err)
+		}
+		report, regressed := compare(&old, snap, *threshold)
+		if *out == "" {
+			os.Stdout.WriteString(report)
+		} else {
+			if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "benchsnap: wrote comparison report to %s\n", *out)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchsnap: FAIL — at least one benchmark regressed more than %.0f%% vs %s\n",
+				*threshold*100, *comparePath)
+			os.Exit(1)
+		}
+		return
 	}
 	blob, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -63,6 +105,79 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// compare diffs a fresh run against a committed snapshot and renders the
+// verdict table. A benchmark regresses when its preferred metric —
+// reports/s when both runs report it (higher is better), ns/op otherwise
+// (lower is better) — moved past the threshold fraction in the bad
+// direction. Benchmarks only in one snapshot are listed as warnings;
+// improvements and in-tolerance drift are OK lines.
+func compare(old, fresh *Snapshot, threshold float64) (report string, regressed bool) {
+	freshByName := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshByName[b.Name] = b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bench comparison (threshold %.0f%%)\n", threshold*100)
+	if old.CPU != "" || fresh.CPU != "" {
+		fmt.Fprintf(&sb, "  old cpu: %s\n  new cpu: %s\n", old.CPU, fresh.CPU)
+	}
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, ob := range old.Benchmarks {
+		seen[ob.Name] = true
+		nb, ok := freshByName[ob.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "WARN %s: missing from fresh run\n", ob.Name)
+			continue
+		}
+		metric, higherBetter := pickMetric(ob, nb)
+		if metric == "" {
+			fmt.Fprintf(&sb, "WARN %s: no shared comparable metric\n", ob.Name)
+			continue
+		}
+		ov, nv := ob.Metrics[metric], nb.Metrics[metric]
+		if ov == 0 {
+			fmt.Fprintf(&sb, "WARN %s: old %s is zero\n", ob.Name, metric)
+			continue
+		}
+		delta := nv/ov - 1 // signed fractional change
+		bad := false
+		if higherBetter {
+			bad = nv < ov*(1-threshold)
+		} else {
+			bad = nv > ov*(1+threshold)
+		}
+		verdict := "OK  "
+		if bad {
+			verdict, regressed = "FAIL", true
+		}
+		fmt.Fprintf(&sb, "%s %s: %s %.4g -> %.4g (%+.1f%%)\n", verdict, ob.Name, metric, ov, nv, delta*100)
+	}
+	for _, nb := range fresh.Benchmarks {
+		if !seen[nb.Name] {
+			fmt.Fprintf(&sb, "NEW  %s: not in the committed snapshot\n", nb.Name)
+		}
+	}
+	return sb.String(), regressed
+}
+
+// pickMetric chooses the comparison metric both runs report: throughput
+// when available, time per op otherwise.
+func pickMetric(a, b Benchmark) (metric string, higherBetter bool) {
+	for _, m := range []struct {
+		key    string
+		higher bool
+	}{{"reports_per_s", true}, {"ns_per_op", false}} {
+		if _, ok := a.Metrics[m.key]; !ok {
+			continue
+		}
+		if _, ok := b.Metrics[m.key]; !ok {
+			continue
+		}
+		return m.key, m.higher
+	}
+	return "", false
 }
 
 func parse(sc *bufio.Scanner) (*Snapshot, error) {

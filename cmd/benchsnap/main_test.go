@@ -70,3 +70,78 @@ func TestParseLineSubBenchmarkDash(t *testing.T) {
 		t.Fatalf("parsed %+v", b)
 	}
 }
+
+// TestCompare pins the gate semantics: an artificially degraded benchmark
+// must fail the comparison, in-tolerance drift and improvements must not,
+// and missing/new benchmarks are warnings rather than failures.
+func TestCompare(t *testing.T) {
+	bench := func(name string, metrics map[string]float64) Benchmark {
+		return Benchmark{Name: name, Procs: 1, Iterations: 1, Metrics: metrics}
+	}
+	old := &Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkIngest/batched", map[string]float64{"reports_per_s": 1_000_000, "ns_per_op": 500}),
+		bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 100}),
+		bench("BenchmarkRenamedAway", map[string]float64{"ns_per_op": 10}),
+	}}
+
+	t.Run("degraded throughput fails", func(t *testing.T) {
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			// 40% throughput loss: well past the 15% gate.
+			bench("BenchmarkIngest/batched", map[string]float64{"reports_per_s": 600_000, "ns_per_op": 833}),
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 100}),
+		}}
+		report, regressed := compare(old, fresh, 0.15)
+		if !regressed {
+			t.Fatalf("40%% throughput regression passed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "FAIL BenchmarkIngest/batched") {
+			t.Fatalf("report does not name the regressed benchmark:\n%s", report)
+		}
+	})
+
+	t.Run("in-tolerance drift passes", func(t *testing.T) {
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkIngest/batched", map[string]float64{"reports_per_s": 900_000, "ns_per_op": 555}),
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 110}),
+			bench("BenchmarkBrandNew", map[string]float64{"ns_per_op": 1}),
+		}}
+		report, regressed := compare(old, fresh, 0.15)
+		if regressed {
+			t.Fatalf("10%% drift failed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "WARN BenchmarkRenamedAway: missing") {
+			t.Fatalf("missing benchmark not warned about:\n%s", report)
+		}
+		if !strings.Contains(report, "NEW  BenchmarkBrandNew") {
+			t.Fatalf("new benchmark not listed:\n%s", report)
+		}
+	})
+
+	t.Run("ns/op fallback catches slowdown", func(t *testing.T) {
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkIngest/batched", map[string]float64{"reports_per_s": 1_000_000, "ns_per_op": 500}),
+			// No reports/s on this one: the 2x ns/op slowdown must still fail.
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 200}),
+		}}
+		report, regressed := compare(old, fresh, 0.15)
+		if !regressed {
+			t.Fatalf("2x ns/op slowdown passed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "FAIL BenchmarkPerturb") {
+			t.Fatalf("report does not name the slowed benchmark:\n%s", report)
+		}
+	})
+
+	t.Run("throughput preferred over ns/op", func(t *testing.T) {
+		// reports/s held steady; ns/op column noisy. The gate must judge by
+		// throughput and pass.
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkIngest/batched", map[string]float64{"reports_per_s": 1_000_000, "ns_per_op": 900}),
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 100}),
+			bench("BenchmarkRenamedAway", map[string]float64{"ns_per_op": 10}),
+		}}
+		if report, regressed := compare(old, fresh, 0.15); regressed {
+			t.Fatalf("steady throughput failed the gate via the ns/op column:\n%s", report)
+		}
+	})
+}

@@ -282,7 +282,7 @@ const (
 // any other transport error is ambiguous because the request may have
 // landed before the response was lost.
 func postMerge(upstream string, env []byte) (pushVerdict, error) {
-	resp, err := http.Post(upstream+"/merge", "application/octet-stream", bytes.NewReader(env))
+	resp, err := http.Post(upstream+"/merge", collect.StateContentType, bytes.NewReader(env))
 	if err != nil {
 		var op *net.OpError
 		if errors.As(err, &op) && op.Op == "dial" {

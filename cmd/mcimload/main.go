@@ -22,6 +22,7 @@
 // Self-contained runs (spin up an in-process server on a loopback port):
 //
 //	mcimload -selfserve -framework ptscp -users 200000 -clients 8 -batch 256 -shards 8
+//	mcimload -selfserve -wire binary -users 200000 -clients 8 -batch 512
 //	mcimload -selfserve -mode topk -miner pts -k 8 -users 200000 -clients 8
 //	mcimload -selfserve -mode mean -mean-framework cpmean -users 200000 -clients 8
 //
@@ -67,6 +68,7 @@ type summary struct {
 	Users      int     `json:"users"`
 	Clients    int     `json:"clients"`
 	Batch      int     `json:"batch"`
+	Wire       string  `json:"wire"`
 	Requests   int     `json:"requests"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	ReportsSec float64 `json:"reports_per_sec"`
@@ -106,6 +108,7 @@ func main() {
 		clients   = flag.Int("clients", 8, "concurrent client workers")
 		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint, freq mode only)")
 		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays (freq mode)")
+		wire      = flag.String("wire", "json", "batch wire format: json | binary (freq and mean modes)")
 		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object on stdout")
 	)
@@ -120,6 +123,13 @@ func main() {
 	}
 	if *mode != "freq" && *mode != "topk" && *mode != "mean" {
 		log.Fatalf("mcimload: unknown mode %q (want freq, topk or mean)", *mode)
+	}
+	if *wire != "json" && *wire != "binary" {
+		log.Fatalf("mcimload: unknown wire format %q (want json or binary)", *wire)
+	}
+	binary := *wire == "binary"
+	if binary && *ndjson {
+		log.Fatalf("mcimload: -wire binary and -ndjson are mutually exclusive")
 	}
 	if (*mode == "topk" || *mode == "mean") && *batch < 1 {
 		// These paths have no single-report submission; normalize here so
@@ -166,7 +176,7 @@ func main() {
 		}
 	}
 
-	sum := summary{Mode: *mode, Clients: *clients, Batch: *batch}
+	sum := summary{Mode: *mode, Clients: *clients, Batch: *batch, Wire: *wire}
 	if *mode == "mean" {
 		// The population must match the server's mean domain, generated from
 		// the fetched /mean/config (which also validates the server is up).
@@ -179,7 +189,7 @@ func main() {
 		sum.Framework = mcfg.Protocol
 		sum.Dataset = data.Name
 		sum.Users = data.N()
-		runMean(base, probe, data, &sum, *clients, *batch, *ndjson, *seed, *jsonOut)
+		runMean(base, probe, data, &sum, *clients, *batch, *ndjson, binary, *seed, *jsonOut)
 	} else {
 		// The population must match the server's domain, so it is generated
 		// from the fetched config (which also validates the server is up).
@@ -198,8 +208,11 @@ func main() {
 		sum.Users = data.N()
 		switch *mode {
 		case "freq":
+			if binary && *batch < 1 {
+				log.Fatalf("mcimload: -wire binary needs batched submission (-batch >= 1)")
+			}
 			sum.Framework = cfg.Protocol
-			runFreq(base, probe, data, &sum, *batch, *ndjson, *clients, *seed, *jsonOut)
+			runFreq(base, probe, data, &sum, *batch, *ndjson, binary, *clients, *seed, *jsonOut)
 		case "topk":
 			sum.Framework = *miner
 			sum.K = *k
@@ -266,7 +279,7 @@ func out(jsonOut bool, format string, args ...any) {
 
 // runFreq drives the frequency-estimation ingestion workload.
 func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summary,
-	batch int, ndjson bool, clients int, seed uint64, jsonOut bool) {
+	batch int, ndjson, binary bool, clients int, seed uint64, jsonOut bool) {
 	// Baseline the server's report count: against a long-running server it
 	// may already hold reports from earlier rounds.
 	est0, err := probe.Estimates()
@@ -296,7 +309,7 @@ func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summar
 		wg.Add(1)
 		go func(w int, pairs []core.Pair) {
 			defer wg.Done()
-			lats, n, err := drive(base, pairs, batch, ndjson, seed+uint64(w)*7919)
+			lats, n, err := drive(base, pairs, batch, ndjson, binary, seed+uint64(w)*7919)
 			mu.Lock()
 			defer mu.Unlock()
 			latencies = append(latencies, lats...)
@@ -312,8 +325,8 @@ func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summar
 		log.Fatal(firstErr)
 	}
 	fillTiming(sum, latencies, requests, elapsed, data.N())
-	out(jsonOut, "drove %d clients, %d requests (batch=%d, ndjson=%v) in %v",
-		clients, requests, batch, ndjson, elapsed.Round(time.Millisecond))
+	out(jsonOut, "drove %d clients, %d requests (batch=%d, wire=%s, ndjson=%v) in %v",
+		clients, requests, batch, sum.Wire, ndjson, elapsed.Round(time.Millisecond))
 	out(jsonOut, "throughput: %.0f reports/sec", sum.ReportsSec)
 	p50, p99, maxLat := percentiles(latencies)
 	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
@@ -524,7 +537,7 @@ func buildMeanDataset(classes, users int, seed uint64) *mean.Dataset {
 // (the canonical user index rides along, so HEC-Mean's partition is
 // consistent across workers) and shipping batch requests.
 func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *summary,
-	clients, batch int, ndjson bool, seed uint64, jsonOut bool) {
+	clients, batch int, ndjson, binary bool, seed uint64, jsonOut bool) {
 	est0, err := probe.Estimates()
 	if err != nil {
 		log.Fatal(err)
@@ -552,7 +565,7 @@ func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *su
 		go func(w, firstUser int, values []mean.Value) {
 			defer wg.Done()
 			client, err := collect.NewMeanClient(base, nil, seed+uint64(w)*7919,
-				collect.WithMeanBatchSize(batch), collect.WithMeanNDJSON(ndjson))
+				collect.WithMeanBatchSize(batch), collect.WithMeanNDJSON(ndjson), collect.WithMeanBinary(binary))
 			var lats []time.Duration
 			n := 0
 			if err == nil {
@@ -594,8 +607,8 @@ func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *su
 		log.Fatal(firstErr)
 	}
 	fillTiming(sum, latencies, requests, elapsed, data.N())
-	out(jsonOut, "drove %d clients, %d requests (batch=%d, ndjson=%v) in %v",
-		clients, requests, batch, ndjson, elapsed.Round(time.Millisecond))
+	out(jsonOut, "drove %d clients, %d requests (batch=%d, wire=%s, ndjson=%v) in %v",
+		clients, requests, batch, sum.Wire, ndjson, elapsed.Round(time.Millisecond))
 	out(jsonOut, "throughput: %.0f reports/sec", sum.ReportsSec)
 	p50, p99, maxLat := percentiles(latencies)
 	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
@@ -640,8 +653,8 @@ func fillTiming(sum *summary, lats []time.Duration, requests int, elapsed time.D
 
 // drive submits pairs from one worker, returning per-request latencies and
 // the request count.
-func drive(base string, pairs []core.Pair, batch int, ndjson bool, seed uint64) ([]time.Duration, int, error) {
-	client, err := collect.NewClient(base, nil, seed, collect.WithNDJSON(ndjson))
+func drive(base string, pairs []core.Pair, batch int, ndjson, binary bool, seed uint64) ([]time.Duration, int, error) {
+	client, err := collect.NewClient(base, nil, seed, collect.WithNDJSON(ndjson), collect.WithBinary(binary))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -73,6 +73,30 @@ func benchWireBodies(b *testing.B, nBodies, batchSize int) [][]byte {
 	return bodies
 }
 
+// benchWireBinaryBodies pre-encodes nBodies binary batch frames of
+// batchSize reports each — the same report stream benchWireBodies
+// marshals as JSON, in the compact wire framing.
+func benchWireBinaryBodies(b *testing.B, nBodies, batchSize int) [][]byte {
+	b.Helper()
+	proto := benchProtocol(b)
+	enc := proto.Encoder()
+	r := xrand.New(42)
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		wires := make([]collect.WireReport, batchSize)
+		for j := range wires {
+			rep := enc.Encode(core.Pair{Class: r.Intn(benchClasses), Item: r.Intn(benchItems)}, r)
+			wires[j] = proto.EncodeReport(rep)
+		}
+		frame, err := proto.AppendBinaryBatch(nil, wires)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = frame
+	}
+	return bodies
+}
+
 // benchServer starts a collection server with the given shard count on a
 // loopback listener.
 func benchServer(b *testing.B, shards int) (*collect.Server, *httptest.Server) {
@@ -88,7 +112,12 @@ func benchServer(b *testing.B, shards int) (*collect.Server, *httptest.Server) {
 
 func benchPost(b *testing.B, hc *http.Client, url string, body []byte) {
 	b.Helper()
-	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	benchPostType(b, hc, url, "application/json", body)
+}
+
+func benchPostType(b *testing.B, hc *http.Client, url, contentType string, body []byte) {
+	b.Helper()
+	resp, err := hc.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -107,6 +136,9 @@ func benchPost(b *testing.B, hc *http.Client, url string, body []byte) {
 //	                 accumulator behind one mutex.
 //	batched-sharded: the pipeline path — 512 reports per POST /reports,
 //	                 GOMAXPROCS-sharded accumulators.
+//	batched-sharded-binary: the same pipeline fed binary wire frames —
+//	                 pooled body buffers, CRC-checked frames, word-packed
+//	                 bit vectors applied without materializing reports.
 func BenchmarkCollectIngest(b *testing.B) {
 	b.Run("single-mutex", func(b *testing.B) {
 		srv, ts := benchServer(b, 1)
@@ -128,6 +160,18 @@ func BenchmarkCollectIngest(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			benchPost(b, hc, ts.URL+"/reports", bodies[i%len(bodies)])
+		}
+		b.StopTimer()
+		reportThroughput(b, srv, b.N*benchBatchSize)
+	})
+	b.Run("batched-sharded-binary", func(b *testing.B) {
+		srv, ts := benchServer(b, 0)
+		bodies := benchWireBinaryBodies(b, 16, benchBatchSize)
+		hc := ts.Client()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPostType(b, hc, ts.URL+"/reports", collect.BinaryContentType, bodies[i%len(bodies)])
 		}
 		b.StopTimer()
 		reportThroughput(b, srv, b.N*benchBatchSize)

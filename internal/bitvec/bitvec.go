@@ -146,3 +146,38 @@ func (v *Vector) AddInto(counts []int64) {
 	}
 	v.ForEachSet(func(i int) { counts[i]++ })
 }
+
+// Words returns the vector's backing words, bit i of the vector being bit
+// i&63 of word i>>6. The slice is the live backing store, not a copy;
+// callers must not grow it.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// FromWords builds an n-bit vector from packed words (the Words layout),
+// copying them. It panics when the word count does not match n or when a
+// bit beyond n is set — packed words come off the wire, and a stray bit
+// silently dropped here would make two differently-corrupt frames equal.
+func FromWords(n int, words []uint64) *Vector {
+	v := New(n)
+	if len(words) != len(v.words) {
+		panic(fmt.Sprintf("bitvec: FromWords got %d words for %d bits", len(words), n))
+	}
+	if rem := uint(n) % 64; rem != 0 && len(words) > 0 && words[len(words)-1]>>rem != 0 {
+		panic(fmt.Sprintf("bitvec: FromWords stray bits beyond length %d", n))
+	}
+	copy(v.words, words)
+	return v
+}
+
+// AddWordsInto adds each bit of a packed word slice (as 0/1) into counts —
+// AddInto without materializing a Vector, for decode loops that already
+// hold the words. Every set bit must index into counts; the caller
+// guarantees no stray bits beyond len(counts) (it panics otherwise, via the
+// slice bounds check).
+func AddWordsInto(words []uint64, counts []int64) {
+	for wi, w := range words {
+		for w != 0 {
+			counts[wi<<6+bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
+}

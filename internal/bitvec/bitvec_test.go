@@ -206,3 +206,57 @@ func TestQuickAgainstMapModel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWordsAndFromWords(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		v.Set(i)
+	}
+	words := v.Words()
+	if len(words) != 3 {
+		t.Fatalf("130-bit vector has %d backing words, want 3", len(words))
+	}
+	round := FromWords(130, words)
+	if !round.Equal(v) {
+		t.Fatal("FromWords(Words()) round trip diverged")
+	}
+	// FromWords copies: mutating the source words must not reach the copy.
+	words[0] = ^uint64(0)
+	if round.Get(1) {
+		t.Fatal("FromWords aliased the source slice")
+	}
+}
+
+func TestFromWordsRejectsMalformed(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"word count": func() { FromWords(130, make([]uint64, 2)) },
+		"stray bits": func() { FromWords(65, []uint64{0, 0xF0}) }, // bits 68..71 beyond n=65
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic on %s mismatch", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestAddWordsInto checks the word-walk accumulate against the bit-by-bit
+// AddInto, over a straddling word boundary.
+func TestAddWordsInto(t *testing.T) {
+	v := New(70)
+	for _, i := range []int{0, 5, 63, 64, 69} {
+		v.Set(i)
+	}
+	direct := make([]int64, 70)
+	v.AddInto(direct)
+	viaWords := make([]int64, 70)
+	AddWordsInto(v.Words(), viaWords)
+	for i := range direct {
+		if direct[i] != viaWords[i] {
+			t.Fatalf("counts diverge at bit %d: AddInto %d, AddWordsInto %d", i, direct[i], viaWords[i])
+		}
+	}
+}

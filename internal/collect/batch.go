@@ -39,15 +39,22 @@ type WireBatchAck struct {
 	ErrorsTruncated bool `json:"errors_truncated,omitempty"`
 }
 
-// handleReportBatch ingests a batch of reports submitted either as a JSON
-// array of WireReports or as an NDJSON stream (one WireReport object per
-// line). The whole body is subject to the server's size cap (413 beyond
-// it); a syntactically unreadable envelope is a 400; individually invalid
-// items (bad label, out-of-range bit index, malformed NDJSON record) are
-// rejected per item while the rest of the batch is accepted.
+// handleReportBatch ingests a batch of reports submitted as a JSON array
+// of WireReports, an NDJSON stream (one WireReport object per line), or —
+// selected by the BinaryContentType media type — one binary wire frame.
+// The whole body is subject to the server's size cap (413 beyond it); a
+// syntactically unreadable envelope is a 400; individually invalid items
+// (bad label, out-of-range bit index, malformed NDJSON record) are
+// rejected per item while the rest of the batch is accepted. Binary frames
+// are all-or-nothing instead (see binary.go).
 func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.readBody(w, r)
+	body, release, ok := s.readBodyPooled(w, r)
 	if !ok {
+		return
+	}
+	defer release()
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.handleBinaryReportBatch(w, body)
 		return
 	}
 	wires, itemErrs, droppedTail, err := decodeBatch(body)

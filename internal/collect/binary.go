@@ -1,0 +1,186 @@
+package collect
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// This file is the binary wire path of both report tiers — the
+// high-throughput alternative to the JSON-array/NDJSON batch encodings.
+// The server advertises `"wire": ["json","binary"]` in /config and
+// /mean/config; clients opt in per request by posting a core binary frame
+// (see internal/core/binwire.go) with the BinaryContentType media type to
+// the same /reports and /mean/reports endpoints. JSON remains the
+// compatibility path and the single-report endpoints stay JSON-only.
+//
+// Semantics differ from the JSON path in one deliberate way: a binary
+// frame is all-or-nothing. JSON batches tolerate per-item rejections
+// because each item is an independent user report that may predate a
+// config change; a binary frame comes from a protocol-checked encoder and
+// is CRC-sealed, so any invalid record means corruption or
+// misconfiguration — the whole frame is a 400 (naming the offending record
+// index) and nothing is applied. That is also what lets the hot path skip
+// per-item bookkeeping entirely: the frame is validated once, logged
+// write-ahead as raw bytes, and folded into a shard word-at-a-time with
+// zero per-report allocations.
+
+// BinaryContentType is the media type that selects the binary batch frame
+// on the report endpoints. Servers advertise it in the config `wire` list;
+// requests with any other content type take the JSON/NDJSON path.
+const BinaryContentType = "application/x-mcim-batch"
+
+// wireFormats is what a server advertises in the config `wire` field.
+func wireFormats() []string { return []string{"json", "binary"} }
+
+// wireSupports reports whether an advertised wire list includes format.
+// Servers predating the field advertise nothing beyond JSON.
+func wireSupports(formats []string, format string) bool {
+	for _, f := range formats {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// isBinaryContentType matches a Content-Type header against
+// BinaryContentType, ignoring parameters and case per RFC 9110.
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), BinaryContentType)
+}
+
+// ---------------------------------------------------------------------------
+// Frequency tier.
+// ---------------------------------------------------------------------------
+
+// handleBinaryReportBatch ingests one binary frequency frame: validated end
+// to end first (CRC, header, every record against the protocol's wire
+// shape), then logged and applied — so a 400 frame provably left no trace,
+// and the WAL only ever holds frames that replay cleanly.
+func (s *Server) handleBinaryReportBatch(w http.ResponseWriter, body []byte) {
+	count, err := s.proto.ValidateBinaryBatch(body)
+	if err != nil {
+		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if count > 0 {
+		if err := s.ingestBinary(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, WireBatchAck{Accepted: count, Reports: s.Reports()})
+}
+
+// ingestBinary is ingest for a validated binary frame: the raw frame is
+// logged write-ahead (the record replays through the same validate+apply
+// path), then folded into a shard. A WAL append failure rejects the frame
+// with nothing applied, so the client may safely retry.
+func (s *Server) ingestBinary(frame []byte) error {
+	s.ingestMu.RLock()
+	if s.wal != nil {
+		if err := s.wal.Append(append([]byte{recBinaryBatch}, frame...)); err != nil {
+			s.ingestMu.RUnlock()
+			return fmt.Errorf("collect: wal append: %w", err)
+		}
+	}
+	err := s.applyBinary(frame)
+	s.ingestMu.RUnlock()
+	if err != nil {
+		// Unreachable for a frame ValidateBinaryBatch accepted; surfaced
+		// loudly rather than swallowed in case of a codec bug.
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// applyBinary folds a validated frame into one round-robin shard under a
+// single lock acquisition, advancing the total under the shard lock (the
+// same discipline as apply). The bit-vector protocols take the packed
+// words straight into their accumulator counts — no per-report
+// allocations.
+func (s *Server) applyBinary(frame []byte) error {
+	sh := s.shards[s.next.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	n, err := s.proto.ApplyBinaryBatch(sh.acc, frame)
+	if err == nil {
+		s.total.Add(int64(n))
+	}
+	sh.mu.Unlock()
+	return err
+}
+
+// replayBinaryRecord re-applies one binary-frame WAL record.
+func (s *Server) replayBinaryRecord(frame []byte) error {
+	if err := s.applyBinary(frame); err != nil {
+		return fmt.Errorf("collect: wal binary batch record does not match protocol %s: %w", s.proto.Name(), err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Mean tier.
+// ---------------------------------------------------------------------------
+
+// handleBinaryMeanBatch is the mean half of the binary path, with the same
+// validate-then-ingest contract as the frequency handler.
+func (s *Server) handleBinaryMeanBatch(w http.ResponseWriter, body []byte) {
+	h := s.mean
+	count, err := h.proto.ValidateBinaryMeanBatch(body)
+	if err != nil {
+		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if count > 0 {
+		if err := h.ingestBinary(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, WireBatchAck{Accepted: count, Reports: s.MeanReports()})
+}
+
+// ingestBinary mirrors the frequency tier's binary ingest against the
+// hub's own log.
+func (h *meanHub) ingestBinary(frame []byte) error {
+	h.ingestMu.RLock()
+	if h.log != nil {
+		if err := h.log.Append(append([]byte{recBinaryBatch}, frame...)); err != nil {
+			h.ingestMu.RUnlock()
+			return fmt.Errorf("collect: mean wal append: %w", err)
+		}
+	}
+	err := h.applyBinary(frame)
+	h.ingestMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	h.maybeCompact()
+	return nil
+}
+
+// applyBinary folds a validated mean frame into one round-robin shard
+// under a single lock acquisition.
+func (h *meanHub) applyBinary(frame []byte) error {
+	sh := h.shards[h.next.Add(1)%uint64(len(h.shards))]
+	sh.mu.Lock()
+	n, err := h.proto.ApplyBinaryMeanBatch(sh.acc, frame)
+	if err == nil {
+		h.total.Add(int64(n))
+	}
+	sh.mu.Unlock()
+	return err
+}
+
+// replayBinaryRecord re-applies one binary-frame mean WAL record.
+func (h *meanHub) replayBinaryRecord(frame []byte) error {
+	if err := h.applyBinary(frame); err != nil {
+		return fmt.Errorf("collect: mean wal binary batch record does not match protocol %s: %w", h.proto.Name(), err)
+	}
+	return nil
+}

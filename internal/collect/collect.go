@@ -32,6 +32,7 @@
 package collect
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -72,6 +73,10 @@ type WireConfig struct {
 	Epsilon      float64 `json:"epsilon"`
 	Split        float64 `json:"split"`
 	MaxBodyBytes int64   `json:"max_body_bytes,omitempty"`
+	// Wire lists the batch encodings the server accepts on POST /reports
+	// ("json", "binary"). Servers predating the field speak JSON only;
+	// clients must not post binary frames unless it is advertised.
+	Wire []string `json:"wire,omitempty"`
 }
 
 // WireReport is one perturbed report on the wire: the protocol-generic
@@ -266,6 +271,7 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 			Items:    p.Items(),
 			Epsilon:  p.Epsilon(),
 			Split:    p.Split(),
+			Wire:     wireFormats(),
 		}
 	}
 	for _, opt := range opts {
@@ -423,6 +429,40 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // cap, answering 413 (and returning false) when the cap is exceeded.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	return s.readBodyLimit(w, r, s.maxBody)
+}
+
+// bodyPool recycles request-body buffers across the hot batch endpoints,
+// where body allocation would otherwise dominate the per-request cost of a
+// zero-alloc decode path.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBodyBytes caps what goes back into bodyPool so one outsized
+// batch does not pin megabytes per pooled buffer forever.
+const maxPooledBodyBytes = 4 << 20
+
+// readBodyPooled is readBody backed by a pooled buffer. The returned bytes
+// alias the buffer: callers must be done with them (and anything aliasing
+// them) before calling release, and must call release exactly once on
+// every ok return.
+func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request) (body []byte, release func(), ok bool) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	release = func() {
+		if buf.Cap() <= maxPooledBodyBytes {
+			bodyPool.Put(buf)
+		}
+	}
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxBody)); err != nil {
+		release()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("collect: body exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		}
+		return nil, nil, false
+	}
+	return buf.Bytes(), release, true
 }
 
 // readBodyLimit is readBody under an explicit cap (POST /merge has its own,

@@ -26,6 +26,10 @@ const (
 	// recEnvelope frames a fingerprinted aggregator state envelope merged
 	// through MergeState.
 	recEnvelope = 'E'
+	// recBinaryBatch frames one validated binary wire frame (see
+	// internal/core/binwire.go), stored raw — replay re-validates and
+	// re-applies it through the same decoder the endpoint used.
+	recBinaryBatch = 'W'
 )
 
 // batchRecord encodes accepted wire reports as one WAL record.
@@ -96,6 +100,8 @@ func (s *Server) replayRecord(rec []byte) error {
 			s.apply(reps)
 		}
 		return nil
+	case recBinaryBatch:
+		return s.replayBinaryRecord(rec[1:])
 	case recEnvelope:
 		agg, err := s.proto.UnmarshalAggregator(rec[1:])
 		if err != nil {

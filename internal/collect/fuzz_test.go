@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mean"
 	"repro/internal/xrand"
 )
 
@@ -154,6 +155,97 @@ func FuzzDecodeBatch(f *testing.F) {
 				}
 				acc := p.NewAggregator()
 				acc.Add(decoded)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBinaryBatch drives the binary wire frame decoder — the bytes
+// both tiers' batch endpoints accept under BinaryContentType and replay
+// from recBinaryBatch WAL records — with arbitrary inputs across both
+// tiers: corrupted, truncated, cross-tier and hand-mangled frames must
+// error, never panic, and an accepted frame must apply cleanly with its
+// declared report count.
+func FuzzDecodeBinaryBatch(f *testing.F) {
+	protos := fuzzProtocols(f)
+	numProtos := fuzzNumericProtocols(f)
+	r := xrand.New(7)
+	// Seed with real frames from every protocol shape plus corruptions of
+	// each, so cross-protocol and cross-tier decodes run from the start.
+	for _, p := range protos {
+		enc := p.Encoder()
+		wires := make([]core.WirePayload, 16)
+		for i := range wires {
+			wires[i] = p.EncodeReport(enc.Encode(core.Pair{Class: i % p.Classes(), Item: i % p.Items()}, r))
+		}
+		frame, err := p.AppendBinaryBatch(nil, wires)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-3]) // truncated
+		mangled := append([]byte(nil), frame...)
+		mangled[len(mangled)/2] ^= 0x40
+		f.Add(mangled) // corrupted payload (CRC must catch it)
+		empty, err := p.AppendBinaryBatch(nil, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(empty)
+	}
+	for _, p := range numProtos {
+		enc := p.Encoder()
+		wires := make([]core.WireMeanReport, 16)
+		for i := range wires {
+			wires[i] = p.EncodeMeanReport(enc.Encode(mean.Value{Class: i % 3, X: 0.5}, i, r))
+		}
+		frame, err := p.AppendBinaryMeanBatch(nil, wires)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MCBW"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range protos {
+			n, err := p.ValidateBinaryBatch(data)
+			if err != nil {
+				continue
+			}
+			agg := p.NewAggregator()
+			applied, err := p.ApplyBinaryBatch(agg, data)
+			if err != nil {
+				t.Fatalf("%s: validated frame failed to apply: %v", p.Name(), err)
+			}
+			if applied != n || agg.N() != n {
+				t.Fatalf("%s: declared %d reports, applied %d, aggregated %d", p.Name(), n, applied, agg.N())
+			}
+			// The materialized payloads must survive the JSON-path decoder:
+			// binary accepts nothing JSON would reject.
+			wires, err := p.DecodeBinaryBatch(data)
+			if err != nil || len(wires) != n {
+				t.Fatalf("%s: decode of validated frame: %d wires, %v", p.Name(), len(wires), err)
+			}
+			for _, wp := range wires {
+				if _, derr := p.DecodeReport(wp); derr != nil {
+					t.Fatalf("%s: binary-accepted report rejected by DecodeReport: %v", p.Name(), derr)
+				}
+			}
+		}
+		for _, p := range numProtos {
+			n, err := p.ValidateBinaryMeanBatch(data)
+			if err != nil {
+				continue
+			}
+			agg := p.NewAggregator()
+			applied, err := p.ApplyBinaryMeanBatch(agg, data)
+			if err != nil {
+				t.Fatalf("%s: validated mean frame failed to apply: %v", p.Name(), err)
+			}
+			if applied != n || agg.N() != n {
+				t.Fatalf("%s: declared %d mean reports, applied %d, aggregated %d", p.Name(), n, applied, agg.N())
 			}
 		}
 	})

@@ -49,6 +49,9 @@ type WireMeanConfig struct {
 	Epsilon      float64 `json:"epsilon"`
 	Split        float64 `json:"split"`
 	MaxBodyBytes int64   `json:"max_body_bytes,omitempty"`
+	// Wire lists the batch encodings the server accepts on POST
+	// /mean/reports ("json", "binary"); see WireConfig.Wire.
+	Wire []string `json:"wire,omitempty"`
 }
 
 // WireMeanReport is one perturbed mean report on the wire.
@@ -110,6 +113,7 @@ func (h *meanHub) init(shards int, maxBody int64) {
 		Epsilon:      p.Epsilon(),
 		Split:        p.Split(),
 		MaxBodyBytes: maxBody,
+		Wire:         wireFormats(),
 	}
 	h.shards = make([]*meanShard, shards)
 	for i := range h.shards {
@@ -170,12 +174,18 @@ func (s *Server) handleMeanReport(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMeanReportBatch ingests a batch of mean reports through the same
-// batch machinery as the frequency endpoint: JSON array or NDJSON, whole
-// body under the server's size cap (413 beyond it), per-item validation
-// with itemized rejections.
+// batch machinery as the frequency endpoint: JSON array or NDJSON (or an
+// all-or-nothing binary frame, selected by content type — see binary.go),
+// whole body under the server's size cap (413 beyond it), per-item
+// validation with itemized rejections.
 func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.readBody(w, r)
+	body, release, ok := s.readBodyPooled(w, r)
 	if !ok {
+		return
+	}
+	defer release()
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.handleBinaryMeanBatch(w, body)
 		return
 	}
 	items, itemErrs, droppedTail, err := decodeBatchItems[WireMeanReport](body)
@@ -399,6 +409,8 @@ func (h *meanHub) replayRecord(rec []byte) error {
 			h.apply(reps)
 		}
 		return nil
+	case recBinaryBatch:
+		return h.replayBinaryRecord(rec[1:])
 	case recEnvelope:
 		agg, err := h.proto.UnmarshalAggregator(rec[1:])
 		if err != nil {

@@ -35,6 +35,7 @@ type MeanClient struct {
 	rng       *xrand.Rand
 	batchSize int
 	ndjson    bool
+	binary    bool
 	retries   int
 	retryBase time.Duration
 	sleep     func(time.Duration) // injectable for tests
@@ -60,6 +61,14 @@ func WithMeanBatchSize(n int) MeanClientOption {
 // instead of a JSON array.
 func WithMeanNDJSON(on bool) MeanClientOption {
 	return func(c *MeanClient) { c.ndjson = on }
+}
+
+// WithMeanBinary makes batch submissions use the binary wire frame instead
+// of JSON, with the same semantics as the frequency client's WithBinary.
+// NewMeanClient fails when the server's /mean/config does not advertise
+// "binary" in its wire list.
+func WithMeanBinary(on bool) MeanClientOption {
+	return func(c *MeanClient) { c.binary = on }
 }
 
 // WithMeanRetry tunes the 5xx retry policy, with the same semantics as the
@@ -132,6 +141,9 @@ func NewMeanClient(baseURL string, hc *http.Client, seed uint64, opts ...MeanCli
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.binary && !wireSupports(cfg.Wire, "binary") {
+		return nil, fmt.Errorf("collect: server %s does not advertise the binary wire format for the mean tier (wire=%v)", baseURL, cfg.Wire)
 	}
 	return c, nil
 }
@@ -223,24 +235,37 @@ func (c *MeanClient) Flush() error {
 // to /mean/reports, retrying 5xx responses per the retry policy.
 func (c *MeanClient) postBatch(wires []WireMeanReport) (*WireBatchAck, error) {
 	var (
-		buf         bytes.Buffer
+		body        []byte
 		contentType string
 	)
-	if c.ndjson {
-		contentType = NDJSONContentType
-		enc := json.NewEncoder(&buf)
-		for _, wr := range wires {
-			if err := enc.Encode(wr); err != nil {
+	if c.binary {
+		bufp := encodeBufPool.Get().(*[]byte)
+		frame, err := c.proto.AppendBinaryMeanBatch((*bufp)[:0], wires)
+		if err != nil {
+			encodeBufPool.Put(bufp)
+			return nil, err
+		}
+		*bufp = frame[:0]
+		defer encodeBufPool.Put(bufp)
+		body, contentType = frame, BinaryContentType
+	} else {
+		var buf bytes.Buffer
+		if c.ndjson {
+			contentType = NDJSONContentType
+			enc := json.NewEncoder(&buf)
+			for _, wr := range wires {
+				if err := enc.Encode(wr); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			contentType = "application/json"
+			if err := json.NewEncoder(&buf).Encode(wires); err != nil {
 				return nil, err
 			}
 		}
-	} else {
-		contentType = "application/json"
-		if err := json.NewEncoder(&buf).Encode(wires); err != nil {
-			return nil, err
-		}
+		body = buf.Bytes()
 	}
-	body := buf.Bytes()
 	var ack *WireBatchAck
 	err := retryOn5xx(c.retries, c.retryBase, c.sleep, func() error {
 		resp, err := c.http.Post(c.base+"/mean/reports", contentType, bytes.NewReader(body))

@@ -17,6 +17,13 @@ import (
 // server ingesting every report itself — the property cmd/mcimedge builds
 // on and TestFederatedMergeEqualsCentralized pins.
 
+// StateContentType is the media type for fingerprinted aggregator state
+// envelopes (the bytes Snapshot / Drain + MarshalAggregator produce, framed
+// by internal/state). The /merge endpoint sniffs the envelope itself rather
+// than trusting the header, so generic posters may still send
+// application/octet-stream; cmd/mcimedge labels its pushes with this type.
+const StateContentType = "application/x-mcim-state"
+
 // WireMergeAck acknowledges a /merge request: Merged is the report count
 // the envelope contributed, Reports the server's post-merge total.
 type WireMergeAck struct {

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/fo"
+	"repro/internal/mean"
+)
+
+// This file is the binary wire codec for report batches — the
+// high-throughput alternative to the JSON-array/NDJSON encodings. A frame
+// carries one whole batch:
+//
+//	magic[4]="MCBW" version[u8] tier[u8] count[u32] records... crc32c[u32]
+//
+// All integers are little-endian; the CRC (Castagnoli, hardware-accelerated
+// like the state-envelope and WAL checksums) covers every byte before it
+// and is verified before a single record is parsed. tier is 'F' for
+// frequency WirePayloads and 'M' for mean WireMeanReports, so a frame
+// posted to the wrong tier's endpoint fails loudly instead of misparsing.
+//
+// Records are shape-dependent — both ends know the protocol (the server
+// from its construction, the client from /config), so no per-record tags
+// are spent:
+//
+//   - bit-vector reports (OUE/SUE, PTS-CP): uvarint label, then the bit
+//     vector packed as ceil(bitsLen/64) little-endian words. Fixed-size and
+//     zero-parse: the server folds the words straight into its accumulator
+//     counts without materializing a bitvec.Vector per report.
+//   - value reports (GRR): uvarint label, uvarint value.
+//   - seeded value reports (OLH): uvarint label, uvarint value, seed[u64].
+//   - mean reports: uvarint label, uvarint symbol.
+//
+// Unlike the JSON batch path, a binary frame is all-or-nothing: any invalid
+// record (or a CRC/truncation failure) rejects the whole frame and nothing
+// is applied. A frame only ever comes from a protocol-checked encoder, so
+// an invalid record means corruption or misconfiguration, not one user's
+// bad report.
+
+// BinaryWireVersion is the frame format version written by the Append*
+// encoders; decoding rejects any other version.
+const BinaryWireVersion = 1
+
+const (
+	binaryTierFrequency = 'F'
+	binaryTierMean      = 'M'
+
+	// binaryHeaderLen is magic + version + tier + count.
+	binaryHeaderLen = 4 + 1 + 1 + 4
+	// binaryMinFrameLen adds the trailing CRC.
+	binaryMinFrameLen = binaryHeaderLen + 4
+)
+
+// binaryMagic marks a byte slice as a binary report-batch frame. "MCBW":
+// Multi-Class Binary Wire.
+var binaryMagic = [4]byte{'M', 'C', 'B', 'W'}
+
+// binaryCRC is the CRC-32C table shared with the state envelope and WAL.
+var binaryCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// binaryZeros is a zero region appended in chunks when reserving packed
+// bit-vector bytes, so encoding never allocates a scratch slice.
+var binaryZeros [1024]byte
+
+// appendBinaryHeader starts a frame for count records of the given tier.
+func appendBinaryHeader(dst []byte, tier byte, count int) []byte {
+	dst = append(dst, binaryMagic[:]...)
+	dst = append(dst, BinaryWireVersion, tier)
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+// finishBinaryFrame appends the CRC over the frame that started at off.
+func finishBinaryFrame(dst []byte, off int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[off:], binaryCRC))
+}
+
+// openBinaryFrame checks the CRC and header of a frame and returns its
+// record region and declared record count. It never panics: corrupted,
+// truncated or mis-tiered inputs come back as errors before any record is
+// touched.
+func openBinaryFrame(data []byte, tier byte) (records []byte, count int, err error) {
+	if len(data) < binaryMinFrameLen {
+		return nil, 0, fmt.Errorf("core: binary frame truncated (%d bytes)", len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, binaryCRC), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, 0, fmt.Errorf("core: binary frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	if [4]byte(body[:4]) != binaryMagic {
+		return nil, 0, fmt.Errorf("core: bad binary frame magic %q", body[:4])
+	}
+	if v := body[4]; v != BinaryWireVersion {
+		return nil, 0, fmt.Errorf("core: binary frame version %d, this build reads %d", v, BinaryWireVersion)
+	}
+	if t := body[5]; t != tier {
+		return nil, 0, fmt.Errorf("core: binary frame tier %q, want %q", t, tier)
+	}
+	records = body[binaryHeaderLen:]
+	n := binary.LittleEndian.Uint32(body[6:binaryHeaderLen])
+	// Every record costs at least one byte, so a count beyond the record
+	// bytes is structurally impossible — catch it before the walk does.
+	if uint64(n) > uint64(len(records)) {
+		return nil, 0, fmt.Errorf("core: binary frame count %d exceeds %d record bytes", n, len(records))
+	}
+	return records, int(n), nil
+}
+
+// ---------------------------------------------------------------------------
+// Frequency tier.
+// ---------------------------------------------------------------------------
+
+// AppendBinaryBatch appends one binary frame carrying wires to dst and
+// returns the extended slice. Payloads are validated against the protocol's
+// wire shape (exactly like DecodeReport would), so a frame this returns is
+// always accepted by the matching decoder. Protocols over custom item
+// mechanisms have no wire codec and return their WireSupported error.
+func (p *Protocol) AppendBinaryBatch(dst []byte, wires []WirePayload) ([]byte, error) {
+	if p.shapeErr != nil {
+		return nil, p.shapeErr
+	}
+	s := p.shape
+	off := len(dst)
+	dst = appendBinaryHeader(dst, binaryTierFrequency, len(wires))
+	nw := (s.bitsLen + 63) / 64
+	for i, w := range wires {
+		if w.Label < 0 || w.Label >= s.classes {
+			return nil, fmt.Errorf("core: %s report %d label %d outside [0,%d)", p.name, i, w.Label, s.classes)
+		}
+		dst = binary.AppendUvarint(dst, uint64(w.Label))
+		if s.bitsLen > 0 {
+			if w.Value != nil {
+				return nil, fmt.Errorf("core: %s report %d carries a value, want a %d-bit vector", p.name, i, s.bitsLen)
+			}
+			base := len(dst)
+			for rem := nw * 8; rem > 0; {
+				k := min(rem, len(binaryZeros))
+				dst = append(dst, binaryZeros[:k]...)
+				rem -= k
+			}
+			for _, b := range w.Bits {
+				if b < 0 || b >= s.bitsLen {
+					return nil, fmt.Errorf("core: %s report %d bit %d outside [0,%d)", p.name, i, b, s.bitsLen)
+				}
+				dst[base+(b>>3)] |= 1 << (uint(b) & 7)
+			}
+			continue
+		}
+		if w.Value == nil {
+			return nil, fmt.Errorf("core: %s report %d missing value", p.name, i)
+		}
+		if len(w.Bits) > 0 {
+			return nil, fmt.Errorf("core: %s report %d carries bits, want a bare value", p.name, i)
+		}
+		if *w.Value < 0 || *w.Value >= s.valueRange {
+			return nil, fmt.Errorf("core: %s report %d value %d outside [0,%d)", p.name, i, *w.Value, s.valueRange)
+		}
+		dst = binary.AppendUvarint(dst, uint64(*w.Value))
+		if s.seed {
+			dst = binary.LittleEndian.AppendUint64(dst, w.Seed)
+		} else if w.Seed != 0 {
+			return nil, fmt.Errorf("core: %s report %d carries a hash seed, want none", p.name, i)
+		}
+	}
+	return finishBinaryFrame(dst, off), nil
+}
+
+// binaryReport is one record handed to a frame walk: Words is the packed
+// bit vector for bit-shaped protocols (valid until the next record), nil
+// for value-shaped ones.
+type binaryReport struct {
+	Label int
+	Value int
+	Seed  uint64
+	Words []uint64
+}
+
+// visitBinaryBatch validates a frequency frame record by record, calling
+// visit (when non-nil) for each one, and returns the record count. Every
+// semantic check DecodeReport performs on a JSON payload happens here too —
+// label range, value range, no stray bits beyond the domain — so a frame
+// that walks cleanly yields reports that are always safe to aggregate. The
+// walk allocates nothing beyond one reused word buffer per call.
+func (p *Protocol) visitBinaryBatch(data []byte, visit func(i int, r binaryReport) error) (int, error) {
+	if p.shapeErr != nil {
+		return 0, p.shapeErr
+	}
+	rec, count, err := openBinaryFrame(data, binaryTierFrequency)
+	if err != nil {
+		return 0, err
+	}
+	s := p.shape
+	nw := (s.bitsLen + 63) / 64
+	var words []uint64
+	if s.bitsLen > 0 && visit != nil {
+		words = make([]uint64, nw)
+	}
+	pos := 0
+	for i := 0; i < count; i++ {
+		label, n := binary.Uvarint(rec[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: binary record %d: truncated label", i)
+		}
+		pos += n
+		if label >= uint64(s.classes) {
+			return 0, fmt.Errorf("core: binary record %d: %s label %d outside [0,%d)", i, p.name, label, s.classes)
+		}
+		r := binaryReport{Label: int(label)}
+		if s.bitsLen > 0 {
+			if len(rec)-pos < nw*8 {
+				return 0, fmt.Errorf("core: binary record %d: truncated %d-bit vector", i, s.bitsLen)
+			}
+			last := binary.LittleEndian.Uint64(rec[pos+(nw-1)*8:])
+			if rem := uint(s.bitsLen) % 64; rem != 0 && last>>rem != 0 {
+				return 0, fmt.Errorf("core: binary record %d: stray bits beyond the %d-bit domain", i, s.bitsLen)
+			}
+			if visit != nil {
+				for wi := 0; wi < nw; wi++ {
+					words[wi] = binary.LittleEndian.Uint64(rec[pos+wi*8:])
+				}
+				r.Words = words
+			}
+			pos += nw * 8
+		} else {
+			v, n := binary.Uvarint(rec[pos:])
+			if n <= 0 {
+				return 0, fmt.Errorf("core: binary record %d: truncated value", i)
+			}
+			pos += n
+			if v >= uint64(s.valueRange) {
+				return 0, fmt.Errorf("core: binary record %d: %s value %d outside [0,%d)", i, p.name, v, s.valueRange)
+			}
+			r.Value = int(v)
+			if s.seed {
+				if len(rec)-pos < 8 {
+					return 0, fmt.Errorf("core: binary record %d: truncated hash seed", i)
+				}
+				r.Seed = binary.LittleEndian.Uint64(rec[pos:])
+				pos += 8
+			}
+		}
+		if visit != nil {
+			if err := visit(i, r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if pos != len(rec) {
+		return 0, fmt.Errorf("core: binary frame has %d trailing record bytes", len(rec)-pos)
+	}
+	return count, nil
+}
+
+// ValidateBinaryBatch checks a frequency frame end to end — CRC, header,
+// every record against the protocol's wire shape — without touching an
+// aggregator, and returns the record count. A frame it accepts is
+// guaranteed to apply cleanly, which is what lets a durable server log the
+// raw frame write-ahead and a sharded server apply it under one lock with
+// no failure path in between.
+func (p *Protocol) ValidateBinaryBatch(data []byte) (int, error) {
+	return p.visitBinaryBatch(data, nil)
+}
+
+// wordsReportAdder is implemented by aggregators that can fold a packed
+// bit-vector report without materializing a bitvec.Vector. addReportWords
+// returns false (leaving the aggregate untouched) when the underlying
+// accumulator cannot take words, in which case the caller falls back to a
+// regular Add.
+type wordsReportAdder interface {
+	addReportWords(label int, words []uint64) bool
+}
+
+// ApplyBinaryBatch validates a frequency frame and folds every record into
+// agg, returning the record count. The frame is all-or-nothing from the
+// caller's perspective: validation runs ahead of the first Add (via
+// ValidateBinaryBatch or a prior caller-side call — the walk re-checks
+// structure either way), so an invalid frame returns an error with nothing
+// applied. For the protocol's own aggregators the bit-vector path is
+// allocation-free: words fold straight into the accumulator counts.
+func (p *Protocol) ApplyBinaryBatch(agg Aggregator, data []byte) (int, error) {
+	// The apply walk below adds records as it validates them, so a frame
+	// failing mid-walk would be half-applied. Validate first — the frame is
+	// in memory and the validation walk is a fraction of the apply cost.
+	if _, err := p.visitBinaryBatch(data, nil); err != nil {
+		return 0, err
+	}
+	wa, _ := agg.(wordsReportAdder)
+	return p.visitBinaryBatch(data, func(i int, r binaryReport) error {
+		if r.Words != nil {
+			if wa != nil && wa.addReportWords(r.Label, r.Words) {
+				return nil
+			}
+			// Fallback for aggregators outside this package: rebuild the
+			// vector per report (a reused scratch vector would be unsafe —
+			// the Add contract allows retaining the report).
+			agg.Add(Report{Class: r.Label, Item: fo.Report{Bits: bitvec.FromWords(p.shape.bitsLen, r.Words)}})
+			return nil
+		}
+		agg.Add(Report{Class: r.Label, Item: fo.Report{Value: r.Value, Seed: r.Seed}})
+		return nil
+	})
+}
+
+// DecodeBinaryBatch materializes every payload of a frequency frame — the
+// binary analogue of unmarshalling a JSON batch body. The hot ingest path
+// uses ApplyBinaryBatch instead; this is for tools and tests that need the
+// payloads themselves.
+func (p *Protocol) DecodeBinaryBatch(data []byte) ([]WirePayload, error) {
+	var out []WirePayload
+	_, err := p.visitBinaryBatch(data, func(i int, r binaryReport) error {
+		w := WirePayload{Label: r.Label}
+		if r.Words != nil {
+			for wi, word := range r.Words {
+				for word != 0 {
+					b := wi<<6 + bits.TrailingZeros64(word)
+					w.Bits = append(w.Bits, b)
+					word &= word - 1
+				}
+			}
+		} else {
+			v := r.Value
+			w.Value = &v
+			w.Seed = r.Seed
+		}
+		out = append(out, w)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Mean tier.
+// ---------------------------------------------------------------------------
+
+// AppendBinaryMeanBatch appends one binary frame carrying mean reports to
+// dst. Reports are validated against the protocol's label and symbol
+// domains, exactly like DecodeMeanReport.
+func (p *NumericProtocol) AppendBinaryMeanBatch(dst []byte, wires []WireMeanReport) ([]byte, error) {
+	off := len(dst)
+	dst = appendBinaryHeader(dst, binaryTierMean, len(wires))
+	for i, w := range wires {
+		if w.Label < 0 || w.Label >= p.classes {
+			return nil, fmt.Errorf("core: %s report %d label %d outside [0,%d)", p.name, i, w.Label, p.classes)
+		}
+		if w.Symbol < 0 || w.Symbol >= p.halves.Symbols {
+			return nil, fmt.Errorf("core: %s report %d symbol %d outside [0,%d)", p.name, i, w.Symbol, p.halves.Symbols)
+		}
+		dst = binary.AppendUvarint(dst, uint64(w.Label))
+		dst = binary.AppendUvarint(dst, uint64(w.Symbol))
+	}
+	return finishBinaryFrame(dst, off), nil
+}
+
+// visitBinaryMeanBatch validates a mean frame record by record, calling
+// visit (when non-nil) for each decoded report, and returns the record
+// count. Decoded reports are always safe to feed to the protocol's
+// aggregator.
+func (p *NumericProtocol) visitBinaryMeanBatch(data []byte, visit func(i int, rep mean.Report) error) (int, error) {
+	rec, count, err := openBinaryFrame(data, binaryTierMean)
+	if err != nil {
+		return 0, err
+	}
+	pos := 0
+	for i := 0; i < count; i++ {
+		label, n := binary.Uvarint(rec[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: binary record %d: truncated label", i)
+		}
+		pos += n
+		sym, n := binary.Uvarint(rec[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: binary record %d: truncated symbol", i)
+		}
+		pos += n
+		if label >= uint64(p.classes) {
+			return 0, fmt.Errorf("core: binary record %d: %s label %d outside [0,%d)", i, p.name, label, p.classes)
+		}
+		if sym >= uint64(p.halves.Symbols) {
+			return 0, fmt.Errorf("core: binary record %d: %s symbol %d outside [0,%d)", i, p.name, sym, p.halves.Symbols)
+		}
+		if visit != nil {
+			if err := visit(i, mean.Report{Label: int(label), Symbol: int(sym)}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if pos != len(rec) {
+		return 0, fmt.Errorf("core: binary frame has %d trailing record bytes", len(rec)-pos)
+	}
+	return count, nil
+}
+
+// ValidateBinaryMeanBatch checks a mean frame end to end without touching
+// an aggregator and returns the record count; a frame it accepts is
+// guaranteed to apply cleanly.
+func (p *NumericProtocol) ValidateBinaryMeanBatch(data []byte) (int, error) {
+	return p.visitBinaryMeanBatch(data, nil)
+}
+
+// ApplyBinaryMeanBatch validates a mean frame and folds every record into
+// agg, returning the record count. Mean reports are two ints; the apply
+// walk allocates nothing.
+func (p *NumericProtocol) ApplyBinaryMeanBatch(agg mean.Aggregator, data []byte) (int, error) {
+	if _, err := p.visitBinaryMeanBatch(data, nil); err != nil {
+		return 0, err
+	}
+	return p.visitBinaryMeanBatch(data, func(i int, rep mean.Report) error {
+		agg.Add(rep)
+		return nil
+	})
+}
+
+// DecodeBinaryMeanBatch materializes every payload of a mean frame; the
+// hot path uses ApplyBinaryMeanBatch instead.
+func (p *NumericProtocol) DecodeBinaryMeanBatch(data []byte) ([]WireMeanReport, error) {
+	var out []WireMeanReport
+	_, err := p.visitBinaryMeanBatch(data, func(i int, rep mean.Report) error {
+		out = append(out, WireMeanReport{Label: rep.Label, Symbol: rep.Symbol})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -391,6 +391,22 @@ func (a *hecAggregator) Add(rep Report) {
 	a.total++
 }
 
+// addReportWords implements the binary decoder's zero-allocation fast
+// path: the group's accumulator takes the packed bit vector directly when
+// it can (UE-backed adaptive mechanism at OUE scale).
+func (a *hecAggregator) addReportWords(g int, words []uint64) bool {
+	if g < 0 || g >= a.c {
+		panic(fmt.Sprintf("core: hec report group %d outside [0,%d)", g, a.c))
+	}
+	wa, ok := a.accs[g].(fo.WordsAdder)
+	if !ok {
+		return false
+	}
+	wa.AddWords(words)
+	a.total++
+	return true
+}
+
 func (a *hecAggregator) Merge(other Aggregator) error {
 	o, ok := other.(*hecAggregator)
 	if !ok {
@@ -507,6 +523,21 @@ func (a *ptjAggregator) Add(rep Report) {
 	a.acc.Add(rep.Item)
 }
 
+// addReportWords implements the binary decoder's zero-allocation fast
+// path over the joint-domain accumulator. The frame walk has already
+// bounded label to the wire's single-value domain {0}.
+func (a *ptjAggregator) addReportWords(label int, words []uint64) bool {
+	if label != 0 {
+		panic(fmt.Sprintf("core: ptj report class %d, want 0 (class is in the joint value)", label))
+	}
+	wa, ok := a.acc.(fo.WordsAdder)
+	if !ok {
+		return false
+	}
+	wa.AddWords(words)
+	return true
+}
+
 func (a *ptjAggregator) Merge(other Aggregator) error {
 	o, ok := other.(*ptjAggregator)
 	if !ok {
@@ -615,6 +646,23 @@ func (a *ptsAggregator) Add(rep Report) {
 	a.labelCounts[rep.Class]++
 	a.accs[rep.Class].Add(rep.Item)
 	a.total++
+}
+
+// addReportWords implements the binary decoder's zero-allocation fast
+// path: the routed class's item accumulator takes the packed bit vector
+// directly when the item mechanism is unary-encoded.
+func (a *ptsAggregator) addReportWords(label int, words []uint64) bool {
+	if label < 0 || label >= a.c {
+		panic(fmt.Sprintf("core: pts report label %d outside [0,%d)", label, a.c))
+	}
+	wa, ok := a.accs[label].(fo.WordsAdder)
+	if !ok {
+		return false
+	}
+	a.labelCounts[label]++
+	wa.AddWords(words)
+	a.total++
+	return true
 }
 
 func (a *ptsAggregator) Merge(other Aggregator) error {
@@ -732,6 +780,13 @@ type cpAggregator struct {
 
 func (a *cpAggregator) Add(rep Report) {
 	a.acc.Add(CPReport{Label: rep.Class, Bits: rep.Item.Bits})
+}
+
+// addReportWords implements the binary decoder's zero-allocation fast
+// path by delegating to CPAccumulator.AddWords.
+func (a *cpAggregator) addReportWords(label int, words []uint64) bool {
+	a.acc.AddWords(label, words)
+	return true
 }
 
 func (a *cpAggregator) Merge(other Aggregator) error {

@@ -71,6 +71,18 @@ type Accumulator interface {
 	EstimateAll() []float64
 }
 
+// WordsAdder is implemented by accumulators that can fold a bit-vector
+// report handed as packed words (the bitvec.Vector backing layout) without
+// materializing a Vector — the zero-allocation apply path of the binary
+// wire decoder. The words are only borrowed for the call; implementations
+// must not retain the slice.
+type WordsAdder interface {
+	// AddWords folds one report given as ceil(DomainSize()/64) packed
+	// little-endian words. Like Add, malformed input (wrong word count,
+	// stray bits beyond the domain) panics.
+	AddWords(words []uint64)
+}
+
 // checkDomain panics when v is outside [0, d); all mechanisms share it so
 // misuse fails loudly at the perturbation site rather than corrupting
 // aggregates.

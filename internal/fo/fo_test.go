@@ -387,3 +387,45 @@ func TestEmpiricalVarianceMatchesTheory(t *testing.T) {
 		}
 	}
 }
+
+// TestUEAddWordsMatchesAdd pins the zero-alloc word path against the
+// bit-vector Add path: feeding the same perturbed reports through both must
+// produce identical accumulator state (counts, n, estimates), and the word
+// path must reject out-of-shape input.
+func TestUEAddWordsMatchesAdd(t *testing.T) {
+	u, err := NewOUE(70, 2) // straddles a word boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAdd := u.NewAccumulator()
+	viaWords := u.NewAccumulator().(WordsAdder)
+	r := xrand.New(41)
+	for i := 0; i < 200; i++ {
+		rep := u.Perturb(i%70, r)
+		viaAdd.Add(rep)
+		viaWords.AddWords(rep.Bits.Words())
+	}
+	a, b := viaAdd.(*ueAccumulator), viaWords.(*ueAccumulator)
+	if a.n != b.n {
+		t.Fatalf("report counts diverge: Add %d, AddWords %d", a.n, b.n)
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			t.Fatalf("counts diverge at %d: Add %d, AddWords %d", i, a.counts[i], b.counts[i])
+		}
+	}
+	for _, bad := range [][]uint64{
+		make([]uint64, 1), // short a word
+		make([]uint64, 3), // a word over
+		{0, 1 << 30},      // stray bit 94 beyond d=70
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddWords accepted malformed words %v", bad)
+				}
+			}()
+			viaWords.AddWords(bad)
+		}()
+	}
+}

@@ -28,9 +28,9 @@ func benchMeanProtocol(b *testing.B) *core.NumericProtocol {
 	return p
 }
 
-// benchMeanBodies pre-marshals nBodies batch bodies of batchSize mean
-// reports each.
-func benchMeanBodies(b *testing.B, nBodies, batchSize int) [][]byte {
+// benchMeanBodies pre-builds nBodies batch bodies of batchSize mean
+// reports each, in the given wire encoding.
+func benchMeanBodies(b *testing.B, nBodies, batchSize int, binary bool) [][]byte {
 	b.Helper()
 	proto := benchMeanProtocol(b)
 	enc := proto.Encoder()
@@ -44,7 +44,15 @@ func benchMeanBodies(b *testing.B, nBodies, batchSize int) [][]byte {
 			wires[j] = proto.EncodeMeanReport(enc.Encode(v, user, r))
 			user++
 		}
-		blob, err := json.Marshal(wires)
+		var (
+			blob []byte
+			err  error
+		)
+		if binary {
+			blob, err = proto.AppendBinaryMeanBatch(nil, wires)
+		} else {
+			blob, err = json.Marshal(wires)
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,25 +62,37 @@ func benchMeanBodies(b *testing.B, nBodies, batchSize int) [][]byte {
 }
 
 // BenchmarkMeanIngest measures sustained server-side ingestion of the mean
-// tier over POST /mean/reports (512-report batches, GOMAXPROCS-sharded
-// aggregators). The comparable number is the reports/s metric.
+// tier over POST /mean/reports (GOMAXPROCS-sharded aggregators). The
+// comparable number is the reports/s metric. Mean reports are two uvarints
+// on the binary wire, so the binary variant runs the batch machinery at
+// maximal report density; it uses a larger batch (4096) because compact
+// frames make big batches cheap — that is the operating point the format
+// exists for.
 func BenchmarkMeanIngest(b *testing.B) {
-	srv, err := collect.NewServer(nil, collect.WithMean(benchMeanProtocol(b)))
-	if err != nil {
-		b.Fatal(err)
+	run := func(b *testing.B, contentType string, batchSize int, bodies [][]byte) {
+		srv, err := collect.NewServer(nil, collect.WithMean(benchMeanProtocol(b)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(ts.Close)
+		hc := ts.Client()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPostType(b, hc, ts.URL+"/mean/reports", contentType, bodies[i%len(bodies)])
+		}
+		b.StopTimer()
+		if got := srv.MeanReports(); got != b.N*batchSize {
+			b.Fatalf("server ingested %d of %d mean reports", got, b.N*batchSize)
+		}
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "reports/s")
 	}
-	ts := httptest.NewServer(srv.Handler())
-	b.Cleanup(ts.Close)
-	bodies := benchMeanBodies(b, 16, benchBatchSize)
-	hc := ts.Client()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		benchPost(b, hc, ts.URL+"/mean/reports", bodies[i%len(bodies)])
-	}
-	b.StopTimer()
-	if got := srv.MeanReports(); got != b.N*benchBatchSize {
-		b.Fatalf("server ingested %d of %d mean reports", got, b.N*benchBatchSize)
-	}
-	b.ReportMetric(float64(b.N*benchBatchSize)/b.Elapsed().Seconds(), "reports/s")
+	b.Run("json", func(b *testing.B) {
+		run(b, "application/json", benchBatchSize, benchMeanBodies(b, 16, benchBatchSize, false))
+	})
+	b.Run("binary", func(b *testing.B) {
+		const batchSize = 4096
+		run(b, collect.BinaryContentType, batchSize, benchMeanBodies(b, 16, batchSize, true))
+	})
 }
