@@ -22,10 +22,10 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=20m ./...
 
 # Snapshot the ingestion + perturbation benchmarks (frequency reports,
-# top-k mining rounds and the numeric mean tier) into BENCH_ingest.json
-# (ns/op, B/op, allocs/op, reports/s per benchmark).
+# top-k mining rounds, the numeric mean tier and tenant-routed ingestion)
+# into BENCH_ingest.json (ns/op, B/op, allocs/op, reports/s per benchmark).
 bench-json:
-	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
 
 # The bench-regression gate: rerun the snapshot benchmarks and diff them
 # against the committed BENCH_ingest.json, failing when anything regressed
@@ -35,7 +35,7 @@ bench-json:
 BENCH_THRESHOLD ?= 0.15
 
 bench-check:
-	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest' -benchmem -benchtime=1s . | \
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted' -benchmem -benchtime=1s . | \
 		$(GO) run ./cmd/benchsnap -compare BENCH_ingest.json -threshold $(BENCH_THRESHOLD) -out bench-compare.txt || \
 		{ cat bench-compare.txt; exit 1; }
 	@cat bench-compare.txt
@@ -60,15 +60,17 @@ staticcheck:
 # target per invocation): the two frequency-report decoders, the binary
 # batch frame decoder (both tiers), the numeric mean-report decoder, the
 # aggregator-state envelope decoder behind /merge, checkpoints and WAL
-# snapshots, and the interactive-mining round-config/round-report codec.
+# snapshots, the interactive-mining round-config/round-report codec, and
+# the admin-facing tenant spec parser.
 #
 # `make fuzz` runs every target in sequence; `make fuzz
 # FUZZ_TARGET=FuzzDecodeBatch` runs exactly one, which is how CI fans the
 # targets out over a job matrix. Targets live in ./internal/collect unless
 # FUZZ_PKG_<target> says otherwise.
 FUZZ_TIME ?= 10s
-FUZZ_TARGETS := FuzzDecode FuzzDecodeBatch FuzzDecodeBinaryBatch FuzzDecodeMeanReport FuzzUnmarshalEnvelope FuzzRoundWire
+FUZZ_TARGETS := FuzzDecode FuzzDecodeBatch FuzzDecodeBinaryBatch FuzzDecodeMeanReport FuzzUnmarshalEnvelope FuzzRoundWire FuzzTenantSpec
 FUZZ_PKG_FuzzRoundWire := ./internal/topk
+FUZZ_PKG_FuzzTenantSpec := ./internal/tenant
 
 fuzz:
 ifdef FUZZ_TARGET

@@ -33,6 +33,21 @@
 // rankings (drive one with mcimload -mode topk). On a WAL-backed server,
 // in-flight sessions are durable too.
 //
+// With -tenants the server is multi-tenant: the flag names a JSON file
+// holding an array of tenant specs (see internal/tenant.Spec), each a named
+// collection instance with its own tiers, WAL subdirectory, bearer token,
+// body cap, and rate limit. Data routes live under /t/<name>/...; the
+// unprefixed routes alias a tenant named "default" when the file defines
+// one. Tenants can also be created and deleted at runtime through
+// POST/DELETE /admin/tenants/{name}, guarded by -admin-token; the registry
+// write-ahead logs the tenant set under <wal-dir>/registry, so a restart —
+// even after SIGKILL — resurrects every tenant and its state:
+//
+//	mcimcollect -serve -tenants tenants.json -admin-token s3cret -wal-dir /var/lib/mcim
+//
+// In -tenants mode the per-framework flags are ignored; each tenant's spec
+// is the whole configuration.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and logging the final ingested-report count.
 //
@@ -56,6 +71,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/tenant"
 	"repro/internal/wal"
 	"repro/internal/xrand"
 )
@@ -81,6 +97,9 @@ func main() {
 		walCAfter = flag.Int64("wal-compact-after", 0, "WAL bytes past the last snapshot before background compaction (0 = default 64 MiB)")
 		topkOn    = flag.Bool("topk", false, "serve interactive top-k mining sessions under /topk/sessions (serve mode)")
 		topkMax   = flag.Int("topk-max-sessions", 0, "cap on tracked mining sessions (serve mode; 0 = default 64)")
+		tenants   = flag.String("tenants", "", "JSON file with an array of tenant specs: serve a multi-tenant registry instead of one collection (serve mode)")
+		adminTok  = flag.String("admin-token", "", "bearer token guarding /admin/tenants (tenants mode; empty = open)")
+		maxTen    = flag.Int("max-tenants", 0, "cap on hosted tenants (tenants mode; 0 = default 1024)")
 		users     = flag.Int("users", 10000, "simulated users (simulate mode)")
 		batch     = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
@@ -89,6 +108,52 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *serve && *tenants != "":
+		walOpts := wal.Options{SegmentBytes: *walSeg, SyncEvery: *walEvery}
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*walSync)
+			if err != nil {
+				log.Fatal(err)
+			}
+			walOpts.Sync = policy
+		}
+		specData, err := os.ReadFile(*tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs, err := tenant.ParseSpecs(specData)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg, err := tenant.New(tenant.Options{
+			Dir:        *walDir,
+			WAL:        walOpts,
+			MaxTenants: *maxTen,
+			AdminToken: *adminTok,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Ensure, not Create: a restart replays the registry log first, so
+		// tenants from a previous run (with their accumulated state) win
+		// over the startup file.
+		for _, sp := range specs {
+			if err := reg.Ensure(sp); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *walDir != "" {
+			log.Printf("tenant registry in %s (sync=%s)", *walDir, *walSync)
+		}
+		log.Printf("serving %d tenants on %s: %v", len(reg.Names()), *addr, reg.Names())
+		runServer(*addr, reg.Handler(), *drain, reg.Close, func() {
+			for _, name := range reg.Names() {
+				if srv := reg.Tenant(name); srv != nil {
+					log.Printf("tenant %s: %d reports ingested", name, srv.Reports()+srv.MeanReports())
+				}
+			}
+		})
+
 	case *serve:
 		var proto *core.Protocol
 		if *framework != "" && *framework != "none" {
@@ -139,7 +204,19 @@ func main() {
 		if *topkOn {
 			log.Printf("interactive top-k mining sessions enabled under /topk/sessions")
 		}
-		runServer(*addr, srv, *drain)
+		if p := srv.Protocol(); p != nil {
+			log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
+				p.Name(), *addr, p.Classes(), p.Items(), p.Epsilon(), srv.Shards())
+		} else {
+			log.Printf("collecting on %s (no frequency tier)", *addr)
+		}
+		runServer(*addr, srv.Handler(), *drain, srv.Close, func() {
+			if n := srv.MeanReports(); n > 0 {
+				log.Printf("final total: %d reports ingested (%d frequency, %d mean)", srv.Reports()+n, srv.Reports(), n)
+			} else {
+				log.Printf("final total: %d reports ingested", srv.Reports())
+			}
+		})
 
 	case *simulate:
 		client, err := collect.NewClient(*url, nil, *seed, collect.WithBatchSize(*batch))
@@ -184,21 +261,16 @@ func main() {
 	}
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains in-flight requests and
-// logs the final ingested-report count.
-func runServer(addr string, srv *collect.Server, drain time.Duration) {
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+// runServer serves handler until SIGINT/SIGTERM, then drains in-flight
+// requests, closes the durable state via closer, and runs final to log the
+// run's totals.
+func runServer(addr string, handler http.Handler, drain time.Duration, closer func() error, final func()) {
+	hs := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	if p := srv.Protocol(); p != nil {
-		log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
-			p.Name(), addr, p.Classes(), p.Items(), p.Epsilon(), srv.Shards())
-	} else {
-		log.Printf("collecting on %s (no frequency tier)", addr)
-	}
 
 	select {
 	case err := <-errc:
@@ -216,12 +288,8 @@ func runServer(addr string, srv *collect.Server, drain time.Duration) {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
 	}
-	if err := srv.Close(); err != nil {
-		log.Printf("close wal: %v", err)
+	if err := closer(); err != nil {
+		log.Printf("close: %v", err)
 	}
-	if n := srv.MeanReports(); n > 0 {
-		log.Printf("final total: %d reports ingested (%d frequency, %d mean)", srv.Reports()+n, srv.Reports(), n)
-	} else {
-		log.Printf("final total: %d reports ingested", srv.Reports())
-	}
+	final()
 }

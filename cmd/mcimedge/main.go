@@ -21,6 +21,13 @@
 // not lost — the drained envelope is merged back locally and retried on
 // the next interval. Edges also expose /merge themselves, so edges can be
 // stacked into deeper trees (client → edge → regional edge → root).
+//
+// With -tenant the edge serves one tenant of a multi-tenant root
+// (mcimcollect -tenants): it learns its protocols from, and pushes its
+// envelopes to, the root's /t/<name>/... routes, carrying the tenant's
+// bearer token from -token. Run one edge per tenant:
+//
+//	mcimedge -addr :8091 -upstream http://root:8090 -tenant acme -token s3cret
 package main
 
 import (
@@ -45,18 +52,29 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8091", "edge listen address")
-		upstream  = flag.String("upstream", "http://localhost:8090", "root (or next-tier) server URL")
-		pushEvery = flag.Duration("push-every", 10*time.Second, "how often to push the merged aggregate upstream")
-		shards    = flag.Int("shards", 0, "accumulator shards (0 = GOMAXPROCS)")
-		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
-		walDir    = flag.String("wal-dir", "", "write-ahead log directory (empty = not durable)")
-		walSync   = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | never")
-		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		addr       = flag.String("addr", ":8091", "edge listen address")
+		upstream   = flag.String("upstream", "http://localhost:8090", "root (or next-tier) server URL")
+		tenantName = flag.String("tenant", "", "tenant on a multi-tenant upstream to serve and push to (empty = upstream's unprefixed routes)")
+		token      = flag.String("token", "", "bearer token for the upstream tenant's data routes")
+		pushEvery  = flag.Duration("push-every", 10*time.Second, "how often to push the merged aggregate upstream")
+		shards     = flag.Int("shards", 0, "accumulator shards (0 = GOMAXPROCS)")
+		maxBody    = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory (empty = not durable)")
+		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | never")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
-	proto, meanProto, err := fetchProtocols(*upstream)
+	// Tenant targeting is a pure client-side transform: prefix the upstream
+	// base with the tenant's routes and carry its bearer token on every
+	// request — the fetch, every push, nothing else changes.
+	upstreamBase := *upstream
+	if *tenantName != "" {
+		upstreamBase = collect.TenantBaseURL(upstreamBase, *tenantName)
+	}
+	hc := collect.BearerClient(nil, *token)
+
+	proto, meanProto, err := fetchProtocols(upstreamBase, hc)
 	if err != nil {
 		log.Fatalf("fetch upstream config: %v", err)
 	}
@@ -96,9 +114,9 @@ func main() {
 		tiers += "+ mean(" + meanProto.Name() + ") "
 	}
 	log.Printf("edge collecting %sreports on %s, pushing to %s every %v",
-		tiers, *addr, *upstream, *pushEvery)
+		tiers, *addr, upstreamBase, *pushEvery)
 
-	pusher := &pusher{srv: srv, proto: proto, meanProto: meanProto, upstream: *upstream}
+	pusher := &pusher{srv: srv, proto: proto, meanProto: meanProto, upstream: upstreamBase, hc: hc}
 	ticker := time.NewTicker(*pushEvery)
 	defer ticker.Stop()
 
@@ -150,14 +168,14 @@ func walNote(dir string) string {
 // a transient failure (timeout, 5xx) is retried rather than silently
 // disabling the tier for the edge's whole lifetime. At least one tier
 // must resolve.
-func fetchProtocols(upstream string) (*core.Protocol, *core.NumericProtocol, error) {
+func fetchProtocols(upstream string, hc *http.Client) (*core.Protocol, *core.NumericProtocol, error) {
 	var lastErr error
 	for attempt, delay := 0, time.Second; attempt < 5; attempt, delay = attempt+1, delay*2 {
 		if attempt > 0 {
 			time.Sleep(delay)
 		}
-		proto, _, ferr := collect.FetchProtocol(upstream, nil)
-		meanProto, _, merr := collect.FetchMeanProtocol(upstream, nil)
+		proto, _, ferr := collect.FetchProtocol(upstream, hc)
+		meanProto, _, merr := collect.FetchMeanProtocol(upstream, hc)
 		freqAbsent := errors.Is(ferr, collect.ErrTierNotServed)
 		meanAbsent := errors.Is(merr, collect.ErrTierNotServed)
 		if freqAbsent && meanAbsent {
@@ -186,6 +204,7 @@ type pusher struct {
 	proto     *core.Protocol
 	meanProto *core.NumericProtocol
 	upstream  string
+	hc        *http.Client
 	unpushed  int
 }
 
@@ -232,7 +251,7 @@ func drainEnvelope[A interface{ N() int }](tier string, drain func() (A, error),
 // ship POSTs one envelope to the upstream /merge and handles the verdict;
 // label distinguishes the tiers in logs.
 func (p *pusher) ship(env []byte, n int, label string) {
-	verdict, err := postMerge(p.upstream, env)
+	verdict, err := postMerge(p.upstream, p.hc, env)
 	switch verdict {
 	case pushOK:
 		log.Printf("pushed %d %sreports upstream", n, label)
@@ -281,8 +300,8 @@ const (
 // retries on); a dial-level failure never sent anything and is transient;
 // any other transport error is ambiguous because the request may have
 // landed before the response was lost.
-func postMerge(upstream string, env []byte) (pushVerdict, error) {
-	resp, err := http.Post(upstream+"/merge", collect.StateContentType, bytes.NewReader(env))
+func postMerge(upstream string, hc *http.Client, env []byte) (pushVerdict, error) {
+	resp, err := hc.Post(upstream+"/merge", collect.StateContentType, bytes.NewReader(env))
 	if err != nil {
 		var op *net.OpError
 		if errors.As(err, &op) && op.Op == "dial" {

@@ -35,12 +35,24 @@
 // (internal/dataset): -dataset syntopk draws the SYN3-style skewed
 // multi-class population; -dataset uniform draws uniformly, which maximizes
 // wire-format density and so stresses ingestion hardest.
+//
+// Against a multi-tenant server (mcimcollect -tenants), -tenant/-token
+// target one tenant's routes. -tenants N instead fans the freq workload out
+// over N tenants named load-0..load-(N-1) — created through the admin API
+// (-admin-token) from the -framework/-classes/-items/-eps flags — with
+// workers striped across them, reporting per-tenant and aggregate
+// throughput; with -selfserve it spins up an in-process multi-tenant
+// registry to drive:
+//
+//	mcimload -selfserve -tenants 4 -users 200000 -clients 8 -wire binary -json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
@@ -55,6 +67,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mean"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/internal/topk"
 	"repro/internal/xrand"
 )
@@ -86,6 +99,16 @@ type summary struct {
 	Rounds int      `json:"rounds,omitempty"`
 	NCR    *float64 `json:"ncr,omitempty"`
 	F1     *float64 `json:"f1,omitempty"`
+	// Tenant fan-out mode (-tenants N).
+	Tenants   int                `json:"tenants,omitempty"`
+	PerTenant []tenantThroughput `json:"per_tenant,omitempty"`
+}
+
+// tenantThroughput is one tenant's slice of a fan-out run.
+type tenantThroughput struct {
+	Name       string  `json:"name"`
+	Reports    int     `json:"reports"`
+	ReportsSec float64 `json:"reports_per_sec"`
 }
 
 func main() {
@@ -111,6 +134,10 @@ func main() {
 		wire      = flag.String("wire", "json", "batch wire format: json | binary (freq and mean modes)")
 		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object on stdout")
+		tenantNm  = flag.String("tenant", "", "target one tenant's routes on a multi-tenant server")
+		token     = flag.String("token", "", "bearer token for the targeted tenant's data routes")
+		tenantsN  = flag.Int("tenants", 0, "fan the freq workload out over N tenants load-0..load-(N-1), created via the admin API (0 = off)")
+		adminTok  = flag.String("admin-token", "", "admin bearer token for -tenants fan-out creation")
 	)
 	flag.Parse()
 	if (*url == "") == !*selfserve {
@@ -131,6 +158,14 @@ func main() {
 	if binary && *ndjson {
 		log.Fatalf("mcimload: -wire binary and -ndjson are mutually exclusive")
 	}
+	if *tenantsN > 0 {
+		if *mode != "freq" {
+			log.Fatalf("mcimload: -tenants fan-out only supports -mode freq")
+		}
+		if *tenantNm != "" {
+			log.Fatalf("mcimload: -tenants and -tenant are mutually exclusive")
+		}
+	}
 	if (*mode == "topk" || *mode == "mean") && *batch < 1 {
 		// These paths have no single-report submission; normalize here so
 		// the -json summary records the batch size actually used.
@@ -138,7 +173,21 @@ func main() {
 	}
 
 	base := *url
-	if *selfserve {
+	if *selfserve && *tenantsN > 0 {
+		// Fan-out drives a multi-tenant registry; the tenants themselves are
+		// created below through the same admin API an external run uses.
+		reg, err := tenant.New(tenant.Options{AdminToken: *adminTok})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, reg.Handler()) //nolint:errcheck — dies with the process
+		base = "http://" + ln.Addr().String()
+		log.Printf("in-process multi-tenant registry on %s", base)
+	} else if *selfserve {
 		var opts []collect.ServerOption
 		var proto *core.Protocol
 		if *mode == "mean" {
@@ -176,11 +225,28 @@ func main() {
 		}
 	}
 
+	// Tenant targeting is a client-side transform: prefix the base with the
+	// tenant's routes and carry its bearer token on every request.
+	hc := collect.BearerClient(nil, *token)
+	if *tenantNm != "" {
+		base = collect.TenantBaseURL(base, *tenantNm)
+	}
+
 	sum := summary{Mode: *mode, Clients: *clients, Batch: *batch, Wire: *wire}
-	if *mode == "mean" {
+	if *tenantsN > 0 {
+		if binary && *batch < 1 {
+			log.Fatalf("mcimload: -wire binary needs batched submission (-batch >= 1)")
+		}
+		spec := tenant.Spec{
+			Freq:   &tenant.FreqSpec{Protocol: *framework, Classes: *classes, Items: *items, Epsilon: *eps, Split: *split},
+			Shards: *shards,
+		}
+		sum.Framework = *framework
+		runFanout(base, *adminTok, *tenantsN, spec, *dsName, *users, &sum, *batch, *ndjson, binary, *clients, *seed, *jsonOut)
+	} else if *mode == "mean" {
 		// The population must match the server's mean domain, generated from
 		// the fetched /mean/config (which also validates the server is up).
-		probe, err := collect.NewMeanClient(base, nil, *seed)
+		probe, err := collect.NewMeanClient(base, hc, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -189,11 +255,11 @@ func main() {
 		sum.Framework = mcfg.Protocol
 		sum.Dataset = data.Name
 		sum.Users = data.N()
-		runMean(base, probe, data, &sum, *clients, *batch, *ndjson, binary, *seed, *jsonOut)
+		runMean(base, hc, probe, data, &sum, *clients, *batch, *ndjson, binary, *seed, *jsonOut)
 	} else {
 		// The population must match the server's domain, so it is generated
 		// from the fetched config (which also validates the server is up).
-		probe, err := collect.NewClient(base, nil, *seed)
+		probe, err := collect.NewClient(base, hc, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -212,11 +278,11 @@ func main() {
 				log.Fatalf("mcimload: -wire binary needs batched submission (-batch >= 1)")
 			}
 			sum.Framework = cfg.Protocol
-			runFreq(base, probe, data, &sum, *batch, *ndjson, binary, *clients, *seed, *jsonOut)
+			runFreq(base, hc, probe, data, &sum, *batch, *ndjson, binary, *clients, *seed, *jsonOut)
 		case "topk":
 			sum.Framework = *miner
 			sum.K = *k
-			runTopK(base, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
+			runTopK(base, hc, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
 		}
 	}
 	if *jsonOut {
@@ -227,8 +293,12 @@ func main() {
 	}
 	// Operational snapshot: on WAL-backed servers this also shows the
 	// durability cost of the run (segments written, bytes not yet folded
-	// into a snapshot).
-	if stats, err := fetchStats(base); err == nil {
+	// into a snapshot). In fan-out mode the per-tenant verification already
+	// fetched each tenant's stats, so skip the (tenant-less) base here.
+	if *tenantsN > 0 {
+		return
+	}
+	if stats, err := fetchStats(base, hc); err == nil {
 		if stats.Protocol != "" {
 			log.Printf("server: %d reports over %d shards (%s)", stats.Reports, stats.Shards, stats.Protocol)
 		}
@@ -251,8 +321,11 @@ func main() {
 
 // fetchStats reads /stats directly, working against any server shape
 // (including mean-only servers that mount no frequency /config).
-func fetchStats(base string) (*collect.WireStats, error) {
-	resp, err := http.Get(base + "/stats")
+func fetchStats(base string, hc *http.Client) (*collect.WireStats, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(base + "/stats")
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +351,7 @@ func out(jsonOut bool, format string, args ...any) {
 }
 
 // runFreq drives the frequency-estimation ingestion workload.
-func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summary,
+func runFreq(base string, hc *http.Client, probe *collect.Client, data *core.Dataset, sum *summary,
 	batch int, ndjson, binary bool, clients int, seed uint64, jsonOut bool) {
 	// Baseline the server's report count: against a long-running server it
 	// may already hold reports from earlier rounds.
@@ -309,7 +382,7 @@ func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summar
 		wg.Add(1)
 		go func(w int, pairs []core.Pair) {
 			defer wg.Done()
-			lats, n, err := drive(base, pairs, batch, ndjson, binary, seed+uint64(w)*7919)
+			lats, n, err := drive(base, hc, pairs, batch, ndjson, binary, seed+uint64(w)*7919)
 			mu.Lock()
 			defer mu.Unlock()
 			latencies = append(latencies, lats...)
@@ -361,16 +434,146 @@ func runFreq(base string, probe *collect.Client, data *core.Dataset, sum *summar
 		rmse, data.Classes, data.Items, 100*relErr)
 }
 
+// runFanout drives the frequency workload over n tenants at once: tenants
+// load-0..load-(n-1) are created (or reused) through the admin API from the
+// spec template, workers are striped across them, and the summary reports
+// both aggregate and per-tenant throughput. Accuracy is not scored — the
+// population is split across independent aggregates; this mode measures
+// whether per-tenant isolation costs ingestion throughput.
+func runFanout(base, adminTok string, n int, spec tenant.Spec, dsName string, users int, sum *summary,
+	batch int, ndjson, binary bool, clients int, seed uint64, jsonOut bool) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("load-%d", i)
+		if err := createTenant(base, adminTok, names[i], spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	f := spec.Freq
+	data, err := buildDataset(dsName, f.Classes, f.Items, users, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = data.Shuffled(xrand.New(seed + 1))
+	sum.Dataset = data.Name
+	sum.Users = data.N()
+	sum.Tenants = n
+	// Baseline each tenant so the post-run verification tolerates reused
+	// tenants on a long-running server.
+	baseline := make(map[string]int, n)
+	for _, name := range names {
+		st, err := fetchStats(collect.TenantBaseURL(base, name), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline[name] = st.Reports
+	}
+	log.Printf("population %s: %d users over %d classes × %d items, fanned over %d tenants",
+		data.Name, data.N(), data.Classes, data.Items, n)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+		firstErr  error
+	)
+	perTenant := make(map[string]int, n)
+	perWorker := (data.N() + clients - 1) / clients
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		lo := w * perWorker
+		hi := min(lo+perWorker, data.N())
+		if lo >= hi {
+			break
+		}
+		name := names[w%n]
+		perTenant[name] += hi - lo
+		wg.Add(1)
+		go func(w int, name string, pairs []core.Pair) {
+			defer wg.Done()
+			lats, nreq, err := drive(base, nil, pairs, batch, ndjson, binary, seed+uint64(w)*7919,
+				collect.WithTenant(name, ""))
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lats...)
+			requests += nreq
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("worker %d (tenant %s): %w", w, name, err)
+			}
+		}(w, name, data.Pairs[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+	fillTiming(sum, latencies, requests, elapsed, data.N())
+	out(jsonOut, "drove %d clients over %d tenants, %d requests (batch=%d, wire=%s) in %v",
+		clients, n, requests, batch, sum.Wire, elapsed.Round(time.Millisecond))
+	out(jsonOut, "aggregate throughput: %.0f reports/sec", sum.ReportsSec)
+	p50, p99, maxLat := percentiles(latencies)
+	out(jsonOut, "request latency: p50 %v  p99 %v  max %v",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), maxLat.Round(time.Microsecond))
+	// Verify isolation did not leak reports: each tenant must hold exactly
+	// the slice driven at it.
+	for _, name := range names {
+		st, err := fetchStats(collect.TenantBaseURL(base, name), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got := st.Reports - baseline[name]; got != perTenant[name] {
+			log.Fatalf("tenant %s ingested %d of %d reports this run", name, got, perTenant[name])
+		}
+		sum.PerTenant = append(sum.PerTenant, tenantThroughput{
+			Name:       name,
+			Reports:    perTenant[name],
+			ReportsSec: float64(perTenant[name]) / elapsed.Seconds(),
+		})
+		out(jsonOut, "tenant %s: %d reports, %.0f reports/sec", name, perTenant[name],
+			float64(perTenant[name])/elapsed.Seconds())
+	}
+}
+
+// createTenant registers one tenant through the admin API, treating "already
+// exists" as success so fan-out runs are repeatable against a durable
+// server.
+func createTenant(base, adminTok, name string, spec tenant.Spec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/admin/tenants/"+name, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if adminTok != "" {
+		req.Header.Set("Authorization", "Bearer "+adminTok)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("create tenant %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusConflict {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("create tenant %s: status %s: %s", name, resp.Status, bytes.TrimSpace(msg))
+}
+
 // runTopK creates a mining session and drives the population through its
 // rounds with K concurrent workers, then scores the mined rankings.
-func runTopK(base string, data *core.Dataset, sum *summary,
+func runTopK(base string, hc *http.Client, data *core.Dataset, sum *summary,
 	miner string, optimized bool, k int, eps float64, clients, batch int, seed uint64, jsonOut bool) {
 	opt := topk.Baseline()
 	if optimized {
 		opt = topk.Optimized()
 	}
 	sessionSeed := xrand.New(seed + 2).Uint64()
-	ts, err := collect.NewTopKSession(base, nil, topk.SessionParams{
+	ts, err := collect.NewTopKSession(base, hc, topk.SessionParams{
 		Framework: miner,
 		Classes:   data.Classes,
 		Items:     data.Items,
@@ -536,7 +739,7 @@ func buildMeanDataset(classes, users int, seed uint64) *mean.Dataset {
 // buffered clients, each perturbing its slice of the population locally
 // (the canonical user index rides along, so HEC-Mean's partition is
 // consistent across workers) and shipping batch requests.
-func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *summary,
+func runMean(base string, hc *http.Client, probe *collect.MeanClient, data *mean.Dataset, sum *summary,
 	clients, batch int, ndjson, binary bool, seed uint64, jsonOut bool) {
 	est0, err := probe.Estimates()
 	if err != nil {
@@ -564,7 +767,7 @@ func runMean(base string, probe *collect.MeanClient, data *mean.Dataset, sum *su
 		wg.Add(1)
 		go func(w, firstUser int, values []mean.Value) {
 			defer wg.Done()
-			client, err := collect.NewMeanClient(base, nil, seed+uint64(w)*7919,
+			client, err := collect.NewMeanClient(base, hc, seed+uint64(w)*7919,
 				collect.WithMeanBatchSize(batch), collect.WithMeanNDJSON(ndjson), collect.WithMeanBinary(binary))
 			var lats []time.Duration
 			n := 0
@@ -652,9 +855,11 @@ func fillTiming(sum *summary, lats []time.Duration, requests int, elapsed time.D
 }
 
 // drive submits pairs from one worker, returning per-request latencies and
-// the request count.
-func drive(base string, pairs []core.Pair, batch int, ndjson, binary bool, seed uint64) ([]time.Duration, int, error) {
-	client, err := collect.NewClient(base, nil, seed, collect.WithNDJSON(ndjson), collect.WithBinary(binary))
+// the request count. Extra client options (tenant targeting) append to the
+// wire-format ones.
+func drive(base string, hc *http.Client, pairs []core.Pair, batch int, ndjson, binary bool, seed uint64, opts ...collect.ClientOption) ([]time.Duration, int, error) {
+	copts := append([]collect.ClientOption{collect.WithNDJSON(ndjson), collect.WithBinary(binary)}, opts...)
+	client, err := collect.NewClient(base, hc, seed, copts...)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -73,8 +73,12 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		decoded = append(decoded, rep)
 		accepted = append(accepted, iw.report)
 	}
+	if err := s.admitReports(len(decoded)); err != nil {
+		writeIngestError(w, err)
+		return
+	}
 	if err := s.ingest(accepted, decoded); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeIngestError(w, err)
 		return
 	}
 	var ack WireBatchAck

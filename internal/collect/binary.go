@@ -68,8 +68,12 @@ func (s *Server) handleBinaryReportBatch(w http.ResponseWriter, body []byte) {
 		return
 	}
 	if count > 0 {
+		if err := s.admitReports(count); err != nil {
+			writeIngestError(w, err)
+			return
+		}
 		if err := s.ingestBinary(body); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeIngestError(w, err)
 			return
 		}
 	}
@@ -137,8 +141,12 @@ func (s *Server) handleBinaryMeanBatch(w http.ResponseWriter, body []byte) {
 		return
 	}
 	if count > 0 {
+		if err := s.admitReports(count); err != nil {
+			writeIngestError(w, err)
+			return
+		}
 		if err := h.ingestBinary(body); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeIngestError(w, err)
 			return
 		}
 	}

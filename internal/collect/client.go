@@ -47,6 +47,8 @@ const maxRetryDelayFactor = 16
 type Client struct {
 	base      string
 	http      *http.Client
+	tenant    string
+	token     string
 	proto     *core.Protocol
 	enc       core.Encoder
 	rng       *xrand.Rand
@@ -158,32 +160,33 @@ func FetchProtocol(baseURL string, hc *http.Client) (*core.Protocol, WireConfig,
 
 // NewClient fetches the server's configuration from baseURL and prepares
 // the matching local protocol encoder seeded with seed. Servers that
-// predate the protocol field are assumed to speak ptscp.
+// predate the protocol field are assumed to speak ptscp. Options are
+// applied before the configuration fetch, so WithTenant reroutes the fetch
+// itself.
 func NewClient(baseURL string, hc *http.Client, seed uint64, opts ...ClientOption) (*Client, error) {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	proto, cfg, err := FetchProtocol(baseURL, hc)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
 		base:      baseURL,
 		http:      hc,
-		proto:     proto,
-		enc:       proto.Encoder(),
 		rng:       xrand.New(seed),
 		batchSize: DefaultBatchSize,
 		retries:   DefaultRetries,
 		retryBase: DefaultRetryBase,
 		sleep:     time.Sleep,
-		cfg:       cfg,
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.tenant != "" {
+		c.base = TenantBaseURL(c.base, c.tenant)
+	}
+	c.http = BearerClient(c.http, c.token)
+	proto, cfg, err := FetchProtocol(c.base, c.http)
+	if err != nil {
+		return nil, err
+	}
+	c.proto, c.enc, c.cfg = proto, proto.Encoder(), cfg
 	if c.binary && !wireSupports(cfg.Wire, "binary") {
-		return nil, fmt.Errorf("collect: server %s does not advertise the binary wire format (wire=%v)", baseURL, cfg.Wire)
+		return nil, fmt.Errorf("collect: server %s does not advertise the binary wire format (wire=%v)", c.base, cfg.Wire)
 	}
 	return c, nil
 }

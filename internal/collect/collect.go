@@ -138,9 +138,14 @@ type Server struct {
 	ingestMu     sync.RWMutex
 	wal          *wal.Log
 	walDir       string
+	walFreqSub   string // subdirectory of walDir holding the frequency log ("" = walDir itself)
 	walOpts      wal.Options
 	compactAfter int64
 	compacting   atomic.Bool
+
+	// limit, when set, rate-limits ingestion across every report endpoint
+	// (see ratelimit.go); nil means unlimited.
+	limit *rateLimiter
 
 	next   atomic.Uint64 // round-robin shard cursor
 	total  atomic.Int64  // reports ingested; cheap read for acks vs locking every shard
@@ -213,6 +218,18 @@ func WithWAL(dir string) ServerOption {
 // fsync policy (see wal.Options). Zero values keep the WAL defaults.
 func WithWALOptions(o wal.Options) ServerOption {
 	return func(s *Server) { s.walOpts = o }
+}
+
+// WithWALTierLayout moves the frequency tier's log into a freq/
+// subdirectory of the WAL directory, so a server's durable state lays out
+// as <dir>/{freq,mean,topk} — one subdirectory per tier. The default keeps
+// the frequency log at the directory root, which is what every WAL
+// directory created before this option holds; opting in on such a
+// directory would silently orphan its history, so the layout is explicit,
+// not sniffed. Multi-tenant registries (internal/tenant) use it for every
+// tenant directory.
+func WithWALTierLayout() ServerOption {
+	return func(s *Server) { s.walFreqSub = "freq" }
 }
 
 // WithCompactAfter sets how many WAL bytes may accumulate past the last
@@ -402,6 +419,13 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.StatsSnapshot())
+}
+
+// StatsSnapshot assembles the operational snapshot served at GET /stats.
+// Exported so mounting layers (the multi-tenant registry) can embed one
+// server's view inside a larger stats document.
+func (s *Server) StatsSnapshot() WireStats {
 	st := WireStats{Reports: s.Reports(), Shards: s.Shards()}
 	if s.proto != nil {
 		st.Protocol = s.proto.Name()
@@ -422,7 +446,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			st.WAL.LastSnapshot = ws.LastSnapshot.UTC().Format(time.RFC3339)
 		}
 	}
-	writeJSON(w, st)
+	return st
 }
 
 // readBody drains the request body under the server's report-batch size
@@ -496,8 +520,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if err := s.admitReports(1); err != nil {
+		writeIngestError(w, err)
+		return
+	}
 	if err := s.ingest([]WireReport{rep}, []core.Report{decoded}); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeIngestError(w, err)
 		return
 	}
 	writeJSON(w, map[string]int{"reports": s.Reports()})

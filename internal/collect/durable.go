@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/wal"
@@ -51,7 +52,9 @@ func envelopeRecord(env []byte) []byte {
 // tail is re-ingested on top. Called from NewServer before the handler is
 // exposed, so no locking is needed beyond what apply/install already do.
 func (s *Server) openWAL() error {
-	l, err := wal.Open(s.walDir, s.walOpts)
+	// The frequency log sits at the directory root by default; under
+	// WithWALTierLayout it moves into freq/ (Join with "" is the identity).
+	l, err := wal.Open(filepath.Join(s.walDir, s.walFreqSub), s.walOpts)
 	if err != nil {
 		return fmt.Errorf("collect: %w", err)
 	}

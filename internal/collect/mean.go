@@ -166,8 +166,12 @@ func (s *Server) handleMeanReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if err := s.admitReports(1); err != nil {
+		writeIngestError(w, err)
+		return
+	}
 	if err := s.mean.ingest([]WireMeanReport{rep}, []mean.Report{decoded}); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeIngestError(w, err)
 		return
 	}
 	writeJSON(w, map[string]int{"reports": s.MeanReports()})
@@ -204,8 +208,12 @@ func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
 		decoded = append(decoded, rep)
 		accepted = append(accepted, it.report)
 	}
+	if err := s.admitReports(len(decoded)); err != nil {
+		writeIngestError(w, err)
+		return
+	}
 	if err := s.mean.ingest(accepted, decoded); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeIngestError(w, err)
 		return
 	}
 	var ack WireBatchAck

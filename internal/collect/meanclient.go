@@ -30,6 +30,8 @@ import (
 type MeanClient struct {
 	base      string
 	http      *http.Client
+	tenant    string
+	token     string
 	proto     *core.NumericProtocol
 	enc       mean.Encoder
 	rng       *xrand.Rand
@@ -118,32 +120,33 @@ func FetchMeanProtocol(baseURL string, hc *http.Client) (*core.NumericProtocol, 
 }
 
 // NewMeanClient fetches the server's mean configuration from baseURL and
-// prepares the matching local encoder seeded with seed.
+// prepares the matching local encoder seeded with seed. Options are applied
+// before the configuration fetch, so WithMeanTenant reroutes the fetch
+// itself.
 func NewMeanClient(baseURL string, hc *http.Client, seed uint64, opts ...MeanClientOption) (*MeanClient, error) {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	proto, cfg, err := FetchMeanProtocol(baseURL, hc)
-	if err != nil {
-		return nil, err
-	}
 	c := &MeanClient{
 		base:      baseURL,
 		http:      hc,
-		proto:     proto,
-		enc:       proto.Encoder(),
 		rng:       xrand.New(seed),
 		batchSize: DefaultBatchSize,
 		retries:   DefaultRetries,
 		retryBase: DefaultRetryBase,
 		sleep:     time.Sleep,
-		cfg:       cfg,
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.tenant != "" {
+		c.base = TenantBaseURL(c.base, c.tenant)
+	}
+	c.http = BearerClient(c.http, c.token)
+	proto, cfg, err := FetchMeanProtocol(c.base, c.http)
+	if err != nil {
+		return nil, err
+	}
+	c.proto, c.enc, c.cfg = proto, proto.Encoder(), cfg
 	if c.binary && !wireSupports(cfg.Wire, "binary") {
-		return nil, fmt.Errorf("collect: server %s does not advertise the binary wire format for the mean tier (wire=%v)", baseURL, cfg.Wire)
+		return nil, fmt.Errorf("collect: server %s does not advertise the binary wire format for the mean tier (wire=%v)", c.base, cfg.Wire)
 	}
 	return c, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/state"
@@ -91,16 +92,21 @@ func (s *Server) MergeState(env []byte) (int, error) {
 		}
 		return s.mean.mergeDurable(env, agg)
 	}
-	served := "no tier"
-	switch {
-	case s.proto != nil && s.mean != nil:
-		served = fmt.Sprintf("%q / %q", s.proto.Fingerprint(), s.mean.proto.Fingerprint())
-	case s.proto != nil:
-		served = fmt.Sprintf("%q", s.proto.Fingerprint())
-	case s.mean != nil:
-		served = fmt.Sprintf("%q", s.mean.proto.Fingerprint())
+	// Name every tier the server does serve — fingerprint AND protocol — so
+	// an edge operator reading the 409 body can see exactly which side is
+	// misconfigured instead of guessing.
+	var tiers []string
+	if s.proto != nil {
+		tiers = append(tiers, fmt.Sprintf("frequency %q (protocol %s)", s.proto.Fingerprint(), s.proto.Name()))
 	}
-	return 0, fmt.Errorf("%w: envelope %q matches none of this server's tiers (%s)",
+	if s.mean != nil {
+		tiers = append(tiers, fmt.Sprintf("mean %q (protocol %s)", s.mean.proto.Fingerprint(), s.mean.proto.Name()))
+	}
+	served := "no tier"
+	if len(tiers) > 0 {
+		served = strings.Join(tiers, ", ")
+	}
+	return 0, fmt.Errorf("%w: envelope %q matches none of this server's tiers (serving %s)",
 		core.ErrIncompatibleState, fp, served)
 }
 

@@ -664,6 +664,15 @@ func (s *Server) handleTopKReports(w http.ResponseWriter, r *http.Request) {
 			accepted = append(accepted, it.report)
 		}
 	}
+	// The round reports draw from the same server-wide rate bucket as the
+	// other tiers; a refused batch left no trace (not logged, not absorbed)
+	// and may be resubmitted after the hinted delay.
+	if err := s.admitReports(len(accepted)); err != nil {
+		sess.mu.Unlock()
+		h.ingestMu.RUnlock()
+		writeIngestError(w, err)
+		return
+	}
 	// Durability before application: the accepted reports are logged as
 	// one record, so a crash replays exactly what was acknowledged.
 	if h.log != nil && len(accepted) > 0 {
