@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check fmt fmt-fix lint staticcheck fuzz ci
+.PHONY: all build test race bench bench-json bench-check fmt fmt-fix lint staticcheck metrics-lint fuzz ci
 
 all: build test
 
@@ -56,6 +56,12 @@ STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
+# Stand up an in-process all-tier server + tenant registry, scrape their
+# /metrics expositions, and fail on parse errors, naming/structure
+# violations, or a missing required family (see cmd/metricslint).
+metrics-lint:
+	$(GO) run ./cmd/metricslint
+
 # Short-budget runs of the wire-facing fuzz targets (-fuzz takes one
 # target per invocation): the two frequency-report decoders, the binary
 # batch frame decoder (both tiers), the numeric mean-report decoder, the
@@ -81,4 +87,4 @@ else
 	done
 endif
 
-ci: fmt lint staticcheck build race fuzz bench
+ci: fmt lint staticcheck build race metrics-lint fuzz bench

@@ -12,9 +12,13 @@
 // fresh run on stdin is diffed against a committed snapshot, and the exit
 // status is nonzero when any shared benchmark regressed beyond -threshold
 // (fraction, default 0.15). Throughput (reports/s, higher is better) is the
-// preferred comparison metric, falling back to ns/op (lower is better); a
-// benchmark present in the old snapshot but missing from the fresh run is a
-// warning, not a failure, so renames do not wedge CI. In compare mode -out
+// preferred comparison metric, falling back to ns/op (lower is better).
+// When both snapshots also carry allocs/op it is gated as a secondary
+// metric (lower is better) — a benchmark whose committed snapshot says 0
+// allocs/op fails on ANY allocation, which is what pins the binary ingest
+// path's zero-alloc budget. A benchmark present in the old snapshot but
+// missing from the fresh run is a warning, not a failure, so renames do not
+// wedge CI. In compare mode -out
 // names the human-readable report file (default stdout):
 //
 //	go test -run='^$' -bench='CollectIngest|MeanIngest' -benchmem . | \
@@ -153,6 +157,10 @@ func compare(old, fresh *Snapshot, threshold float64) (report string, regressed 
 			verdict, regressed = "FAIL", true
 		}
 		fmt.Fprintf(&sb, "%s %s: %s %.4g -> %.4g (%+.1f%%)\n", verdict, ob.Name, metric, ov, nv, delta*100)
+		if line, bad := compareAllocs(ob, nb, metric, threshold); line != "" {
+			sb.WriteString(line)
+			regressed = regressed || bad
+		}
 	}
 	for _, nb := range fresh.Benchmarks {
 		if !seen[nb.Name] {
@@ -160,6 +168,33 @@ func compare(old, fresh *Snapshot, threshold float64) (report string, regressed 
 		}
 	}
 	return sb.String(), regressed
+}
+
+// compareAllocs applies the secondary allocs/op gate (lower is better) when
+// both runs report it and it was not already the primary metric. A
+// committed 0 allocs/op is a budget, not a baseline: any fresh allocation
+// fails regardless of threshold, since a fraction of zero tolerates
+// nothing and the zero-alloc paths are exactly the ones worth pinning.
+func compareAllocs(ob, nb Benchmark, primary string, threshold float64) (line string, bad bool) {
+	const key = "allocs_per_op"
+	if primary == key {
+		return "", false
+	}
+	ov, okOld := ob.Metrics[key]
+	nv, okNew := nb.Metrics[key]
+	if !okOld || !okNew {
+		return "", false
+	}
+	if ov == 0 {
+		bad = nv > 0
+	} else {
+		bad = nv > ov*(1+threshold)
+	}
+	verdict := "OK  "
+	if bad {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %s: %s %.4g -> %.4g\n", verdict, ob.Name, key, ov, nv), bad
 }
 
 // pickMetric chooses the comparison metric both runs report: throughput

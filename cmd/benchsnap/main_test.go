@@ -145,3 +145,64 @@ func TestCompare(t *testing.T) {
 		}
 	})
 }
+
+// TestCompareAllocsGate pins the secondary allocs/op gate: a committed 0
+// allocs/op is a hard budget (one allocation fails regardless of the
+// throughput column), nonzero baselines get the fractional tolerance, and
+// the gate stays out of the way when either snapshot lacks the column.
+func TestCompareAllocsGate(t *testing.T) {
+	bench := func(name string, metrics map[string]float64) Benchmark {
+		return Benchmark{Name: name, Procs: 1, Iterations: 1, Metrics: metrics}
+	}
+
+	t.Run("zero-alloc budget is hard", func(t *testing.T) {
+		old := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkCollectIngest/binary", map[string]float64{"reports_per_s": 1_000_000, "allocs_per_op": 0}),
+		}}
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			// Throughput steady, but the zero-alloc path now allocates.
+			bench("BenchmarkCollectIngest/binary", map[string]float64{"reports_per_s": 1_000_000, "allocs_per_op": 1}),
+		}}
+		report, regressed := compare(old, fresh, 0.15)
+		if !regressed {
+			t.Fatalf("0 -> 1 allocs/op passed the gate:\n%s", report)
+		}
+		if !strings.Contains(report, "FAIL BenchmarkCollectIngest/binary: allocs_per_op 0 -> 1") {
+			t.Fatalf("report missing the allocs FAIL line:\n%s", report)
+		}
+	})
+
+	t.Run("nonzero baseline gets fractional tolerance", func(t *testing.T) {
+		old := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkMeanIngest", map[string]float64{"ns_per_op": 100, "allocs_per_op": 10}),
+		}}
+		within := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkMeanIngest", map[string]float64{"ns_per_op": 100, "allocs_per_op": 11}),
+		}}
+		if report, regressed := compare(old, within, 0.15); regressed {
+			t.Fatalf("10 -> 11 allocs/op failed a 15%% gate:\n%s", report)
+		}
+		over := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkMeanIngest", map[string]float64{"ns_per_op": 100, "allocs_per_op": 13}),
+		}}
+		if report, regressed := compare(old, over, 0.15); !regressed {
+			t.Fatalf("10 -> 13 allocs/op passed a 15%% gate:\n%s", report)
+		}
+	})
+
+	t.Run("absent column stays silent", func(t *testing.T) {
+		old := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 100}),
+		}}
+		fresh := &Snapshot{Benchmarks: []Benchmark{
+			bench("BenchmarkPerturb", map[string]float64{"ns_per_op": 100, "allocs_per_op": 50}),
+		}}
+		report, regressed := compare(old, fresh, 0.15)
+		if regressed {
+			t.Fatalf("allocs gate fired without a committed baseline:\n%s", report)
+		}
+		if strings.Contains(report, "allocs_per_op") {
+			t.Fatalf("allocs line rendered without both columns:\n%s", report)
+		}
+	})
+}

@@ -59,11 +59,13 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,6 +73,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tenant"
 	"repro/internal/wal"
 	"repro/internal/xrand"
@@ -98,14 +101,24 @@ func main() {
 		topkOn    = flag.Bool("topk", false, "serve interactive top-k mining sessions under /topk/sessions (serve mode)")
 		topkMax   = flag.Int("topk-max-sessions", 0, "cap on tracked mining sessions (serve mode; 0 = default 64)")
 		tenants   = flag.String("tenants", "", "JSON file with an array of tenant specs: serve a multi-tenant registry instead of one collection (serve mode)")
-		adminTok  = flag.String("admin-token", "", "bearer token guarding /admin/tenants (tenants mode; empty = open)")
+		adminTok  = flag.String("admin-token", "", "bearer token guarding /admin/tenants and /debug/pprof (serve modes; empty = open)")
 		maxTen    = flag.Int("max-tenants", 0, "cap on hosted tenants (tenants mode; 0 = default 1024)")
 		users     = flag.Int("users", 10000, "simulated users (simulate mode)")
 		batch     = flag.Int("batch", 256, "reports per batch request (simulate mode; 0 = one request per report)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout (serve mode)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "kv", "structured log line format: kv | json")
 	)
 	flag.Parse()
+	if err := obs.SetupDefault(*logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
+	// Route the stdlib log package (log.Fatal below) through the structured
+	// logger so every line this process emits has the same shape.
+	log.SetFlags(0)
+	log.SetOutput(obs.StdlogWriter(obs.LevelError))
+	logger := obs.Default()
 
 	switch {
 	case *serve && *tenants != "":
@@ -143,13 +156,13 @@ func main() {
 			}
 		}
 		if *walDir != "" {
-			log.Printf("tenant registry in %s (sync=%s)", *walDir, *walSync)
+			logger.Info("tenant registry durable", "dir", *walDir, "sync", *walSync)
 		}
-		log.Printf("serving %d tenants on %s: %v", len(reg.Names()), *addr, reg.Names())
+		logger.Info("serving tenants", "count", len(reg.Names()), "addr", *addr, "names", fmt.Sprint(reg.Names()))
 		runServer(*addr, reg.Handler(), *drain, reg.Close, func() {
 			for _, name := range reg.Names() {
 				if srv := reg.Tenant(name); srv != nil {
-					log.Printf("tenant %s: %d reports ingested", name, srv.Reports()+srv.MeanReports())
+					logger.Info("tenant final total", "tenant", name, "reports", srv.Reports()+srv.MeanReports())
 				}
 			}
 		})
@@ -195,27 +208,26 @@ func main() {
 			log.Fatal(err)
 		}
 		if *walDir != "" {
-			log.Printf("write-ahead log in %s (sync=%s), %d reports recovered", *walDir, *walSync, srv.Reports()+srv.MeanReports())
+			logger.Info("write-ahead log open", "dir", *walDir, "sync", *walSync,
+				"recovered_reports", srv.Reports()+srv.MeanReports())
 		}
 		if *meanOn != "" {
 			np := srv.MeanProtocol()
-			log.Printf("numeric mean tier (%s, c=%d ε=%v) enabled under /mean", np.Name(), np.Classes(), np.Epsilon())
+			logger.Info("numeric mean tier enabled", "path", "/mean",
+				"protocol", np.Name(), "classes", np.Classes(), "eps", np.Epsilon())
 		}
 		if *topkOn {
-			log.Printf("interactive top-k mining sessions enabled under /topk/sessions")
+			logger.Info("top-k mining sessions enabled", "path", "/topk/sessions")
 		}
 		if p := srv.Protocol(); p != nil {
-			log.Printf("collecting %s reports on %s (c=%d d=%d ε=%v, %d shards)",
-				p.Name(), *addr, p.Classes(), p.Items(), p.Epsilon(), srv.Shards())
+			logger.Info("collecting", "addr", *addr, "protocol", p.Name(),
+				"classes", p.Classes(), "items", p.Items(), "eps", p.Epsilon(), "shards", srv.Shards())
 		} else {
-			log.Printf("collecting on %s (no frequency tier)", *addr)
+			logger.Info("collecting", "addr", *addr, "freq_tier", false)
 		}
-		runServer(*addr, srv.Handler(), *drain, srv.Close, func() {
-			if n := srv.MeanReports(); n > 0 {
-				log.Printf("final total: %d reports ingested (%d frequency, %d mean)", srv.Reports()+n, srv.Reports(), n)
-			} else {
-				log.Printf("final total: %d reports ingested", srv.Reports())
-			}
+		runServer(*addr, withPprof(srv.Handler(), *adminTok), *drain, srv.Close, func() {
+			logger.Info("final total", "reports", srv.Reports()+srv.MeanReports(),
+				"freq", srv.Reports(), "mean", srv.MeanReports())
 		})
 
 	case *simulate:
@@ -227,7 +239,8 @@ func main() {
 		// server's config, not the local flags: submitting pairs outside the
 		// round's domain is a client bug.
 		cfg := client.Config()
-		log.Printf("server speaks %s (c=%d d=%d ε=%v)", cfg.Protocol, cfg.Classes, cfg.Items, cfg.Epsilon)
+		logger.Info("server config", "protocol", cfg.Protocol,
+			"classes", cfg.Classes, "items", cfg.Items, "eps", cfg.Epsilon)
 		r := xrand.New(*seed)
 		start := time.Now()
 		for i := 0; i < *users; i++ {
@@ -261,6 +274,36 @@ func main() {
 	}
 }
 
+// withPprof wraps a plain collect handler with the net/http/pprof routes,
+// guarded by the admin bearer token (open when the token is empty — the
+// same development-mode rule as the tenant admin routes). The multi-tenant
+// registry mounts its own guarded pprof, so this is only for plain serve.
+func withPprof(h http.Handler, token string) http.Handler {
+	guard := func(hf http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if token != "" {
+				auth := req.Header.Get("Authorization")
+				const prefix = "Bearer "
+				if len(auth) < len(prefix) || auth[:len(prefix)] != prefix ||
+					subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) != 1 {
+					w.Header().Set("WWW-Authenticate", `Bearer realm="pprof"`)
+					http.Error(w, "missing or invalid admin token", http.StatusUnauthorized)
+					return
+				}
+			}
+			hf(w, req)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", guard(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", guard(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", guard(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", guard(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", guard(pprof.Trace))
+	mux.Handle("/", h)
+	return mux
+}
+
 // runServer serves handler until SIGINT/SIGTERM, then drains in-flight
 // requests, closes the durable state via closer, and runs final to log the
 // run's totals.
@@ -279,17 +322,17 @@ func runServer(addr string, handler http.Handler, drain time.Duration, closer fu
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutting down (draining for up to %v)", drain)
+	obs.Default().Info("shutting down", "drain", drain)
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		obs.Default().Error("shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		obs.Default().Error("serve", "err", err)
 	}
 	if err := closer(); err != nil {
-		log.Printf("close: %v", err)
+		obs.Default().Error("close durable state", "err", err)
 	}
 	final()
 }

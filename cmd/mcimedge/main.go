@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -62,8 +63,18 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "write-ahead log directory (empty = not durable)")
 		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | never")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat  = flag.String("log-format", "kv", "structured log line format: kv | json")
 	)
 	flag.Parse()
+	if err := obs.SetupDefault(*logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
+	// Route the stdlib log package (log.Fatal below) through the structured
+	// logger so every line this process emits has the same shape.
+	log.SetFlags(0)
+	log.SetOutput(obs.StdlogWriter(obs.LevelError))
+	logger := obs.Default()
 
 	// Tenant targeting is a pure client-side transform: prefix the upstream
 	// base with the tenant's routes and carry its bearer token on every
@@ -96,8 +107,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if *walDir != "" && srv.Reports()+srv.MeanReports() > 0 {
-		log.Printf("recovered %d unpushed reports from %s (%d frequency, %d mean)",
-			srv.Reports()+srv.MeanReports(), *walDir, srv.Reports(), srv.MeanReports())
+		logger.Info("recovered unpushed reports", "dir", *walDir,
+			"reports", srv.Reports()+srv.MeanReports(), "freq", srv.Reports(), "mean", srv.MeanReports())
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -108,15 +119,19 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	tiers := ""
 	if proto != nil {
-		tiers = proto.Name() + " "
+		tiers = proto.Name()
 	}
 	if meanProto != nil {
-		tiers += "+ mean(" + meanProto.Name() + ") "
+		if tiers != "" {
+			tiers += "+"
+		}
+		tiers += "mean(" + meanProto.Name() + ")"
 	}
-	log.Printf("edge collecting %sreports on %s, pushing to %s every %v",
-		tiers, *addr, upstreamBase, *pushEvery)
+	logger.Info("edge collecting", "addr", *addr, "tiers", tiers,
+		"upstream", upstreamBase, "push_every", *pushEvery)
 
-	pusher := &pusher{srv: srv, proto: proto, meanProto: meanProto, upstream: upstreamBase, hc: hc}
+	pusher := &pusher{srv: srv, proto: proto, meanProto: meanProto, upstream: upstreamBase, hc: hc,
+		metrics: collect.NewEdgeMetrics(srv.Metrics())}
 	ticker := time.NewTicker(*pushEvery)
 	defer ticker.Stop()
 
@@ -132,32 +147,26 @@ loop:
 		}
 	}
 	stop()
-	log.Printf("shutting down (draining for up to %v)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Error("serve", "err", err)
 	}
 	// Final push so a clean shutdown leaves nothing behind on the edge.
 	pusher.push()
 	if err := srv.Close(); err != nil {
-		log.Printf("close wal: %v", err)
+		logger.Error("close wal", "err", err)
 	}
 	if pusher.unpushed > 0 {
-		log.Printf("exiting with %d unpushed reports still local%s", pusher.unpushed, walNote(*walDir))
+		logger.Warn("exiting with unpushed reports still local",
+			"reports", pusher.unpushed, "recoverable", *walDir != "", "wal_dir", *walDir)
 	} else {
-		log.Printf("exiting clean: all reports pushed upstream")
+		logger.Info("exiting clean: all reports pushed upstream")
 	}
-}
-
-func walNote(dir string) string {
-	if dir == "" {
-		return " (LOST: no -wal-dir)"
-	}
-	return " (recoverable from " + dir + ")"
 }
 
 // fetchProtocols resolves the upstream's tiers through the shared
@@ -205,23 +214,29 @@ type pusher struct {
 	meanProto *core.NumericProtocol
 	upstream  string
 	hc        *http.Client
+	metrics   *collect.EdgeMetrics
 	unpushed  int
 }
 
 func (p *pusher) push() {
 	// Whatever happens below, the "unpushed" gauge must reflect what is
 	// actually still held locally, across both tiers.
-	defer func() { p.unpushed = p.srv.Reports() + p.srv.MeanReports() }()
+	defer func() {
+		p.unpushed = p.srv.Reports() + p.srv.MeanReports()
+		p.metrics.Unpushed.Set(float64(p.unpushed))
+	}()
 	if p.proto != nil {
-		env, n, ok := drainEnvelope("frequency", p.srv.Drain, p.proto.MarshalAggregator)
+		env, n, ok := drainEnvelope("freq", p.srv.Drain, p.proto.MarshalAggregator)
 		if ok {
-			p.ship(env, n, "")
+			p.metrics.DrainReports.Observe(float64(n))
+			p.ship(env, n, "freq")
 		}
 	}
 	if p.meanProto != nil {
 		env, n, ok := drainEnvelope("mean", p.srv.DrainMean, p.meanProto.MarshalAggregator)
 		if ok {
-			p.ship(env, n, "mean ")
+			p.metrics.DrainReports.Observe(float64(n))
+			p.ship(env, n, "mean")
 		}
 	}
 }
@@ -234,7 +249,7 @@ func drainEnvelope[A interface{ N() int }](tier string, drain func() (A, error),
 	if err != nil {
 		// Drain is atomic: the reports stayed local (in memory and in the
 		// WAL), so the next tick simply retries the whole drain.
-		log.Printf("push: drain %s tier: %v (reports held locally)", tier, err)
+		obs.Default().Error("push: drain failed, reports held locally", "tier", tier, "err", err)
 		return nil, 0, false
 	}
 	if n = taken.N(); n == 0 {
@@ -242,45 +257,51 @@ func drainEnvelope[A interface{ N() int }](tier string, drain func() (A, error),
 	}
 	env, err = marshal(taken)
 	if err != nil {
-		log.Printf("push: marshal %d %s reports: %v (dropped)", n, tier, err)
+		obs.Default().Error("push: marshal failed, reports dropped", "tier", tier, "reports", n, "err", err)
 		return nil, 0, false
 	}
 	return env, n, true
 }
 
 // ship POSTs one envelope to the upstream /merge and handles the verdict;
-// label distinguishes the tiers in logs.
-func (p *pusher) ship(env []byte, n int, label string) {
+// tier distinguishes the tiers in logs.
+func (p *pusher) ship(env []byte, n int, tier string) {
+	logger := obs.Default().With("tier", tier, "reports", n)
 	verdict, err := postMerge(p.upstream, p.hc, env)
 	switch verdict {
 	case pushOK:
-		log.Printf("pushed %d %sreports upstream", n, label)
+		p.metrics.PushOK.Inc()
+		logger.Info("pushed reports upstream")
 	case pushRetriable:
+		p.metrics.PushRetriable.Inc()
 		// The upstream definitively did not ingest the envelope and the
 		// condition is transient (5xx, or the connection never came up):
 		// fold it back in and retry next tick together with whatever
 		// arrived meanwhile. MergeState routes the envelope to its tier by
 		// fingerprint.
 		if _, merr := p.srv.MergeState(env); merr != nil {
-			log.Printf("push: upstream unavailable (%v) AND local re-merge failed (%v): %d %sreports dropped", err, merr, n, label)
+			logger.Error("push: upstream unavailable AND local re-merge failed, reports dropped",
+				"err", err, "merge_err", merr)
 			return
 		}
-		log.Printf("push: upstream unavailable (%v): %d %sreports held for retry", err, n, label)
+		logger.Warn("push: upstream unavailable, reports held for retry", "err", err)
 	case pushPermanent:
+		p.metrics.PushPermanent.Inc()
 		// The upstream refused the envelope for a reason a retry cannot
 		// fix (fingerprint mismatch after a root reconfiguration, an
 		// envelope over the upstream's size cap): retrying the identical
 		// push forever would only grow the local backlog without bound.
 		// Drop it and say so loudly — this is an operator problem.
-		log.Printf("push: upstream permanently refused (%v): %d %sreports dropped — check that the upstream round configuration matches", err, n, label)
+		logger.Error("push: upstream permanently refused, reports dropped — check that the upstream configuration matches", "err", err)
 	default: // pushAmbiguous
+		p.metrics.PushAmbiguous.Inc()
 		// The request may have been delivered and the response lost, so
 		// the upstream may already have ingested the envelope. Re-pushing
 		// could double-count every report in it, which would silently skew
 		// estimates; dropping loses at most this push's noise-level
 		// contribution. Same at-most-once call collect.Client makes for
 		// in-flight batches.
-		log.Printf("push: transport error (%v): %d %sreports dropped (upstream may have ingested them)", err, n, label)
+		logger.Error("push: transport error, reports dropped (upstream may have ingested them)", "err", err)
 	}
 }
 

@@ -59,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,6 +68,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mean"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tenant"
 	"repro/internal/topk"
 	"repro/internal/xrand"
@@ -102,6 +104,10 @@ type summary struct {
 	// Tenant fan-out mode (-tenants N).
 	Tenants   int                `json:"tenants,omitempty"`
 	PerTenant []tenantThroughput `json:"per_tenant,omitempty"`
+
+	// Scrape is the -scrape time series: one point per poll of the
+	// server's GET /metrics during the run, plus a final point at the end.
+	Scrape []scrapePoint `json:"scrape,omitempty"`
 }
 
 // tenantThroughput is one tenant's slice of a fan-out run.
@@ -138,8 +144,18 @@ func main() {
 		token     = flag.String("token", "", "bearer token for the targeted tenant's data routes")
 		tenantsN  = flag.Int("tenants", 0, "fan the freq workload out over N tenants load-0..load-(N-1), created via the admin API (0 = off)")
 		adminTok  = flag.String("admin-token", "", "admin bearer token for -tenants fan-out creation")
+		scrape    = flag.Duration("scrape", 0, "poll the server's GET /metrics at this interval during the run, recording a time series in the -json summary (0 = off)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "kv", "structured log line format: kv | json")
 	)
 	flag.Parse()
+	if err := obs.SetupDefault(*logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
+	// Route the stdlib log package through the structured logger so every
+	// progress line this tool emits has the same shape.
+	log.SetFlags(0)
+	log.SetOutput(obs.StdlogWriter(obs.LevelInfo))
 	if (*url == "") == !*selfserve {
 		fmt.Fprintln(os.Stderr, "mcimload: exactly one of -url or -selfserve is required")
 		flag.Usage()
@@ -233,6 +249,10 @@ func main() {
 	}
 
 	sum := summary{Mode: *mode, Clients: *clients, Batch: *batch, Wire: *wire}
+	var scr *scraper
+	if *scrape > 0 {
+		scr = startScraper(base, hc, *scrape)
+	}
 	if *tenantsN > 0 {
 		if binary && *batch < 1 {
 			log.Fatalf("mcimload: -wire binary needs batched submission (-batch >= 1)")
@@ -284,6 +304,9 @@ func main() {
 			sum.K = *k
 			runTopK(base, hc, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
 		}
+	}
+	if scr != nil {
+		sum.Scrape = scr.stop()
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -338,6 +361,86 @@ func fetchStats(base string, hc *http.Client) (*collect.WireStats, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// scrapePoint is one poll of the target's GET /metrics: seconds since the
+// scraper started and every mcim_ sample at that instant (histogram
+// per-bucket lines skipped for compactness; _sum and _count carried).
+type scrapePoint struct {
+	ElapsedSec float64            `json:"elapsed_sec"`
+	Samples    map[string]float64 `json:"samples"`
+}
+
+// scraper polls GET /metrics on a fixed interval for the duration of a run.
+type scraper struct {
+	done   chan struct{}
+	points chan []scrapePoint
+}
+
+// startScraper begins polling base+"/metrics" every interval. Scrape
+// failures are logged and skipped — a load run must not die because a
+// scrape raced server startup.
+func startScraper(base string, hc *http.Client, every time.Duration) *scraper {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	s := &scraper{done: make(chan struct{}), points: make(chan []scrapePoint, 1)}
+	go func() {
+		var pts []scrapePoint
+		start := time.Now()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if p, err := scrapeOnce(base, hc, start); err == nil {
+					pts = append(pts, p)
+				} else {
+					log.Printf("scrape: %v", err)
+				}
+			case <-s.done:
+				// A final point so the series always covers the run's end
+				// state, even when the run finished inside one interval.
+				if p, err := scrapeOnce(base, hc, start); err == nil {
+					pts = append(pts, p)
+				} else {
+					log.Printf("scrape: %v", err)
+				}
+				s.points <- pts
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// stop takes the final scrape and returns the collected series.
+func (s *scraper) stop() []scrapePoint {
+	close(s.done)
+	return <-s.points
+}
+
+func scrapeOnce(base string, hc *http.Client, start time.Time) (scrapePoint, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return scrapePoint{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scrapePoint{}, fmt.Errorf("metrics status %s", resp.Status)
+	}
+	expo, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return scrapePoint{}, err
+	}
+	samples := make(map[string]float64)
+	for key, v := range expo.Samples() {
+		if !strings.HasPrefix(key, "mcim_") || strings.Contains(key, "_bucket") {
+			continue
+		}
+		samples[key] = v
+	}
+	return scrapePoint{ElapsedSec: time.Since(start).Seconds(), Samples: samples}, nil
 }
 
 // out prints human-readable results unless the run is in -json mode (where

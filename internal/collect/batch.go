@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 )
@@ -48,17 +49,21 @@ type WireBatchAck struct {
 // rejected per item while the rest of the batch is accepted. Binary frames
 // are all-or-nothing instead (see binary.go).
 func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
-	body, release, ok := s.readBodyPooled(w, r)
+	start := time.Now()
+	m := s.freqM
+	body, release, ok := s.readBodyPooled(w, r, m)
 	if !ok {
 		return
 	}
 	defer release()
+	m.bytes.Add(int64(len(body)))
 	if isBinaryContentType(r.Header.Get("Content-Type")) {
-		s.handleBinaryReportBatch(w, body)
+		s.handleBinaryReportBatch(w, body, start)
 		return
 	}
 	wires, itemErrs, droppedTail, err := decodeBatch(body)
 	if err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -74,13 +79,18 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		accepted = append(accepted, iw.report)
 	}
 	if err := s.admitReports(len(decoded)); err != nil {
+		m.observeIngestError(err, len(decoded))
 		writeIngestError(w, err)
 		return
 	}
 	if err := s.ingest(accepted, decoded); err != nil {
+		m.observeIngestError(err, len(decoded))
 		writeIngestError(w, err)
 		return
 	}
+	m.batchesJSON.Inc()
+	m.reportsJSON.Add(int64(len(decoded)))
+	m.rejectedItem.Add(int64(len(itemErrs) + droppedTail))
 	var ack WireBatchAck
 	ack.Accepted = len(decoded)
 	ack.Rejected = len(itemErrs) + droppedTail
@@ -91,6 +101,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ack.Errors = itemErrs
 	writeJSON(w, ack)
+	m.latency.Observe(time.Since(start).Seconds())
 }
 
 // indexedWire pairs a decoded wire report with its position in the

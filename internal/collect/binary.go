@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // This file is the binary wire path of both report tiers — the
@@ -61,23 +62,30 @@ func isBinaryContentType(ct string) bool {
 // to end first (CRC, header, every record against the protocol's wire
 // shape), then logged and applied — so a 400 frame provably left no trace,
 // and the WAL only ever holds frames that replay cleanly.
-func (s *Server) handleBinaryReportBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) handleBinaryReportBatch(w http.ResponseWriter, body []byte, start time.Time) {
+	m := s.freqM
 	count, err := s.proto.ValidateBinaryBatch(body)
 	if err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if count > 0 {
 		if err := s.admitReports(count); err != nil {
+			m.observeIngestError(err, count)
 			writeIngestError(w, err)
 			return
 		}
 		if err := s.ingestBinary(body); err != nil {
+			m.observeIngestError(err, count)
 			writeIngestError(w, err)
 			return
 		}
 	}
+	m.batchesBinary.Inc()
+	m.reportsBinary.Add(int64(count))
 	writeJSON(w, WireBatchAck{Accepted: count, Reports: s.Reports()})
+	m.latency.Observe(time.Since(start).Seconds())
 }
 
 // ingestBinary is ingest for a validated binary frame: the raw frame is
@@ -133,24 +141,31 @@ func (s *Server) replayBinaryRecord(frame []byte) error {
 
 // handleBinaryMeanBatch is the mean half of the binary path, with the same
 // validate-then-ingest contract as the frequency handler.
-func (s *Server) handleBinaryMeanBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) handleBinaryMeanBatch(w http.ResponseWriter, body []byte, start time.Time) {
 	h := s.mean
+	m := h.metrics
 	count, err := h.proto.ValidateBinaryMeanBatch(body)
 	if err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if count > 0 {
 		if err := s.admitReports(count); err != nil {
+			m.observeIngestError(err, count)
 			writeIngestError(w, err)
 			return
 		}
 		if err := h.ingestBinary(body); err != nil {
+			m.observeIngestError(err, count)
 			writeIngestError(w, err)
 			return
 		}
 	}
+	m.batchesBinary.Inc()
+	m.reportsBinary.Add(int64(count))
 	writeJSON(w, WireBatchAck{Accepted: count, Reports: s.MeanReports()})
+	m.latency.Observe(time.Since(start).Seconds())
 }
 
 // ingestBinary mirrors the frequency tier's binary ingest against the

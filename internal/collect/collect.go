@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -105,6 +106,10 @@ type WireStats struct {
 	TopK *WireTopKStats `json:"topk,omitempty"`
 	// Mean is present only on servers hosting the numeric mean tier.
 	Mean *WireMeanStats `json:"mean,omitempty"`
+	// UptimeSeconds is how long ago this server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies the binary: Go toolchain version and VCS revision.
+	Build *obs.BuildInfo `json:"build,omitempty"`
 }
 
 // WireWALStats is the durability slice of /stats: how much log a restart
@@ -158,6 +163,13 @@ type Server struct {
 	// mean hosts the numeric mean tier when WithMean is set (see mean.go);
 	// nil otherwise.
 	mean *meanHub
+
+	// Observability (see obs.go): the registry behind GET /metrics, the
+	// structured logger, and the pre-resolved hot-path handles.
+	obs     *obs.Registry
+	logger  *obs.Logger
+	started time.Time
+	freqM   *tierMetrics
 }
 
 // ServerOption configures a Server beyond the protocol parameters.
@@ -323,6 +335,9 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 		}
 		s.mean.init(shardCount, s.maxBody)
 	}
+	// Metrics before the WALs open: the logs' hook counters and the replay
+	// instrumentation live on the registry built here.
+	s.initObs()
 	if s.walDir != "" {
 		// Every accepted /merge envelope becomes one WAL record (plus a
 		// type byte); cap acceptance at what the log can actually frame, or
@@ -366,6 +381,7 @@ func (s *Server) Shards() int { return len(s.shards) }
 //	                  (routed to the frequency or mean tier by fingerprint)
 //	GET  /estimates → WireEstimates (the protocol's calibrated frequencies)
 //	GET  /stats     → WireStats (reports ingested, shard count, protocol, WAL)
+//	GET  /metrics   → Prometheus text exposition of the server's registry
 //	GET  /healthz   → 200 ok
 //
 // With WithMean, the numeric mean tier is mounted too (the frequency
@@ -394,6 +410,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("POST /merge", s.handleMerge)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.obs.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -426,7 +443,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Exported so mounting layers (the multi-tenant registry) can embed one
 // server's view inside a larger stats document.
 func (s *Server) StatsSnapshot() WireStats {
-	st := WireStats{Reports: s.Reports(), Shards: s.Shards()}
+	build := obs.Build()
+	st := WireStats{
+		Reports:       s.Reports(),
+		Shards:        s.Shards(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         &build,
+	}
 	if s.proto != nil {
 		st.Protocol = s.proto.Name()
 	}
@@ -467,8 +490,9 @@ const maxPooledBodyBytes = 4 << 20
 // readBodyPooled is readBody backed by a pooled buffer. The returned bytes
 // alias the buffer: callers must be done with them (and anything aliasing
 // them) before calling release, and must call release exactly once on
-// every ok return.
-func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request) (body []byte, release func(), ok bool) {
+// every ok return. m is the calling tier's instrumentation: bodies over
+// the size cap count under its body-rejection series.
+func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request, m *tierMetrics) (body []byte, release func(), ok bool) {
 	buf := bodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	release = func() {
@@ -480,6 +504,7 @@ func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request) (body []
 		release()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			m.rejectedBody.Inc()
 			http.Error(w, fmt.Sprintf("collect: body exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
 		} else {
 			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
@@ -510,24 +535,30 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	m := s.freqM
 	var rep WireReport
 	if err := json.Unmarshal(body, &rep); err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	decoded, err := s.proto.DecodeReport(rep)
 	if err != nil {
+		m.rejectedItem.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := s.admitReports(1); err != nil {
+		m.observeIngestError(err, 1)
 		writeIngestError(w, err)
 		return
 	}
 	if err := s.ingest([]WireReport{rep}, []core.Report{decoded}); err != nil {
+		m.observeIngestError(err, 1)
 		writeIngestError(w, err)
 		return
 	}
+	m.reportsJSON.Inc()
 	writeJSON(w, map[string]int{"reports": s.Reports()})
 }
 

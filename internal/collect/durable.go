@@ -3,8 +3,8 @@ package collect
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/wal"
@@ -52,12 +52,16 @@ func envelopeRecord(env []byte) []byte {
 // tail is re-ingested on top. Called from NewServer before the handler is
 // exposed, so no locking is needed beyond what apply/install already do.
 func (s *Server) openWAL() error {
+	opts := s.walOpts
+	wm, replayG := NewWALMetrics(s.obs, "freq")
+	opts.Metrics = wm
 	// The frequency log sits at the directory root by default; under
 	// WithWALTierLayout it moves into freq/ (Join with "" is the identity).
-	l, err := wal.Open(filepath.Join(s.walDir, s.walFreqSub), s.walOpts)
+	l, err := wal.Open(filepath.Join(s.walDir, s.walFreqSub), opts)
 	if err != nil {
 		return fmt.Errorf("collect: %w", err)
 	}
+	replayStart := time.Now()
 	err = l.Replay(
 		func(snap []byte) error {
 			agg, err := s.proto.UnmarshalAggregator(snap)
@@ -73,6 +77,7 @@ func (s *Server) openWAL() error {
 		l.Close()
 		return err
 	}
+	replayG.Set(time.Since(replayStart).Seconds())
 	s.wal = l
 	return nil
 }
@@ -129,7 +134,8 @@ func (s *Server) maybeCompact() {
 	go func() {
 		defer s.compacting.Store(false)
 		if err := s.Compact(); err != nil {
-			log.Printf("collect: background wal compaction: %v", err)
+			s.logger.Error("background wal compaction failed",
+				"tier", "freq", "segments", s.wal.Stats().Segments, "err", err)
 		}
 	}()
 }

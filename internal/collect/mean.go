@@ -3,7 +3,6 @@ package collect
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"path/filepath"
 	"sync"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mean"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -102,6 +102,9 @@ type meanHub struct {
 	next   atomic.Uint64
 	total  atomic.Int64
 	shards []*meanShard
+
+	metrics *tierMetrics
+	logger  *obs.Logger
 }
 
 // init builds the hub's shards; called from NewServer after options.
@@ -152,28 +155,34 @@ func (s *Server) handleMeanConfig(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMeanReport(w http.ResponseWriter, r *http.Request) {
+	m := s.mean.metrics
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
 	var rep WireMeanReport
 	if err := json.Unmarshal(body, &rep); err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	decoded, err := s.mean.proto.DecodeMeanReport(rep)
 	if err != nil {
+		m.rejectedItem.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := s.admitReports(1); err != nil {
+		m.observeIngestError(err, 1)
 		writeIngestError(w, err)
 		return
 	}
 	if err := s.mean.ingest([]WireMeanReport{rep}, []mean.Report{decoded}); err != nil {
+		m.observeIngestError(err, 1)
 		writeIngestError(w, err)
 		return
 	}
+	m.reportsJSON.Inc()
 	writeJSON(w, map[string]int{"reports": s.MeanReports()})
 }
 
@@ -183,17 +192,21 @@ func (s *Server) handleMeanReport(w http.ResponseWriter, r *http.Request) {
 // whole body under the server's size cap (413 beyond it), per-item
 // validation with itemized rejections.
 func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
-	body, release, ok := s.readBodyPooled(w, r)
+	start := time.Now()
+	m := s.mean.metrics
+	body, release, ok := s.readBodyPooled(w, r, m)
 	if !ok {
 		return
 	}
 	defer release()
+	m.bytes.Add(int64(len(body)))
 	if isBinaryContentType(r.Header.Get("Content-Type")) {
-		s.handleBinaryMeanBatch(w, body)
+		s.handleBinaryMeanBatch(w, body, start)
 		return
 	}
 	items, itemErrs, droppedTail, err := decodeBatchItems[WireMeanReport](body)
 	if err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -209,13 +222,18 @@ func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
 		accepted = append(accepted, it.report)
 	}
 	if err := s.admitReports(len(decoded)); err != nil {
+		m.observeIngestError(err, len(decoded))
 		writeIngestError(w, err)
 		return
 	}
 	if err := s.mean.ingest(accepted, decoded); err != nil {
+		m.observeIngestError(err, len(decoded))
 		writeIngestError(w, err)
 		return
 	}
+	m.batchesJSON.Inc()
+	m.reportsJSON.Add(int64(len(decoded)))
+	m.rejectedItem.Add(int64(len(itemErrs) + droppedTail))
 	var ack WireBatchAck
 	ack.Accepted = len(decoded)
 	ack.Rejected = len(itemErrs) + droppedTail
@@ -226,6 +244,7 @@ func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ack.Errors = itemErrs
 	writeJSON(w, ack)
+	m.latency.Observe(time.Since(start).Seconds())
 }
 
 func (s *Server) handleMeanEstimates(w http.ResponseWriter, _ *http.Request) {
@@ -360,6 +379,7 @@ func (h *meanHub) mergeDurable(env []byte, agg mean.Aggregator) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	h.metrics.merged.Add(int64(n))
 	h.maybeCompact()
 	return n, nil
 }
@@ -369,10 +389,14 @@ func (h *meanHub) mergeDurable(env []byte, agg mean.Aggregator) (int, error) {
 func (s *Server) openMeanWAL() error {
 	h := s.mean
 	h.compactAfter = s.compactAfter
-	l, err := wal.Open(filepath.Join(s.walDir, "mean"), s.walOpts)
+	opts := s.walOpts
+	wm, replayG := NewWALMetrics(s.obs, "mean")
+	opts.Metrics = wm
+	l, err := wal.Open(filepath.Join(s.walDir, "mean"), opts)
 	if err != nil {
 		return fmt.Errorf("collect: mean tier: %w", err)
 	}
+	replayStart := time.Now()
 	err = l.Replay(
 		func(snap []byte) error {
 			agg, err := h.proto.UnmarshalAggregator(snap)
@@ -388,6 +412,7 @@ func (s *Server) openMeanWAL() error {
 		l.Close()
 		return err
 	}
+	replayG.Set(time.Since(replayStart).Seconds())
 	h.log = l
 	return nil
 }
@@ -442,7 +467,8 @@ func (h *meanHub) maybeCompact() {
 	go func() {
 		defer h.compacting.Store(false)
 		if err := h.compact(); err != nil {
-			log.Printf("collect: background mean wal compaction: %v", err)
+			h.logger.Error("background wal compaction failed",
+				"segments", h.log.Stats().Segments, "err", err)
 		}
 	}()
 }

@@ -128,6 +128,7 @@ func (s *Server) mergeDurable(env []byte, agg core.Aggregator) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.freqM.merged.Add(int64(n))
 	s.maybeCompact()
 	return n, nil
 }

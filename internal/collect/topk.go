@@ -11,7 +11,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/state"
 	"repro/internal/topk"
 	"repro/internal/wal"
@@ -103,6 +105,30 @@ type sessionHub struct {
 	log          *wal.Log
 	compactAfter int64
 	compacting   atomic.Bool
+
+	logger *obs.Logger
+	rounds *obs.Counter // rounds sealed by live ingestion (replay excluded)
+	stale  *obs.Counter // whole batches answered 410 Gone
+}
+
+// counts snapshots the tracked-session totals for the gauges: every session
+// currently in the map, and the subset still mid-protocol.
+func (h *sessionHub) counts() (total, open int) {
+	h.mu.Lock()
+	sessions := make([]*liveSession, 0, len(h.sessions))
+	for _, sess := range h.sessions {
+		sessions = append(sessions, sess)
+	}
+	h.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		done := sess.pl.Done()
+		sess.mu.Unlock()
+		if !done {
+			open++
+		}
+	}
+	return len(sessions), open
 }
 
 // Session WAL record types (first byte of every record).
@@ -154,15 +180,20 @@ type hubSessionSnapshot struct {
 func (s *Server) openTopKWAL() error {
 	h := s.topk
 	h.compactAfter = s.compactAfter
-	l, err := wal.Open(filepath.Join(s.walDir, "topk"), s.walOpts)
+	opts := s.walOpts
+	wm, replayG := NewWALMetrics(s.obs, "topk")
+	opts.Metrics = wm
+	l, err := wal.Open(filepath.Join(s.walDir, "topk"), opts)
 	if err != nil {
 		return fmt.Errorf("collect: topk sessions: %w", err)
 	}
+	replayStart := time.Now()
 	err = l.Replay(h.installSnapshot, h.replayRecord)
 	if err != nil {
 		l.Close()
 		return err
 	}
+	replayG.Set(time.Since(replayStart).Seconds())
 	h.log = l
 	return nil
 }
@@ -285,7 +316,8 @@ func (h *sessionHub) maybeCompact() {
 		if err := h.compact(); err != nil {
 			// Mirrors Server.maybeCompact: compaction failures are loud
 			// but non-fatal — the log keeps growing and replay still works.
-			fmt.Printf("collect: topk session compaction: %v\n", err)
+			h.logger.Error("background wal compaction failed",
+				"segments", h.log.Stats().Segments, "err", err)
 		}
 	}()
 }
@@ -697,7 +729,9 @@ func (s *Server) handleTopKReports(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	roundBefore := pl.Round()
 	advanceOnQuota(pl)
+	h.rounds.Add(int64(pl.Round() - roundBefore))
 	ack := WireTopKAck{
 		Accepted: len(accepted),
 		Rejected: len(itemErrs) + droppedTail,
@@ -717,6 +751,7 @@ func (s *Server) handleTopKReports(w http.ResponseWriter, r *http.Request) {
 	if ack.Accepted == 0 && len(items) > 0 && staleRejects == len(itemErrs) {
 		// The whole batch raced a seal (or the session finished): 410 Gone,
 		// with the ack body telling the client which round is live now.
+		h.stale.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusGone)
 		json.NewEncoder(w).Encode(ack) //nolint:errcheck — best-effort error body

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the subset of debug.ReadBuildInfo surfaced through /stats
+// and the mcim_build_info metric.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process build info: the Go toolchain version and, when
+// the binary was built inside a VCS checkout, the (shortened) revision and
+// dirty flag. Read once and cached.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				buildInfo.Revision = rev
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo registers the conventional constant-1 build-info gauge
+// (mcim_build_info{go_version,revision}) on r.
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.Gauge("mcim_build_info",
+		"Constant 1, labeled with the Go toolchain version and VCS revision the binary was built from.",
+		"go_version", b.GoVersion, "revision", rev).Set(1)
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its raw label body
+// (the text between { and }, possibly empty), and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Key returns the series identity, name{labels}.
+func (s Sample) Key() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// ExpoFamily is a parsed metric family: the HELP/TYPE headers plus every
+// sample whose name belongs to it (for histograms that includes the
+// _bucket/_sum/_count series).
+type ExpoFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is a parsed Prometheus text exposition.
+type Exposition struct {
+	Families []*ExpoFamily
+	byName   map[string]*ExpoFamily
+	// Orphans are samples with no preceding TYPE header for their family.
+	Orphans []Sample
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ExpoFamily { return e.byName[name] }
+
+// Samples flattens the exposition into series-key → value.
+func (e *Exposition) Samples() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range e.Families {
+		for _, s := range f.Samples {
+			out[s.Key()] = s.Value
+		}
+	}
+	for _, s := range e.Orphans {
+		out[s.Key()] = s.Value
+	}
+	return out
+}
+
+// histogramSuffixes maps a histogram family name to the sample names it
+// legitimately emits.
+func familyForSample(name string, byName map[string]*ExpoFamily) *ExpoFamily {
+	if f := byName[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := byName[base]; f != nil && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// ParseExposition parses the Prometheus text exposition format. It is
+// deliberately lenient about what it accepts (unknown TYPEs, samples with
+// no header become Orphans) — Lint is the strict pass.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*ExpoFamily)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimLeft(rest, " ")
+			kw, rest, _ := strings.Cut(rest, " ")
+			switch kw {
+			case "HELP", "TYPE":
+				name, text, _ := strings.Cut(rest, " ")
+				if name == "" {
+					return nil, fmt.Errorf("obs: line %d: %s with no metric name", lineNo, kw)
+				}
+				f := e.byName[name]
+				if f == nil {
+					f = &ExpoFamily{Name: name}
+					e.byName[name] = f
+					e.Families = append(e.Families, f)
+				}
+				if kw == "HELP" {
+					f.Help = text
+				} else {
+					f.Type = text
+				}
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if f := familyForSample(s.Name, e.byName); f != nil {
+			f.Samples = append(f.Samples, s)
+		} else {
+			e.Orphans = append(e.Orphans, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		s.Labels = rest[i+1 : j]
+		rest = strings.TrimLeft(rest[j+1:], " \t")
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	// An optional timestamp may follow the value; take the first field.
+	val, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if val == "" {
+		return s, fmt.Errorf("sample line %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample line %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	if s.Name == "" || !metricNameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("sample line %q: invalid metric name %q", line, s.Name)
+	}
+	return s, nil
+}
+
+// Lint runs the strict naming/shape checks over a parsed exposition and
+// returns one message per violation. An empty slice means the exposition
+// is clean. Checks: every family has HELP and TYPE, names match the
+// Prometheus charset, counters end in _total, no duplicate series,
+// histograms carry a +Inf bucket with _count equal to it and a _sum, and
+// no sample is orphaned from a typed family.
+func Lint(e *Exposition) []string {
+	var problems []string
+	seen := make(map[string]bool)
+	for _, f := range e.Families {
+		if !metricNameRE.MatchString(f.Name) {
+			problems = append(problems, fmt.Sprintf("family %q: invalid metric name", f.Name))
+		}
+		if f.Help == "" {
+			problems = append(problems, fmt.Sprintf("family %q: missing # HELP", f.Name))
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %q: name must end in _total", f.Name))
+			}
+		case "gauge":
+		case "histogram":
+			problems = append(problems, lintHistogram(f)...)
+		case "":
+			problems = append(problems, fmt.Sprintf("family %q: missing # TYPE", f.Name))
+		default:
+			problems = append(problems, fmt.Sprintf("family %q: unknown type %q", f.Name, f.Type))
+		}
+		for _, s := range f.Samples {
+			key := s.Key()
+			if seen[key] {
+				problems = append(problems, fmt.Sprintf("duplicate series %s", key))
+			}
+			seen[key] = true
+		}
+	}
+	for _, s := range e.Orphans {
+		problems = append(problems, fmt.Sprintf("sample %s has no # TYPE header", s.Key()))
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func lintHistogram(f *ExpoFamily) []string {
+	var problems []string
+	// Group by the label body minus le: each group must have a +Inf
+	// bucket, a _sum and a _count matching the +Inf cumulative count.
+	type group struct {
+		inf, infSeen   float64
+		count, sum     float64
+		countOK, sumOK bool
+	}
+	groups := make(map[string]*group)
+	get := func(labels string) *group {
+		g := groups[labels]
+		if g == nil {
+			g = &group{}
+			groups[labels] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, rest := extractLE(s.Labels)
+			g := get(rest)
+			if le == "+Inf" {
+				g.inf = s.Value
+				g.infSeen = 1
+			}
+		case f.Name + "_sum":
+			g := get(s.Labels)
+			g.sum, g.sumOK = s.Value, true
+		case f.Name + "_count":
+			g := get(s.Labels)
+			g.count, g.countOK = s.Value, true
+		default:
+			problems = append(problems, fmt.Sprintf("histogram %q: stray sample %s", f.Name, s.Key()))
+		}
+	}
+	for labels, g := range groups {
+		id := f.Name
+		if labels != "" {
+			id += "{" + labels + "}"
+		}
+		if g.infSeen == 0 {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing le=\"+Inf\" bucket", id))
+		}
+		if !g.sumOK {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _sum", id))
+		}
+		if !g.countOK {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _count", id))
+		} else if g.infSeen == 1 && g.count != g.inf {
+			problems = append(problems, fmt.Sprintf("histogram %s: _count %v != +Inf bucket %v", id, g.count, g.inf))
+		}
+	}
+	return problems
+}
+
+// extractLE removes the le label from a _bucket label body, returning the
+// le value and the remaining labels.
+func extractLE(labels string) (le, rest string) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ",")
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_reqs_total", "requests", "tier", "freq")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters never decrease
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if again := r.Counter("t_reqs_total", "requests", "tier", "freq"); again != c {
+		t.Fatal("re-registration did not return the same handle")
+	}
+	other := r.Counter("t_reqs_total", "requests", "tier", "mean")
+	if other == c {
+		t.Fatal("distinct label sets share a handle")
+	}
+
+	g := r.Gauge("t_depth", "queue depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.555", h.Sum())
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_lat_seconds_bucket{le="0.01"} 1`,
+		`t_lat_seconds_bucket{le="0.1"} 2`,
+		`t_lat_seconds_bucket{le="1"} 3`,
+		`t_lat_seconds_bucket{le="+Inf"} 4`,
+		`t_lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderParseLintRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_a_total", "a counter", "wire", "json").Add(7)
+	r.Counter("t_a_total", "a counter", "wire", "binary").Add(9)
+	r.Gauge("t_b", "a gauge").Set(3)
+	r.GaugeFunc("t_c", "a computed gauge", func() float64 { return 42 })
+	r.Histogram("t_h_seconds", "a histogram", []float64{1, 2}).Observe(1.5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseExposition(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("parse back own render: %v\n%s", err, b.String())
+	}
+	if problems := Lint(e); len(problems) != 0 {
+		t.Fatalf("lint of own render: %v\n%s", problems, b.String())
+	}
+	samples := e.Samples()
+	for key, want := range map[string]float64{
+		`t_a_total{wire="json"}`:   7,
+		`t_a_total{wire="binary"}`: 9,
+		`t_b`:                      3,
+		`t_c`:                      42,
+		`t_h_seconds_sum`:          1.5,
+	} {
+		if got := samples[key]; got != want {
+			t.Fatalf("sample %s = %v, want %v (all: %v)", key, got, want, samples)
+		}
+	}
+	if f := e.Family("t_a_total"); f == nil || f.Type != "counter" || f.Help != "a counter" {
+		t.Fatalf("family t_a_total parsed wrong: %+v", f)
+	}
+}
+
+func TestMergedRenderInjectsLabels(t *testing.T) {
+	shared := func() *Registry {
+		r := NewRegistry()
+		r.Counter("t_reqs_total", "requests", "tier", "freq")
+		r.Histogram("t_lat_seconds", "latency", []float64{1})
+		return r
+	}
+	a, b := shared(), shared()
+	a.Counter("t_reqs_total", "requests", "tier", "freq").Add(1)
+	b.Counter("t_reqs_total", "requests", "tier", "freq").Add(2)
+	root := NewRegistry()
+	root.Gauge("t_tenants", "tenant count").Set(2)
+
+	var out bytes.Buffer
+	err := WritePrometheusMerged(&out, []Labeled{
+		{Reg: root},
+		{Key: "tenant", Value: "a", Reg: a},
+		{Key: "tenant", Value: "b", Reg: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"t_tenants 2",
+		`t_reqs_total{tenant="a",tier="freq"} 1`,
+		`t_reqs_total{tenant="b",tier="freq"} 2`,
+		`t_lat_seconds_bucket{tenant="a",le="1"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE t_reqs_total"); n != 1 {
+		t.Fatalf("TYPE header emitted %d times, want 1:\n%s", n, text)
+	}
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := Lint(e); len(problems) != 0 {
+		t.Fatalf("lint of merged render: %v\n%s", problems, text)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	src := `# TYPE bad-name counter
+# HELP no_type_total helped
+# TYPE dup_total counter
+# HELP dup_total helped
+dup_total 1
+dup_total 2
+orphan_metric 5
+# TYPE short counter
+# HELP short helped
+short 1
+`
+	e, err := ParseExposition(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := strings.Join(Lint(e), "\n")
+	for _, want := range []string{
+		"missing # TYPE",     // no_type_total has HELP only
+		"duplicate series",   // dup_total twice
+		"no # TYPE header",   // orphan_metric
+		"must end in _total", // counter `short`
+	} {
+		if !strings.Contains(problems, want) {
+			t.Fatalf("lint missing %q in:\n%s", want, problems)
+		}
+	}
+}
+
+func TestConcurrentCounterExactness(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_n_total", "n")
+	h := r.Histogram("t_h", "h", []float64{10})
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 10000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG || h.Sum() != goroutines*perG {
+		t.Fatalf("histogram count/sum = %d/%v, want %d", h.Count(), h.Sum(), goroutines*perG)
+	}
+}
+
+func TestLoggerKVAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo, FormatKV)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	l.Debug("hidden")
+	l.With("tier", "freq").Error("compaction failed", "err", errors.New(`disk "full"`), "segments", 3)
+	got := buf.String()
+	want := `ts=2026-08-08T12:00:00Z level=error msg="compaction failed" tier=freq err="disk \"full\"" segments=3` + "\n"
+	if got != want {
+		t.Fatalf("kv line:\n got %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	j := New(&buf, LevelWarn, FormatJSON)
+	j.now = l.now
+	j.Info("hidden")
+	j.Warn("slow", "elapsed_ms", 12.5)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("json line %q: %v", buf.String(), err)
+	}
+	if m["level"] != "warn" || m["msg"] != "slow" || m["elapsed_ms"] != 12.5 {
+		t.Fatalf("json line fields wrong: %v", m)
+	}
+}
+
+func TestParseLevelFormat(t *testing.T) {
+	if lv, err := ParseLevel("WARN"); err != nil || lv != LevelWarn {
+		t.Fatalf("ParseLevel(WARN) = %v, %v", lv, err)
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) did not error")
+	}
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Fatalf("ParseFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat(xml) did not error")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var out bytes.Buffer
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `mcim_build_info{go_version="`) {
+		t.Fatalf("build info gauge missing:\n%s", out.String())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/collect"
+	"repro/internal/obs"
 )
 
 // maxSpecBytes caps an admin create request body; specs are a few hundred
@@ -44,8 +45,12 @@ type WireRegistryStats struct {
 //	DELETE /admin/tenants/{name}       → delete tenant {name} and its state
 //	GET    /admin/tenants/{name}/stats → one tenant's collect.WireStats
 //	GET    /stats                      → WireRegistryStats (all tenants)
+//	GET    /metrics                    → global roll-up: registry series plus
+//	                                     every tenant's under tenant="name"
+//	GET    /debug/pprof/...            → net/http/pprof (admin token)
 //	GET    /healthz                    → 200 ok
 //	/t/{name}/...                      → tenant {name}'s collect.Server routes
+//	                                     (including its own GET /metrics view)
 //	/...                               → alias for /t/default/... (404 without
 //	                                     a "default" tenant)
 //
@@ -58,6 +63,8 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("DELETE /admin/tenants/{name}", r.admin(r.handleDelete))
 	mux.HandleFunc("GET /admin/tenants/{name}/stats", r.admin(r.handleTenantStats))
 	mux.HandleFunc("GET /stats", r.handleStats)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mountPprof(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -93,14 +100,15 @@ func bearerOK(req *http.Request, token string) bool {
 	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) == 1
 }
 
-// requireBearer guards h with a tenant bearer token; an empty token leaves
-// it open.
-func requireBearer(token string, h http.Handler) http.Handler {
+// requireBearer guards h with a tenant bearer token, counting rejections
+// into the tenant's auth-failure series; an empty token leaves it open.
+func requireBearer(token string, fail *obs.Counter, h http.Handler) http.Handler {
 	if token == "" {
 		return h
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if !bearerOK(req, token) {
+			fail.Inc()
 			w.Header().Set("WWW-Authenticate", `Bearer realm="tenant"`)
 			http.Error(w, "missing or invalid tenant token", http.StatusUnauthorized)
 			return
@@ -113,6 +121,7 @@ func requireBearer(token string, h http.Handler) http.Handler {
 func (r *Registry) admin(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		if r.adminToken != "" && !bearerOK(req, r.adminToken) {
+			r.adminAuthFail.Inc()
 			w.Header().Set("WWW-Authenticate", `Bearer realm="tenant-admin"`)
 			http.Error(w, "missing or invalid admin token", http.StatusUnauthorized)
 			return

@@ -1,0 +1,68 @@
+package tenant
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// This file is the registry's slice of the observability layer. Each
+// tenant's collect.Server owns its own metrics registry (served, behind the
+// tenant token, at /t/<name>/metrics); the registry adds a thin layer of
+// control-plane series — tenant count, auth failures, its own log — and
+// serves the global roll-up at GET /metrics on the root mux: the registry
+// set unlabeled plus every tenant's series under tenant="<name>". Per-tenant
+// auth-failure counters live on the registry set with a tenant label; the
+// label space is bounded by MaxTenants, and a deleted-then-recreated name
+// reuses its handle (counters only ever grow).
+
+// initObs builds the registry's own metric set. Called from New before any
+// tenant is installed (install registers per-tenant counters here).
+func (r *Registry) initObs() {
+	r.obs = obs.NewRegistry()
+	obs.RegisterBuildInfo(r.obs)
+	r.obs.GaugeFunc("mcim_tenants",
+		"Tenants currently hosted by the registry.",
+		func() float64 {
+			r.mu.RLock()
+			n := len(r.tenants)
+			r.mu.RUnlock()
+			return float64(n)
+		})
+	r.adminAuthFail = r.obs.Counter("mcim_admin_auth_failures_total",
+		"Requests rejected 401 on the /admin/tenants routes.")
+}
+
+// Metrics returns the registry's own metric set — the control-plane series,
+// not any tenant's. The root GET /metrics merges it with every tenant's.
+func (r *Registry) Metrics() *obs.Registry { return r.obs }
+
+// handleMetrics serves the global roll-up: the registry's series unlabeled,
+// every tenant's series injected with tenant="<name>". Tenant isolation is
+// structural — a tenant's own /t/<name>/metrics view renders only its own
+// collect registry.
+func (r *Registry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	r.mu.RLock()
+	sets := make([]obs.Labeled, 0, len(r.order)+1)
+	sets = append(sets, obs.Labeled{Reg: r.obs})
+	for _, name := range r.order {
+		sets = append(sets, obs.Labeled{Key: "tenant", Value: name, Reg: r.tenants[name].srv.Metrics()})
+	}
+	r.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheusMerged(w, sets); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// mountPprof exposes net/http/pprof on mux behind the admin guard — heap,
+// goroutine, CPU profiles and execution traces of the whole process, so
+// they are admin-scoped, never tenant-scoped.
+func (r *Registry) mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", r.admin(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", r.admin(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", r.admin(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", r.admin(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", r.admin(pprof.Trace))
+}

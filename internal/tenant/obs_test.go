@@ -1,0 +1,156 @@
+package tenant_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/obs"
+	"repro/internal/tenant"
+)
+
+// scrape fetches and parses one Prometheus exposition, with an optional
+// bearer token.
+func scrape(t *testing.T, url, token string) *obs.Exposition {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	expo, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return expo
+}
+
+// TestTenantMetricsIsolation pins the two metrics views of a hosted
+// registry: a tenant's own /t/<name>/metrics (behind its bearer token)
+// exposes only that tenant's series with no tenant label, while the open
+// root /metrics roll-up carries every tenant's series labeled
+// tenant="<name>" alongside the registry-level families — and ingestion
+// into one tenant never shows up under another.
+func TestTenantMetricsIsolation(t *testing.T) {
+	const adminTok = "root"
+	_, ts := newRegistry(t, "", tenant.Options{AdminToken: adminTok})
+	spA, spB := testSpec("a"), testSpec("b")
+	spA.Token, spB.Token = "tok-a", "tok-b"
+	createTenant(t, ts.URL, adminTok, spA)
+	createTenant(t, ts.URL, adminTok, spB)
+
+	const n = 100
+	ca, err := collect.NewClient(ts.URL, nil, 5, collect.WithTenant("a", "tok-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.SubmitBatch(freqPairs(n, 3, 16, 9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tenant's own view requires its token...
+	resp, err := http.Get(collect.TenantBaseURL(ts.URL, "a") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated tenant metrics: status %d, want 401", resp.StatusCode)
+	}
+	// ...and carries its own unlabeled series, nothing about other tenants.
+	own := scrape(t, collect.TenantBaseURL(ts.URL, "a")+"/metrics", "tok-a")
+	ownSamples := own.Samples()
+	if got := ownSamples[`mcim_ingest_reports_total{tier="freq",wire="json"}`]; got != n {
+		t.Errorf("tenant view freq reports = %v, want %d", got, n)
+	}
+	for key := range ownSamples {
+		if strings.Contains(key, `tenant="`) {
+			t.Errorf("tenant-scoped view leaks a tenant-labeled series: %s", key)
+		}
+	}
+
+	// A second unauthenticated request ticks a's auth-failure counter again
+	// (the 401 metrics probe above was the first).
+	if _, err := http.Get(collect.TenantBaseURL(ts.URL, "a") + "/config"); err != nil {
+		t.Fatal(err)
+	}
+	// One unauthenticated admin request ticks the admin counter.
+	if status, _ := adminDo(t, http.MethodGet, ts.URL+"/admin/tenants", "", nil); status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated admin list: status %d, want 401", status)
+	}
+
+	// The root roll-up is open, lints clean, and labels every tenant.
+	rollup := scrape(t, ts.URL+"/metrics", "")
+	if probs := obs.Lint(rollup); len(probs) > 0 {
+		t.Fatalf("roll-up lint problems:\n%s", strings.Join(probs, "\n"))
+	}
+	rs := rollup.Samples()
+	if got := rs[`mcim_ingest_reports_total{tenant="a",tier="freq",wire="json"}`]; got != n {
+		t.Errorf("roll-up tenant=a freq reports = %v, want %d", got, n)
+	}
+	if got := rs[`mcim_ingest_reports_total{tenant="b",tier="freq",wire="json"}`]; got != 0 {
+		t.Errorf("roll-up tenant=b freq reports = %v, want 0 — ingestion leaked across tenants", got)
+	}
+	if got := rs[`mcim_tenants`]; got != 2 {
+		t.Errorf("mcim_tenants = %v, want 2", got)
+	}
+	if got := rs[`mcim_tenant_auth_failures_total{tenant="a"}`]; got != 2 {
+		t.Errorf("tenant=a auth failures = %v, want 2", got)
+	}
+	if got := rs[`mcim_tenant_auth_failures_total{tenant="b"}`]; got != 0 {
+		t.Errorf("tenant=b auth failures = %v, want 0", got)
+	}
+	if got := rs[`mcim_admin_auth_failures_total`]; got != 1 {
+		t.Errorf("admin auth failures = %v, want 1", got)
+	}
+	// Per-tenant uptime gauges exist for both tenants in the roll-up.
+	for _, name := range []string{"a", "b"} {
+		if _, ok := rs[`mcim_uptime_seconds{tenant="`+name+`"}`]; !ok {
+			t.Errorf("roll-up missing mcim_uptime_seconds{tenant=%q}", name)
+		}
+	}
+}
+
+// TestPprofRequiresAdminToken pins the profiling surface behind the admin
+// bearer token on a hosted registry.
+func TestPprofRequiresAdminToken(t *testing.T) {
+	const adminTok = "root"
+	_, ts := newRegistry(t, "", tenant.Options{AdminToken: adminTok})
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated pprof: status %d, want 401", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/debug/pprof/cmdline", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+adminTok)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated pprof: status %d, want 200", resp2.StatusCode)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/state"
 	"repro/internal/wal"
 )
@@ -83,6 +85,9 @@ type Registry struct {
 	maxTenants int
 	adminToken string
 
+	obs           *obs.Registry
+	adminAuthFail *obs.Counter
+
 	mu       sync.RWMutex
 	log      *wal.Log // nil when memory-only
 	tenants  map[string]*tenantEntry
@@ -107,18 +112,27 @@ func New(opts Options) (*Registry, error) {
 		tenants:    make(map[string]*tenantEntry),
 		reserved:   make(map[string]struct{}),
 	}
+	r.initObs()
 	if r.dir == "" {
 		return r, nil
 	}
-	log, err := wal.Open(filepath.Join(r.dir, "registry"), r.walOpts)
+	// The registry log gets its own metric hooks (log="registry"); the
+	// shared walOpts stay clean — each tenant's logs register on that
+	// tenant's own collect registry instead.
+	logOpts := r.walOpts
+	wm, replayG := collect.NewWALMetrics(r.obs, "registry")
+	logOpts.Metrics = wm
+	log, err := wal.Open(filepath.Join(r.dir, "registry"), logOpts)
 	if err != nil {
 		return nil, fmt.Errorf("tenant: open registry log: %w", err)
 	}
+	replayStart := time.Now()
 	specs, err := replayRegistry(log)
 	if err != nil {
 		log.Close()
 		return nil, err
 	}
+	replayG.Set(time.Since(replayStart).Seconds())
 	if len(specs) > r.maxTenants {
 		log.Close()
 		return nil, fmt.Errorf("%w: log holds %d tenants, cap is %d", ErrTooManyTenants, len(specs), r.maxTenants)
@@ -249,7 +263,9 @@ func (r *Registry) tenantDir(name string) string {
 // path is a map lookup, not a per-request StripPrefix allocation.
 func (r *Registry) install(sp Spec, srv *collect.Server) {
 	h := srv.Handler()
-	guarded := requireBearer(sp.Token, h)
+	authFail := r.obs.Counter("mcim_tenant_auth_failures_total",
+		"Requests rejected 401 on a tenant's data routes, by tenant.", "tenant", sp.Name)
+	guarded := requireBearer(sp.Token, authFail, h)
 	r.tenants[sp.Name] = &tenantEntry{
 		spec:     sp,
 		srv:      srv,

@@ -71,6 +71,85 @@ type Options struct {
 	// SyncEvery is the background flush cadence under SyncInterval; <= 0
 	// means 200ms.
 	SyncEvery time.Duration
+	// Metrics, when non-nil, receives operational counts. The log never
+	// blocks on it; every field is optional.
+	Metrics *Metrics
+}
+
+// Adder is the narrow counter interface the log reports through; an
+// obs.Counter satisfies it. The wal package deliberately does not import
+// the metrics registry — callers wire the handles in via Options.Metrics.
+type Adder interface {
+	Add(delta int64)
+}
+
+// Metrics is the set of counters a Log advances. Any field (or the whole
+// struct) may be nil.
+type Metrics struct {
+	// Appends counts records durably accepted by Append; AppendedBytes
+	// counts their framed size.
+	Appends       Adder
+	AppendedBytes Adder
+	// Fsyncs counts explicit flushes of the active segment (per-append
+	// under SyncAlways, ticker flushes under SyncInterval, Sync calls, and
+	// the flush of an outgoing segment on roll).
+	Fsyncs Adder
+	// Rolls counts segment rotations (size-triggered, torn-quarantine, and
+	// explicit Roll) — not the fresh segment every Open starts.
+	Rolls Adder
+	// Seals counts durable compaction snapshots.
+	Seals Adder
+	// TornTruncations counts torn tails handled: failed writes clipped from
+	// the active segment, and corrupt frames that ended a segment's replay.
+	TornTruncations Adder
+	// ReplayedRecords counts intact records fed to Replay's onRecord.
+	ReplayedRecords Adder
+}
+
+// add is nil-safe on the field; callers nil-check the receiver before
+// touching fields.
+func add(c Adder, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+func (m *Metrics) noteAppend(frameLen int64) {
+	if m == nil {
+		return
+	}
+	add(m.Appends, 1)
+	add(m.AppendedBytes, frameLen)
+}
+
+func (m *Metrics) noteFsync() {
+	if m != nil {
+		add(m.Fsyncs, 1)
+	}
+}
+
+func (m *Metrics) noteRoll() {
+	if m != nil {
+		add(m.Rolls, 1)
+	}
+}
+
+func (m *Metrics) noteSeal() {
+	if m != nil {
+		add(m.Seals, 1)
+	}
+}
+
+func (m *Metrics) noteTorn() {
+	if m != nil {
+		add(m.TornTruncations, 1)
+	}
+}
+
+func (m *Metrics) noteReplayed(n int64) {
+	if m != nil {
+		add(m.ReplayedRecords, n)
+	}
 }
 
 // DefaultSegmentBytes is the segment roll threshold when Options does not
@@ -258,6 +337,8 @@ func (l *Log) startSegment(seq int) error {
 	if l.active != nil {
 		l.active.Sync()
 		l.active.Close()
+		l.opts.Metrics.noteFsync()
+		l.opts.Metrics.noteRoll()
 	}
 	l.active, l.activeSeq, l.activeBytes = f, seq, 0
 	l.segments++
@@ -316,7 +397,9 @@ func (l *Log) Append(record []byte) error {
 	}
 	switch l.opts.Sync {
 	case SyncAlways:
-		if err := l.active.Sync(); err != nil {
+		if err := l.active.Sync(); err == nil {
+			l.opts.Metrics.noteFsync()
+		} else {
 			// The record's durability is unknown; the caller will report
 			// failure (and its client may retry), so the record must not
 			// survive to replay alongside the retry.
@@ -328,6 +411,7 @@ func (l *Log) Append(record []byte) error {
 	}
 	l.activeBytes += frameLen
 	l.sinceSeal += frameLen
+	l.opts.Metrics.noteAppend(frameLen)
 	return nil
 }
 
@@ -336,6 +420,7 @@ func (l *Log) Append(record []byte) error {
 // and reseek, so the failed record cannot replay. If even that fails, the
 // segment is marked torn and the next Append rolls past it.
 func (l *Log) clipActive() {
+	l.opts.Metrics.noteTorn()
 	if l.active.Truncate(l.activeBytes) == nil {
 		if _, err := l.active.Seek(l.activeBytes, 0); err == nil {
 			return
@@ -375,8 +460,15 @@ func (l *Log) Replay(onSnapshot func(snapshot []byte) error, onRecord func(recor
 		if seq < from || seq == l.activeSeq {
 			continue
 		}
-		if err := replaySegment(l.segPath(seq), onRecord); err != nil {
+		torn, err := replaySegment(l.segPath(seq), func(record []byte) error {
+			l.opts.Metrics.noteReplayed(1)
+			return onRecord(record)
+		})
+		if err != nil {
 			return err
+		}
+		if torn {
+			l.opts.Metrics.noteTorn()
 		}
 	}
 	return nil
@@ -404,26 +496,29 @@ func readSnapshotFile(path string) ([]byte, error) {
 }
 
 // replaySegment streams one segment's intact record prefix into onRecord.
-func replaySegment(path string, onRecord func([]byte) error) error {
+// torn reports whether leftover bytes after the intact prefix ended the
+// segment early — the signature of a torn write at crash.
+func replaySegment(path string, onRecord func([]byte) error) (torn bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return false, fmt.Errorf("wal: %w", err)
 	}
 	for len(data) >= 8 {
 		n := binary.LittleEndian.Uint32(data[:4])
 		if uint64(n) > MaxRecordBytes || uint64(n) > uint64(len(data)-8) {
-			return nil // torn length or payload: end of this segment's intact prefix
+			return true, nil // torn length or payload: end of this segment's intact prefix
 		}
 		payload := data[8 : 8+n]
 		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
-			return nil // torn payload bytes
+			return true, nil // torn payload bytes
 		}
 		if err := onRecord(payload); err != nil {
-			return err
+			return false, err
 		}
 		data = data[8+n:]
 	}
-	return nil
+	// 1–7 trailing bytes are a torn frame header.
+	return len(data) > 0, nil
 }
 
 // Roll closes the active segment and starts a new one, returning the new
@@ -503,6 +598,7 @@ func (l *Log) Seal(coverSeq int, snapshot []byte) error {
 		return err
 	}
 	l.lastSnap = time.Now()
+	l.opts.Metrics.noteSeal()
 	segs, _, err = l.scan()
 	if err != nil {
 		return err
@@ -537,7 +633,11 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.dirty = false
-	return l.active.Sync()
+	err := l.active.Sync()
+	if err == nil {
+		l.opts.Metrics.noteFsync()
+	}
+	return err
 }
 
 // syncLoop is the SyncInterval background flusher.
@@ -552,6 +652,7 @@ func (l *Log) syncLoop() {
 			if l.dirty && !l.closed {
 				l.dirty = false
 				l.active.Sync()
+				l.opts.Metrics.noteFsync()
 			}
 			l.mu.Unlock()
 		case <-l.stopSync:
