@@ -58,6 +58,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -137,7 +138,7 @@ func main() {
 		clients   = flag.Int("clients", 8, "concurrent client workers")
 		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint, freq mode only)")
 		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays (freq mode)")
-		wire      = flag.String("wire", "json", "batch wire format: json | binary (freq and mean modes)")
+		wire      = flag.String("wire", "json", "batch wire format: json | binary (freq, topk and mean modes)")
 		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object on stdout")
 		tenantNm  = flag.String("tenant", "", "target one tenant's routes on a multi-tenant server")
@@ -302,7 +303,7 @@ func main() {
 		case "topk":
 			sum.Framework = *miner
 			sum.K = *k
-			runTopK(base, hc, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, *seed, *jsonOut)
+			runTopK(base, hc, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, binary, *seed, *jsonOut)
 		}
 	}
 	if scr != nil {
@@ -668,9 +669,12 @@ func createTenant(base, adminTok, name string, spec tenant.Spec) error {
 }
 
 // runTopK creates a mining session and drives the population through its
-// rounds with K concurrent workers, then scores the mined rankings.
+// rounds with K concurrent workers, then scores the mined rankings. With
+// -wire binary each batch ships as one CRC-sealed 'T' session frame; the
+// run refuses up front when the server does not advertise the binary lane,
+// and the -json summary's Wire field records the format actually used.
 func runTopK(base string, hc *http.Client, data *core.Dataset, sum *summary,
-	miner string, optimized bool, k int, eps float64, clients, batch int, seed uint64, jsonOut bool) {
+	miner string, optimized bool, k int, eps float64, clients, batch int, binary bool, seed uint64, jsonOut bool) {
 	opt := topk.Baseline()
 	if optimized {
 		opt = topk.Optimized()
@@ -691,8 +695,15 @@ func runTopK(base string, hc *http.Client, data *core.Dataset, sum *summary,
 	}
 	info := ts.Info()
 	sum.Rounds = info.Rounds
-	log.Printf("session %s: %s over %d×%d, k=%d, %d rounds, %d users",
-		info.ID, info.Params.Framework, data.Classes, data.Items, k, info.Rounds, data.N())
+	if binary && !slices.Contains(info.Wire, "binary") {
+		log.Fatalf("mcimload: -wire binary requested but session %s advertises only %v", info.ID, info.Wire)
+	}
+	sum.Wire = "json"
+	if binary {
+		sum.Wire = "binary"
+	}
+	log.Printf("session %s: %s over %d×%d, k=%d, %d rounds, %d users, wire=%s",
+		info.ID, info.Params.Framework, data.Classes, data.Items, k, info.Rounds, data.N(), sum.Wire)
 
 	var (
 		mu        sync.Mutex
@@ -754,7 +765,13 @@ func runTopK(base string, hc *http.Client, data *core.Dataset, sum *summary,
 				defer postWG.Done()
 				defer func() { <-sem }()
 				t0 := time.Now()
-				ack, err := ts.PostReports(chunk)
+				var ack *collect.WireTopKAck
+				var err error
+				if binary {
+					ack, err = ts.PostReportsBinary(rd.Config, chunk)
+				} else {
+					ack, err = ts.PostReports(chunk)
+				}
 				lat := time.Since(t0)
 				mu.Lock()
 				defer mu.Unlock()

@@ -170,6 +170,7 @@ type Server struct {
 	logger  *obs.Logger
 	started time.Time
 	freqM   *tierMetrics
+	topkM   *tierMetrics
 }
 
 // ServerOption configures a Server beyond the protocol parameters.
@@ -311,6 +312,11 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 	}
 	s.cfg.MaxBodyBytes = s.maxBody
 	shardCount := len(s.shards)
+	if s.topk != nil {
+		// Session rounds absorb through per-session shard lanes sized like
+		// the frequency tier's aggregator shards (see topk.go).
+		s.topk.shardN = max(1, shardCount)
+	}
 	if p != nil {
 		for i := range s.shards {
 			s.shards[i] = &shard{acc: p.NewAggregator()}

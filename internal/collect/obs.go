@@ -176,6 +176,7 @@ func (s *Server) initObs() {
 	}
 	if s.topk != nil {
 		h := s.topk
+		s.topkM = newTierMetrics(s.obs, "topk")
 		h.logger = s.logger.With("tier", "topk")
 		h.rounds = s.obs.Counter("mcim_topk_rounds_advanced_total",
 			"Mining-session rounds sealed and advanced by report ingestion (WAL replay excluded).")

@@ -71,19 +71,131 @@ func WithTopKSessions(o TopKOptions) ServerOption {
 	}
 }
 
-// liveSession is one hosted mining session. Its mutex serializes planner
-// access: rounds are interlocked (every report both validates against and
-// mutates the live round), so a per-session lock — not sharding — is the
-// honest concurrency model; batching amortizes it the same way it
-// amortizes the frequency shards.
+// liveSession is one hosted mining session. Two locks split its state by
+// lifetime: mu serializes planner access (round seals, snapshots, the
+// done-state reads), while roundMu guards the lane pointer — the live
+// round's shared ingest state. Rounds are interlocked (every report both
+// validates against and mutates the live round), but within one round
+// absorption is associative, so report batches only take roundMu.RLock plus
+// one shard lock and never touch the planner; the seal takes roundMu.Lock,
+// waits out in-flight batches, and merges the shards exactly once.
+//
+// Lock order: hub.ingestMu → roundMu → hub.mu → mu. position() and the
+// seal take roundMu before mu; nothing takes them in the other order.
 type liveSession struct {
 	mu sync.Mutex
 	id string
 	pl *topk.Planner
+
+	// roundMu guards lane and deleted. Report handlers hold the read side
+	// from the lane lookup through their WAL append and shard apply, which
+	// is what makes a round's WAL records precede its seal — and any
+	// deletion record — in log order.
+	roundMu sync.RWMutex
+	// lane is the live round's ingest lane; nil once the session is done.
+	lane *topkLane
 	// deleted marks a session evicted while a report handler already held
 	// a reference: the handler must not append WAL records for it after
 	// its deletion record (replay order would break).
 	deleted bool
+}
+
+// topkLane is one round's shared ingest state: the layout snapshot reports
+// validate against without the planner, the remaining-quota gate, and the
+// shard partials they absorb into. A lane is immutable except through its
+// atomics and shard locks, and is replaced wholesale at the seal.
+type topkLane struct {
+	round  int
+	quota  int
+	layout *topk.RoundLayout
+
+	// remaining is the round's unreserved quota. Reservations are taken
+	// before the WAL append (and returned on its failure), so the round
+	// never over-admits: whoever drives it to zero triggers the seal.
+	remaining atomic.Int64
+	// next round-robins batches over the shards.
+	next   atomic.Uint64
+	shards []*topkShard
+}
+
+// topkShard is one absorb shard: a partial aggregate behind its own lock,
+// so concurrent batches on one session contend 1/shardN of the time.
+type topkShard struct {
+	mu   sync.Mutex
+	part *topk.RoundPartial
+}
+
+// reserveUpTo takes up to n reports of the remaining quota and returns how
+// many it got — the JSON path's reservation, where a batch's tail past the
+// seal is rejected per item.
+func (l *topkLane) reserveUpTo(n int64) int64 {
+	for {
+		r := l.remaining.Load()
+		take := min(r, n)
+		if take <= 0 {
+			return 0
+		}
+		if l.remaining.CompareAndSwap(r, r-take) {
+			return take
+		}
+	}
+}
+
+// reserveExact takes exactly n or nothing — the binary path's reservation,
+// where a frame applies whole or not at all.
+func (l *topkLane) reserveExact(n int64) bool {
+	for {
+		r := l.remaining.Load()
+		if r < n {
+			return false
+		}
+		if l.remaining.CompareAndSwap(r, r-n) {
+			return true
+		}
+	}
+}
+
+// unreserve returns a failed reservation (admission or WAL append refused
+// the reports after the quota was taken).
+func (l *topkLane) unreserve(n int64) { l.remaining.Add(n) }
+
+// installLane builds the live round's lane from the planner, or clears it
+// once the session is done. Caller holds roundMu exclusively and mu (or has
+// exclusive access during startup), with the planner advanced past any
+// empty rounds first.
+func (sess *liveSession) installLane(shardN int) {
+	layout, ok := sess.pl.Layout()
+	if !ok {
+		sess.lane = nil
+		return
+	}
+	lane := &topkLane{round: layout.Round, quota: sess.pl.Quota(), layout: layout}
+	// A snapshot-restored session resumes mid-round: the lane starts with
+	// the quota that is actually still unfilled.
+	lane.remaining.Store(int64(max0(lane.quota - sess.pl.Received())))
+	lane.shards = make([]*topkShard, shardN)
+	for i := range lane.shards {
+		lane.shards[i] = &topkShard{part: topk.NewRoundPartial(layout)}
+	}
+	sess.lane = lane
+}
+
+// position snapshots the session's live coordinates for acks, broadcasts
+// and stats. Mid-round the lane is ahead of the planner (reports rest in
+// shard partials until the seal), so its reservation count is the received
+// figure clients should see. Caller must not hold roundMu or mu.
+func (sess *liveSession) position() (round, received, quota int, done bool) {
+	sess.roundMu.RLock()
+	lane := sess.lane
+	sess.roundMu.RUnlock()
+	sess.mu.Lock()
+	round, received, quota, done = sess.pl.Round(), sess.pl.Received(), sess.pl.Quota(), sess.pl.Done()
+	sess.mu.Unlock()
+	if lane != nil && lane.round == round {
+		quota = lane.quota
+		received = lane.quota - int(lane.remaining.Load())
+	}
+	return round, received, quota, done
 }
 
 // sessionHub owns the hosted sessions and their write-ahead log.
@@ -102,9 +214,16 @@ type sessionHub struct {
 	reserved int // creates past the cap check but before install
 
 	maxSessions  int
+	shardN       int // absorb shards per session lane (the server's shard count)
 	log          *wal.Log
 	compactAfter int64
 	compacting   atomic.Bool
+
+	// Accepted-report totals by wire format, advanced at the same handler
+	// sites as the mcim_ingest_reports_total series so /stats and /metrics
+	// agree exactly (replay excluded).
+	reportsJSON   atomic.Int64
+	reportsBinary atomic.Int64
 
 	logger *obs.Logger
 	rounds *obs.Counter // rounds sealed by live ingestion (replay excluded)
@@ -140,6 +259,10 @@ const (
 	recSessionReports = 'T'
 	// recSessionDelete frames a JSON wireSessionDelete.
 	recSessionDelete = 'D'
+	// recSessionBinaryFrame frames an accepted binary round-report frame,
+	// raw: the record is the session-tier MCBW frame exactly as it arrived
+	// (self-addressed and CRC-sealed), re-validated on replay.
+	recSessionBinaryFrame = 'W'
 )
 
 // wireSessionDelete is the WAL form of a session eviction.
@@ -195,6 +318,13 @@ func (s *Server) openTopKWAL() error {
 	}
 	replayG.Set(time.Since(replayStart).Seconds())
 	h.log = l
+	// Replay applied reports straight into the planners (single writer, no
+	// lanes); stand up the live rounds' ingest lanes now, before handlers
+	// run.
+	for _, sess := range h.sessions {
+		advanceOnQuota(sess.pl)
+		sess.installLane(h.shardN)
+	}
 	return nil
 }
 
@@ -265,6 +395,24 @@ func (h *sessionHub) replayRecord(rec []byte) error {
 			advanceOnQuota(sess.pl)
 		}
 		return nil
+	case recSessionBinaryFrame:
+		// The record is the accepted frame verbatim: re-peek (CRC, header),
+		// resolve the session it addresses itself to, and re-validate
+		// against the live round before absorbing — a frame that no longer
+		// applies means the log is foreign or damaged.
+		f, err := topk.PeekRoundFrame(rec[1:])
+		if err != nil {
+			return fmt.Errorf("collect: topk binary record: %w", err)
+		}
+		sess, ok := h.sessions[string(f.SID)]
+		if !ok {
+			return fmt.Errorf("collect: topk binary record for unknown session %s", f.SID)
+		}
+		if err := sess.pl.AbsorbRoundFrame(f); err != nil {
+			return fmt.Errorf("collect: topk binary record: %w", err)
+		}
+		advanceOnQuota(sess.pl)
+		return nil
 	case recSessionDelete:
 		var d wireSessionDelete
 		if err := json.Unmarshal(rec[1:], &d); err != nil {
@@ -301,6 +449,76 @@ func advanceOnQuota(pl *topk.Planner) {
 	}
 }
 
+// sealSession seals the session's live round if its quota is fully in:
+// waits out in-flight report batches (roundMu write side), merges every
+// shard partial into the planner, advances it, and installs the next
+// round's lane. Any handler that observes remaining == 0 calls this — the
+// batch that took the last reservation and any batch that lost the race to
+// it — and exactly one performs the work: latecomers find either a live
+// lane with quota left or a done session, and return 0. Returns the rounds
+// advanced (the handler's feed for the rounds counter; replay never comes
+// through here). Caller holds ingestMu (either side) and must not hold
+// roundMu or sess.mu.
+func (h *sessionHub) sealSession(sess *liveSession) int64 {
+	sess.roundMu.Lock()
+	defer sess.roundMu.Unlock()
+	lane := sess.lane
+	if lane == nil || lane.remaining.Load() != 0 {
+		return 0
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for _, sh := range lane.shards {
+		// No batch can hold a shard lock here (they nest under
+		// roundMu.RLock), but keep the discipline uniform.
+		sh.mu.Lock()
+		err := sess.pl.MergePartial(sh.part)
+		sh.mu.Unlock()
+		if err != nil {
+			// Unreachable by the seal protocol (partials only ever hold the
+			// lane's round); refuse to advance on a corrupt merge.
+			h.logger.Error("topk shard merge failed", "session", sess.id, "err", err)
+			return 0
+		}
+	}
+	before := sess.pl.Round()
+	advanceOnQuota(sess.pl)
+	sess.installLane(h.shardN)
+	return int64(sess.pl.Round() - before)
+}
+
+// drainPartialsLocked folds every session's shard partials into its
+// planner, so a snapshot taken next marshals the complete mid-round state.
+// Caller holds ingestMu exclusively (no batch is mid-flight, so reserved
+// equals absorbed and the lanes' remaining counters stay consistent).
+func (h *sessionHub) drainPartialsLocked() error {
+	h.mu.Lock()
+	sessions := make([]*liveSession, 0, len(h.sessions))
+	for _, sess := range h.sessions {
+		sessions = append(sessions, sess)
+	}
+	h.mu.Unlock()
+	for _, sess := range sessions {
+		sess.roundMu.Lock()
+		lane := sess.lane
+		sess.mu.Lock()
+		var err error
+		if lane != nil {
+			for _, sh := range lane.shards {
+				if err = sess.pl.MergePartial(sh.part); err != nil {
+					break
+				}
+			}
+		}
+		sess.mu.Unlock()
+		sess.roundMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("collect: drain topk session %s: %w", sess.id, err)
+		}
+	}
+	return nil
+}
+
 // maybeCompact folds the session log into a snapshot once enough record
 // bytes accumulate past the last one. At most one compaction runs at a
 // time; extra triggers are dropped.
@@ -327,6 +545,13 @@ func (h *sessionHub) maybeCompact() {
 func (h *sessionHub) compact() error {
 	h.ingestMu.Lock()
 	cover, err := h.log.Roll()
+	if err == nil {
+		// Shard partials hold reports the planners haven't seen yet; fold
+		// them in so the snapshot is the complete applied state. The lanes
+		// stay installed — their reservation counters already match the
+		// merged totals.
+		err = h.drainPartialsLocked()
+	}
 	var snap []byte
 	if err == nil {
 		snap, err = h.snapshotLocked()
@@ -386,20 +611,25 @@ func (h *sessionHub) removeLocked(id string) {
 // ---------------------------------------------------------------------------
 
 // WireTopKSessionInfo describes a hosted session: its normalized params,
-// total round count and live position.
+// total round count, live position, and the report wire formats the server
+// accepts on the reports endpoint.
 type WireTopKSessionInfo struct {
 	ID     string             `json:"id"`
 	Params topk.SessionParams `json:"params"`
 	Rounds int                `json:"rounds"`
 	Round  int                `json:"round"`
 	Done   bool               `json:"done"`
+	Wire   []string           `json:"wire,omitempty"`
 }
 
-// WireTopKRound is the live round broadcast (or the done marker).
+// WireTopKRound is the live round broadcast (or the done marker). Wire
+// lists the report formats the server accepts, so clients negotiate the
+// binary lane from the broadcast alone.
 type WireTopKRound struct {
 	Done     bool              `json:"done"`
 	Received int               `json:"received"`
 	Config   *topk.RoundConfig `json:"config,omitempty"`
+	Wire     []string          `json:"wire,omitempty"`
 }
 
 // WireTopKAck acknowledges a round-report batch. Round and Received are
@@ -419,9 +649,14 @@ type WireTopKAck struct {
 // WireTopKStats is the /stats slice of the interactive mining tier.
 type WireTopKStats struct {
 	// Sessions counts tracked sessions; Open those still mid-protocol.
-	Sessions int                   `json:"sessions"`
-	Open     int                   `json:"open"`
-	Detail   []WireTopKSessionStat `json:"detail,omitempty"`
+	Sessions int `json:"sessions"`
+	Open     int `json:"open"`
+	// ReportsJSON and ReportsBinary are accepted round reports by wire
+	// format since startup (replay excluded) — the /stats twins of
+	// mcim_ingest_reports_total{tier="topk"}.
+	ReportsJSON   int64                 `json:"reports_json"`
+	ReportsBinary int64                 `json:"reports_binary"`
+	Detail        []WireTopKSessionStat `json:"detail,omitempty"`
 }
 
 // WireTopKSessionStat is one session's live position.
@@ -444,20 +679,25 @@ func (h *sessionHub) stats() *WireTopKStats {
 		sessions = append(sessions, h.sessions[id])
 	}
 	h.mu.Unlock()
-	st := &WireTopKStats{Sessions: len(sessions)}
+	st := &WireTopKStats{
+		Sessions:      len(sessions),
+		ReportsJSON:   h.reportsJSON.Load(),
+		ReportsBinary: h.reportsBinary.Load(),
+	}
 	for _, sess := range sessions {
+		round, received, quota, done := sess.position()
 		sess.mu.Lock()
-		pl := sess.pl
+		framework, rounds := sess.pl.Params().Framework, sess.pl.Rounds()
+		sess.mu.Unlock()
 		stat := WireTopKSessionStat{
 			ID:        sess.id,
-			Framework: pl.Params().Framework,
-			Round:     pl.Round(),
-			Rounds:    pl.Rounds(),
-			Received:  pl.Received(),
-			Quota:     pl.Quota(),
-			Done:      pl.Done(),
+			Framework: framework,
+			Round:     round,
+			Rounds:    rounds,
+			Received:  received,
+			Quota:     quota,
+			Done:      done,
 		}
-		sess.mu.Unlock()
 		if !stat.Done {
 			st.Open++
 		}
@@ -477,6 +717,7 @@ func sessionInfo(id string, pl *topk.Planner) WireTopKSessionInfo {
 		Rounds: pl.Rounds(),
 		Round:  pl.Round(),
 		Done:   pl.Done(),
+		Wire:   wireFormats(),
 	}
 }
 
@@ -538,9 +779,11 @@ func (s *Server) handleTopKCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	sess := &liveSession{id: id, pl: pl}
+	sess.installLane(h.shardN)
 	h.mu.Lock()
 	h.reserved--
-	h.sessions[id] = &liveSession{id: id, pl: pl}
+	h.sessions[id] = sess
 	h.order = append(h.order, id)
 	h.mu.Unlock()
 	writeJSON(w, sessionInfo(id, pl))
@@ -557,8 +800,11 @@ func (s *Server) handleTopKDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	h.ingestMu.RLock()
 	defer h.ingestMu.RUnlock()
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	// The write side of roundMu waits out in-flight report batches (they
+	// hold the read side through their WAL appends), so no report record
+	// for this session can land after its deletion record.
+	sess.roundMu.Lock()
+	defer sess.roundMu.Unlock()
 	if sess.deleted {
 		http.Error(w, fmt.Sprintf("collect: no session %q", sess.id), http.StatusNotFound)
 		return
@@ -610,9 +856,23 @@ func (s *Server) handleTopKRound(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Hold the round steady while building the broadcast: seals take
+	// roundMu exclusively, so the config and the lane-derived received
+	// figure describe the same round.
+	sess.roundMu.RLock()
+	lane := sess.lane
 	sess.mu.Lock()
-	out := WireTopKRound{Done: sess.pl.Done(), Received: sess.pl.Received(), Config: sess.pl.Config()}
+	out := WireTopKRound{
+		Done:     sess.pl.Done(),
+		Received: sess.pl.Received(),
+		Config:   sess.pl.Config(),
+		Wire:     wireFormats(),
+	}
 	sess.mu.Unlock()
+	if lane != nil {
+		out.Received = lane.quota - int(lane.remaining.Load())
+	}
+	sess.roundMu.RUnlock()
 	writeJSON(w, out)
 }
 
@@ -633,131 +893,318 @@ func (s *Server) handleTopKResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
-// handleTopKReports ingests a batch of round reports (JSON array or
-// NDJSON, under the same body cap and 413 behavior as /reports). Reports
-// are absorbed in order into the live round, which seals automatically
-// when its quota is in — reports after the seal (in this batch or a later
-// one) are rejected, and a batch rejected entirely for that reason is
-// answered 410 Gone with the live round index.
+// ackAt builds an acknowledgement carrying the session's live position.
+// Caller must not hold roundMu or sess.mu.
+func ackAt(sess *liveSession, accepted, rejected int) WireTopKAck {
+	round, received, _, done := sess.position()
+	return WireTopKAck{
+		Accepted: accepted,
+		Rejected: rejected,
+		Round:    round,
+		Received: received,
+		Done:     done,
+	}
+}
+
+// writeStaleAck answers a whole-batch 410 Gone: the body is the regular
+// ack, whose round index tells the client what is live now.
+func (h *sessionHub) writeStaleAck(w http.ResponseWriter, ack WireTopKAck) {
+	h.stale.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusGone)
+	json.NewEncoder(w).Encode(ack) //nolint:errcheck — best-effort error body
+}
+
+// handleTopKReports ingests a batch of round reports — a JSON array or
+// NDJSON under the same body cap and 413 behavior as /reports, or (by the
+// BinaryContentType media type) one binary session frame. Reports land in
+// the live round, which seals automatically when its quota is in — reports
+// after the seal (in this batch or a later one) are rejected, and a batch
+// rejected entirely for that reason is answered 410 Gone with the live
+// round index.
+//
+// Concurrency: the handler validates against the lane's immutable layout
+// snapshot, reserves quota with one atomic, and absorbs into one shard
+// partial — the session mutex is never taken mid-round, so batches on one
+// session proceed in parallel. Whoever observes the quota hit zero runs
+// the seal (sealSession), which merges the shards into the planner exactly
+// once; merged state is bit-identical to sequential absorption.
 func (s *Server) handleTopKReports(w http.ResponseWriter, r *http.Request) {
-	h := s.topk
+	start := time.Now()
+	h, m := s.topk, s.topkM
 	sess, ok := s.topkSession(w, r)
 	if !ok {
 		return
 	}
-	body, ok := s.readBody(w, r)
+	body, release, ok := s.readBodyPooled(w, r, m)
 	if !ok {
+		return
+	}
+	defer release()
+	m.bytes.Add(int64(len(body)))
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.ingestTopKBinary(w, sess, body, start)
 		return
 	}
 	items, itemErrs, droppedTail, err := decodeBatchItems[topk.RoundReport](body)
 	if err != nil {
+		m.rejectedDecode.Inc()
 		http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 
 	h.ingestMu.RLock()
-	sess.mu.Lock()
+	sess.roundMu.RLock()
 	if sess.deleted {
 		// Evicted between lookup and lock: a report record appended now
 		// would follow the deletion record on replay.
-		sess.mu.Unlock()
+		sess.roundMu.RUnlock()
 		h.ingestMu.RUnlock()
 		http.Error(w, fmt.Sprintf("collect: no session %q", sess.id), http.StatusNotFound)
 		return
 	}
-	pl := sess.pl
-	// Pass 1 (read-only): classify. Acceptance is order-dependent only
-	// through the quota: once this batch fills the live round, everything
-	// after it in the batch is posting to a sealed round.
-	room := pl.Quota() - pl.Received()
-	if pl.Done() {
-		room = 0
-	}
-	accepted := make([]topk.RoundReport, 0, min(len(items), max0(room)))
+	lane := sess.lane
+	// Pass 1 (read-only): classify against the lane's layout snapshot.
+	// Acceptance is order-dependent only through the quota, settled below
+	// by the reservation.
+	accepted := make([]indexedItem[topk.RoundReport], 0, len(items))
 	staleRejects := 0
 	for _, it := range items {
-		switch {
-		case pl.Done():
+		if lane == nil {
 			staleRejects++
 			itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: topk.ErrSessionDone.Error()})
-		case len(accepted) >= room:
-			staleRejects++
-			itemErrs = append(itemErrs, WireItemError{Index: it.index,
-				Error: fmt.Sprintf("topk: round %d sealed by this batch", pl.Round())})
-		default:
-			if cerr := pl.CheckReport(it.report); cerr != nil {
-				var rm *topk.RoundMismatchError
-				if errors.As(cerr, &rm) {
-					staleRejects++
-				}
-				itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: cerr.Error()})
-				continue
-			}
-			accepted = append(accepted, it.report)
+			continue
 		}
+		if cerr := lane.layout.CheckReport(it.report); cerr != nil {
+			var rm *topk.RoundMismatchError
+			if errors.As(cerr, &rm) {
+				staleRejects++
+			}
+			itemErrs = append(itemErrs, WireItemError{Index: it.index, Error: cerr.Error()})
+			continue
+		}
+		accepted = append(accepted, it)
 	}
+	// Reserve quota for as much of the batch as the round still has room
+	// for; everything past the reservation is posting to a round this batch
+	// (or a concurrent one) is sealing.
+	take := 0
+	if lane != nil && len(accepted) > 0 {
+		take = int(lane.reserveUpTo(int64(len(accepted))))
+	}
+	for _, it := range accepted[take:] {
+		staleRejects++
+		itemErrs = append(itemErrs, WireItemError{Index: it.index,
+			Error: fmt.Sprintf("topk: round %d sealed by this batch", lane.round)})
+	}
+	accepted = accepted[:take]
 	// The round reports draw from the same server-wide rate bucket as the
-	// other tiers; a refused batch left no trace (not logged, not absorbed)
-	// and may be resubmitted after the hinted delay.
+	// other tiers; a refused batch left no trace (not logged, not absorbed,
+	// reservation returned) and may be resubmitted after the hinted delay.
 	if err := s.admitReports(len(accepted)); err != nil {
-		sess.mu.Unlock()
+		if lane != nil {
+			lane.unreserve(int64(take))
+		}
+		sess.roundMu.RUnlock()
 		h.ingestMu.RUnlock()
+		m.observeIngestError(err, len(accepted))
 		writeIngestError(w, err)
 		return
 	}
 	// Durability before application: the accepted reports are logged as
 	// one record, so a crash replays exactly what was acknowledged.
 	if h.log != nil && len(accepted) > 0 {
-		rec, err := json.Marshal(wireSessionReports{ID: sess.id, Reports: accepted})
+		reps := make([]topk.RoundReport, len(accepted))
+		for i, it := range accepted {
+			reps[i] = it.report
+		}
+		rec, err := json.Marshal(wireSessionReports{ID: sess.id, Reports: reps})
 		if err == nil {
 			err = h.log.Append(append([]byte{recSessionReports}, rec...))
 		}
 		if err != nil {
-			sess.mu.Unlock()
+			lane.unreserve(int64(take))
+			sess.roundMu.RUnlock()
 			h.ingestMu.RUnlock()
+			m.rejectedWAL.Add(int64(len(accepted)))
 			http.Error(w, "collect: wal append: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	// Pass 2: apply. Every accepted report passed CheckReport against the
-	// state it will be absorbed into, so failures are impossible here.
-	for _, rep := range accepted {
-		if aerr := pl.Absorb(rep); aerr != nil {
-			sess.mu.Unlock()
+	// Apply into one shard. Every accepted report passed CheckReport
+	// against the same immutable layout the partial validates with, so
+	// failures are impossible here.
+	if len(accepted) > 0 {
+		sh := lane.shards[lane.next.Add(1)%uint64(len(lane.shards))]
+		sh.mu.Lock()
+		var aerr error
+		for _, it := range accepted {
+			if aerr = sh.part.Absorb(it.report); aerr != nil {
+				break
+			}
+		}
+		sh.mu.Unlock()
+		if aerr != nil {
+			sess.roundMu.RUnlock()
 			h.ingestMu.RUnlock()
 			http.Error(w, "collect: absorb accepted report: "+aerr.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	roundBefore := pl.Round()
-	advanceOnQuota(pl)
-	h.rounds.Add(int64(pl.Round() - roundBefore))
-	ack := WireTopKAck{
-		Accepted: len(accepted),
-		Rejected: len(itemErrs) + droppedTail,
-		Round:    pl.Round(),
-		Received: pl.Received(),
-		Done:     pl.Done(),
+	sealNow := lane != nil && lane.remaining.Load() == 0
+	sess.roundMu.RUnlock()
+	if sealNow {
+		// Either this batch took the last of the quota, or it lost the race
+		// to the batch that did: seal (idempotently) before acking so the
+		// ack — and a whole-batch 410 — carries the advanced round index.
+		h.rounds.Add(h.sealSession(sess))
 	}
-	sess.mu.Unlock()
+	ack := ackAt(sess, len(accepted), len(itemErrs)+droppedTail)
 	h.ingestMu.RUnlock()
 	h.maybeCompact()
 
+	m.batchesJSON.Inc()
+	m.reportsJSON.Add(int64(len(accepted)))
+	h.reportsJSON.Add(int64(len(accepted)))
+	m.rejectedItem.Add(int64(len(itemErrs) + droppedTail))
 	if len(itemErrs) > maxBatchErrors {
 		itemErrs = itemErrs[:maxBatchErrors]
 		ack.ErrorsTruncated = true
 	}
 	ack.Errors = itemErrs
 	if ack.Accepted == 0 && len(items) > 0 && staleRejects == len(itemErrs) {
-		// The whole batch raced a seal (or the session finished): 410 Gone,
-		// with the ack body telling the client which round is live now.
-		h.stale.Inc()
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusGone)
-		json.NewEncoder(w).Encode(ack) //nolint:errcheck — best-effort error body
+		h.writeStaleAck(w, ack)
 		return
 	}
 	writeJSON(w, ack)
+	m.latency.Observe(time.Since(start).Seconds())
+}
+
+// ingestTopKBinary ingests one binary session frame ('T' tier, see
+// internal/topk/binwire.go): peek answers addressing and staleness from
+// the header alone, the records are validated in full against the lane's
+// layout, the whole frame reserves quota atomically (all-or-nothing), the
+// raw frame bytes are write-ahead logged, and the packed bit-vectors fold
+// word-wise into one shard partial without ever materializing report
+// structs. body is the pooled request body (already counted into the
+// byte series); the caller's deferred release reclaims it.
+func (s *Server) ingestTopKBinary(w http.ResponseWriter, sess *liveSession, body []byte, start time.Time) {
+	h, m := s.topk, s.topkM
+	f, err := topk.PeekRoundFrame(body)
+	if err != nil {
+		m.rejectedDecode.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if string(f.SID) != sess.id {
+		m.rejectedDecode.Inc()
+		http.Error(w, fmt.Sprintf("collect: frame addresses session %q, posted to %q", f.SID, sess.id),
+			http.StatusBadRequest)
+		return
+	}
+
+	h.ingestMu.RLock()
+	sess.roundMu.RLock()
+	if sess.deleted {
+		sess.roundMu.RUnlock()
+		h.ingestMu.RUnlock()
+		http.Error(w, fmt.Sprintf("collect: no session %q", sess.id), http.StatusNotFound)
+		return
+	}
+	lane := sess.lane
+	if lane == nil || f.Round != lane.round {
+		// Stale (or done) by the header alone — the records were never
+		// decoded. The ack names the live round.
+		sess.roundMu.RUnlock()
+		m.rejectedItem.Add(int64(f.Count))
+		h.writeStaleAck(w, ackAt(sess, 0, f.Count))
+		h.ingestMu.RUnlock()
+		return
+	}
+	if err := f.Validate(lane.layout); err != nil {
+		sess.roundMu.RUnlock()
+		h.ingestMu.RUnlock()
+		m.rejectedDecode.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.Count == 0 {
+		sess.roundMu.RUnlock()
+		ack := ackAt(sess, 0, 0)
+		h.ingestMu.RUnlock()
+		m.batchesBinary.Inc()
+		writeJSON(w, ack)
+		m.latency.Observe(time.Since(start).Seconds())
+		return
+	}
+	if !lane.reserveExact(int64(f.Count)) {
+		sess.roundMu.RUnlock()
+		if lane.remaining.Load() == 0 {
+			// Lost the race to the sealing batch: resolve the seal, then
+			// 410 with the advanced round.
+			h.rounds.Add(h.sealSession(sess))
+			m.rejectedItem.Add(int64(f.Count))
+			h.writeStaleAck(w, ackAt(sess, 0, f.Count))
+			h.ingestMu.RUnlock()
+			return
+		}
+		// The frame is live but larger than the round's remaining quota; a
+		// frame is all-or-nothing, so the client must resize it (the error
+		// carries the live position).
+		_, received, quota, _ := sess.position()
+		h.ingestMu.RUnlock()
+		http.Error(w, fmt.Sprintf("collect: frame of %d reports exceeds the %d remaining in round %d",
+			f.Count, quota-received, f.Round), http.StatusConflict)
+		return
+	}
+	if err := s.admitReports(f.Count); err != nil {
+		lane.unreserve(int64(f.Count))
+		sess.roundMu.RUnlock()
+		h.ingestMu.RUnlock()
+		m.observeIngestError(err, f.Count)
+		writeIngestError(w, err)
+		return
+	}
+	// Durability before application: the accepted frame is logged raw —
+	// no re-encode, and replay re-validates the same bytes.
+	if h.log != nil {
+		rec := make([]byte, 0, 1+len(body))
+		rec = append(rec, recSessionBinaryFrame)
+		rec = append(rec, body...)
+		if err := h.log.Append(rec); err != nil {
+			lane.unreserve(int64(f.Count))
+			sess.roundMu.RUnlock()
+			h.ingestMu.RUnlock()
+			m.rejectedWAL.Add(int64(f.Count))
+			http.Error(w, "collect: wal append: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	sh := lane.shards[lane.next.Add(1)%uint64(len(lane.shards))]
+	sh.mu.Lock()
+	aerr := sh.part.AbsorbFrame(f)
+	sh.mu.Unlock()
+	if aerr != nil {
+		// Unreachable: the frame validated against this exact layout above.
+		sess.roundMu.RUnlock()
+		h.ingestMu.RUnlock()
+		http.Error(w, "collect: absorb binary frame: "+aerr.Error(), http.StatusInternalServerError)
+		return
+	}
+	sealNow := lane.remaining.Load() == 0
+	sess.roundMu.RUnlock()
+	if sealNow {
+		h.rounds.Add(h.sealSession(sess))
+	}
+	ack := ackAt(sess, f.Count, 0)
+	h.ingestMu.RUnlock()
+	h.maybeCompact()
+
+	m.batchesBinary.Inc()
+	m.reportsBinary.Add(int64(f.Count))
+	h.reportsBinary.Add(int64(f.Count))
+	writeJSON(w, ack)
+	m.latency.Observe(time.Since(start).Seconds())
 }
 
 func max0(n int) int {
@@ -855,6 +1302,50 @@ func (ts *TopKSession) PostReports(reps []topk.RoundReport) (*WireTopKAck, error
 		return nil, err
 	}
 	resp, err := ts.http.Post(ts.base+"/topk/sessions/"+ts.info.ID+"/reports", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("collect: session %s reports: %w", ts.info.ID, err)
+	}
+	defer resp.Body.Close()
+	var ack WireTopKAck
+	decodeErr := json.NewDecoder(resp.Body).Decode(&ack)
+	if resp.StatusCode != http.StatusOK {
+		err := &statusError{resp.StatusCode, fmt.Sprintf("collect: session %s reports status %s", ts.info.ID, resp.Status)}
+		if resp.StatusCode == http.StatusGone && decodeErr == nil {
+			return &ack, err
+		}
+		return nil, err
+	}
+	if decodeErr != nil {
+		return nil, fmt.Errorf("collect: decode reports ack: %w", decodeErr)
+	}
+	return &ack, nil
+}
+
+// PostReportsBinary ships one batch of round reports as a binary session
+// frame ('T' tier): the reports are validated locally against the round
+// broadcast's layout, packed into one CRC-sealed frame from a pooled
+// buffer, and applied server-side all-or-nothing. It refuses to run
+// against a server that does not advertise "binary" in the session's wire
+// formats. The 410 contract matches PostReports: a sealed round comes back
+// as a status-carrying error plus the ack naming the live round.
+func (ts *TopKSession) PostReportsBinary(cfg *topk.RoundConfig, reps []topk.RoundReport) (*WireTopKAck, error) {
+	if !wireSupports(ts.info.Wire, "binary") {
+		return nil, fmt.Errorf("collect: session %s: server does not advertise binary round reports (wire %v)",
+			ts.info.ID, ts.info.Wire)
+	}
+	layout, err := topk.LayoutOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bufp := encodeBufPool.Get().(*[]byte)
+	frame, err := topk.AppendRoundFrame((*bufp)[:0], ts.info.ID, layout, reps)
+	if err != nil {
+		encodeBufPool.Put(bufp)
+		return nil, err
+	}
+	*bufp = frame[:0]
+	defer encodeBufPool.Put(bufp)
+	resp, err := ts.http.Post(ts.base+"/topk/sessions/"+ts.info.ID+"/reports", BinaryContentType, bytes.NewReader(frame))
 	if err != nil {
 		return nil, fmt.Errorf("collect: session %s reports: %w", ts.info.ID, err)
 	}

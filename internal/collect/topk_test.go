@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -98,10 +99,56 @@ func driveSession(t *testing.T, ts *TopKSession, pairs []core.Pair, seed uint64,
 	return res
 }
 
+// driveSessionBinary is driveSession over the binary wire: every batch
+// ships as one 'T' frame through PostReportsBinary.
+func driveSessionBinary(t *testing.T, ts *TopKSession, pairs []core.Pair, seed uint64, batch, startUser int) *topk.Result {
+	t.Helper()
+	user := startUser
+	for {
+		rd, err := ts.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Done {
+			break
+		}
+		if !wireSupports(rd.Wire, "binary") {
+			t.Fatalf("round broadcast does not advertise binary: %v", rd.Wire)
+		}
+		enc, err := topk.NewRoundEncoder(rd.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := make([]topk.RoundReport, rd.Config.Quota-rd.Received)
+		for j := range reps {
+			reps[j], err = enc.Encode(pairs[user], topk.UserRand(seed, user))
+			if err != nil {
+				t.Fatal(err)
+			}
+			user++
+		}
+		for lo := 0; lo < len(reps); lo += batch {
+			hi := min(lo+batch, len(reps))
+			ack, err := ts.PostReportsBinary(rd.Config, reps[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ack.Accepted != hi-lo || ack.Rejected != 0 {
+				t.Fatalf("round %d: frame ack %+v, want %d accepted", rd.Config.Round, ack, hi-lo)
+			}
+		}
+	}
+	res, err := ts.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // TestServedSessionMatchesOfflineMine is the acceptance pin: for every
 // miner, a full session driven through the HTTP endpoints (same seed, same
 // user→group assignment) yields rankings bit-identical to the offline Mine
-// path.
+// path — over the JSON wire and over binary session frames alike.
 func TestServedSessionMatchesOfflineMine(t *testing.T) {
 	data := topkTestData(3, 128, 6000, 60)
 	const k, eps = 4, 5.0
@@ -137,6 +184,19 @@ func TestServedSessionMatchesOfflineMine(t *testing.T) {
 			got := driveSession(t, ts, data.Pairs, seed, 256, 0)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("served rankings %v != offline Mine %v", got, want)
+			}
+			// Same session, binary wire: the word-packed frames must land
+			// bit-identically too.
+			tsb, err := NewTopKSession(hs.URL, nil, topk.SessionParams{
+				Framework: tc.fw, Classes: data.Classes, Items: data.Items,
+				K: k, Eps: eps, Users: data.N(), Seed: seed, Opt: tc.opt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotB := driveSessionBinary(t, tsb, data.Pairs, seed, 256, 0)
+			if !reflect.DeepEqual(gotB, want) {
+				t.Fatalf("binary-served rankings %v != offline Mine %v", gotB, want)
 			}
 		})
 	}
@@ -260,6 +320,114 @@ func TestTopKSessionSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestTopKBinarySessionSurvivesRestart is the binary-lane durability pin:
+// accepted 'T' frames are logged raw, a compaction mid-round folds the
+// shard partials into the snapshot, and a SIGKILL-style restart replays
+// snapshot + raw frame tail to the same mid-round position and the same
+// final rankings as the offline path.
+func TestTopKBinarySessionSurvivesRestart(t *testing.T) {
+	data := topkTestData(2, 128, 3000, 65)
+	const k, eps, seed = 3, 4.0, uint64(6565)
+	params := topk.SessionParams{
+		Framework: "pts", Classes: data.Classes, Items: data.Items,
+		K: k, Eps: eps, Users: data.N(), Seed: seed, Opt: topk.Optimized(),
+	}
+	offline, err := topk.NewSession(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := topk.RunSession(offline, data.Pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	walOpts := []ServerOption{
+		WithTopKSessions(TopKOptions{}),
+		WithWAL(dir),
+		WithWALOptions(wal.Options{Sync: wal.SyncAlways}),
+	}
+	proto, err := core.NewProtocol("ptscp", 2, 8, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, err := NewServer(proto, walOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsA := httptest.NewServer(srvA.Handler())
+	ts, err := NewTopKSession(hsA.URL, nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	user := 0
+	postSome := func(ts *TopKSession, n int) {
+		t.Helper()
+		rd, err := ts.Round()
+		if err != nil || rd.Done {
+			t.Fatalf("round fetch: err=%v", err)
+		}
+		enc, err := topk.NewRoundEncoder(rd.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := make([]topk.RoundReport, n)
+		for j := range reps {
+			if reps[j], err = enc.Encode(data.Pairs[user], topk.UserRand(seed, user)); err != nil {
+				t.Fatal(err)
+			}
+			user++
+		}
+		if ack, err := ts.PostReportsBinary(rd.Config, reps); err != nil {
+			t.Fatal(err)
+		} else if ack.Accepted != n {
+			t.Fatalf("frame ack %+v, want %d accepted", ack, n)
+		}
+	}
+	// Seal round 0 with frames, half-fill round 1, compact (the snapshot
+	// must absorb the shard partials), then a raw-frame tail past it.
+	rd, err := ts.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	postSome(ts, rd.Config.Quota)
+	rd, err = ts.Round()
+	if err != nil || rd.Config.Round != 1 {
+		t.Fatalf("expected round 1, got %+v (err %v)", rd, err)
+	}
+	half := rd.Config.Quota / 2
+	postSome(ts, half)
+	if err := srvA.topk.compact(); err != nil {
+		t.Fatal(err)
+	}
+	postSome(ts, 5) // raw 'W' records past the snapshot
+	hsA.Close()     // SIGKILL-style: never Close the WAL
+
+	srvB, err := NewServer(proto, walOpts...)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srvB.Close()
+	hsB := httptest.NewServer(srvB.Handler())
+	defer hsB.Close()
+	tsB, err := OpenTopKSession(hsB.URL, nil, ts.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err = tsB.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Config.Round != 1 || rd.Received != half+5 {
+		t.Fatalf("recovered at round %d with %d reports, want round 1 with %d", rd.Config.Round, rd.Received, half+5)
+	}
+	got := driveSessionBinary(t, tsB, data.Pairs, seed, 256, user)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered binary session rankings %v != offline %v", got, want)
+	}
+}
+
 // TestTopKRoundSealRace hammers one round with concurrent posts racing its
 // seal: exactly quota reports may be accepted (no double count), and a
 // post arriving after the seal is answered 410 Gone with the advanced
@@ -342,6 +510,144 @@ func TestTopKRoundSealRace(t *testing.T) {
 	}
 	if rd2.Done || rd2.Config.Round != 1 || rd2.Received != 0 {
 		t.Fatalf("after seal race: %+v", rd2)
+	}
+}
+
+// TestTopKMixedWireHammer races JSON batches and binary frames into one
+// round from many goroutines: exactly the quota is absorbed across both
+// wires, the sealed round's stale posts come back 410 with the advanced
+// round index, the finished session is bit-identical to the offline
+// sequential path, and the per-wire topk ingest counters on /metrics equal
+// the /stats totals exactly.
+func TestTopKMixedWireHammer(t *testing.T) {
+	data := topkTestData(2, 64, 600, 66)
+	const seed = 6767
+	params := topk.SessionParams{
+		Framework: "pts", Classes: data.Classes, Items: data.Items,
+		K: 2, Eps: 2, Users: data.N(), Seed: seed, Opt: topk.Optimized(),
+	}
+	offline, err := topk.NewSession(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := topk.RunSession(offline, data.Pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, hs := topkTestServer(t)
+	ts, err := NewTopKSession(hs.URL, nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ts.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quota := rd.Config.Quota
+	chunk := 1
+	for c := 32; c > 1; c-- {
+		if quota%c == 0 {
+			chunk = c
+			break
+		}
+	}
+	enc, err := topk.NewRoundEncoder(rd.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]topk.RoundReport, quota)
+	for i := range reps {
+		if reps[i], err = enc.Encode(data.Pairs[i], topk.UserRand(seed, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly quota reports in chunk-sized pieces, even chunks JSON and odd
+	// chunks binary: every reservation is all-or-nothing at a chunk
+	// multiple, so each post must be accepted whole.
+	chunks := make(chan int, quota/chunk)
+	for i := 0; i < quota/chunk; i++ {
+		chunks <- i
+	}
+	close(chunks)
+	var (
+		wg                   sync.WaitGroup
+		jsonSent, binarySent atomic.Int64
+	)
+	cfg0 := rd.Config
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range chunks {
+				piece := reps[i*chunk : (i+1)*chunk]
+				var ack *WireTopKAck
+				var err error
+				if i%2 == 0 {
+					ack, err = ts.PostReports(piece)
+					jsonSent.Add(int64(len(piece)))
+				} else {
+					ack, err = ts.PostReportsBinary(cfg0, piece)
+					binarySent.Add(int64(len(piece)))
+				}
+				if err != nil {
+					t.Errorf("chunk %d: %v", i, err)
+					return
+				}
+				if ack.Accepted != len(piece) || ack.Rejected != 0 {
+					t.Errorf("chunk %d ack %+v, want %d accepted", i, ack, len(piece))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	rd2, err := ts.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd2.Done || rd2.Config.Round != 1 || rd2.Received != 0 {
+		t.Fatalf("after mixed fill: %+v", rd2)
+	}
+	// Stale posts against the sealed round — both wires must answer 410
+	// Gone carrying the advanced round index.
+	if ack, err := ts.PostReports(reps[:1]); err == nil {
+		t.Fatal("stale JSON batch accepted")
+	} else if code, _ := StatusCode(err); code != http.StatusGone || ack == nil || ack.Round != 1 {
+		t.Fatalf("stale JSON batch: code %d, ack %+v", code, ack)
+	}
+	if ack, err := ts.PostReportsBinary(cfg0, reps[:1]); err == nil {
+		t.Fatal("stale binary frame accepted")
+	} else if code, _ := StatusCode(err); code != http.StatusGone || ack == nil || ack.Round != 1 {
+		t.Fatalf("stale binary frame: code %d, ack %+v", code, ack)
+	}
+	// Finish the session sequentially (JSON) and pin bit-identity with the
+	// offline sequential absorb: merge-at-seal changed nothing.
+	got := driveSession(t, ts, data.Pairs, seed, 128, quota)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed-wire rankings %v != offline %v", got, want)
+	}
+	remaining := data.N() - quota // driveSession shipped the rest over JSON
+
+	var st WireStats
+	fetchStats(t, hs.Client(), hs.URL+"/stats", &st)
+	if st.TopK == nil {
+		t.Fatal("stats missing topk block")
+	}
+	wantJSON := jsonSent.Load() + int64(remaining)
+	wantBinary := binarySent.Load()
+	if st.TopK.ReportsJSON != wantJSON || st.TopK.ReportsBinary != wantBinary {
+		t.Fatalf("stats report totals json=%d binary=%d, want %d/%d",
+			st.TopK.ReportsJSON, st.TopK.ReportsBinary, wantJSON, wantBinary)
+	}
+	samples := scrapeMetrics(t, hs.Client(), hs.URL).Samples()
+	if got := samples[`mcim_ingest_reports_total{tier="topk",wire="json"}`]; int64(got) != wantJSON {
+		t.Fatalf("metrics topk json reports %v, want %d", got, wantJSON)
+	}
+	if got := samples[`mcim_ingest_reports_total{tier="topk",wire="binary"}`]; int64(got) != wantBinary {
+		t.Fatalf("metrics topk binary reports %v, want %d", got, wantBinary)
 	}
 }
 

@@ -1,0 +1,587 @@
+package topk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// This file is the binary wire codec for round-report batches — the session
+// tier of the MCBW frame format (internal/core/binwire.go holds the
+// frequency 'F' and mean 'M' tiers). A frame carries one whole batch for one
+// session round:
+//
+//	magic[4]="MCBW" version[u8] tier[u8]='T' sidLen[u8] sid[sidLen]
+//	round[u32] count[u32] records... crc32c[u32]
+//
+// All integers are little-endian; the CRC (Castagnoli) covers every byte
+// before it and is verified before a single record is parsed. Unlike the
+// stateless frequency tier, a session frame is addressed: the session id and
+// round index ride in the header, so a server answers staleness (410 with
+// the live round) from a 20-byte peek without touching the records.
+//
+// Records are shape-dependent on the round's layout (both ends know it — the
+// server from its planner, the client from the round broadcast): uvarint
+// class (hec: the self-chosen group; pts: the perturbed label; ptj: always
+// 0), then the report's bit vector packed as ceil(bitsLen/64) little-endian
+// words, where bitsLen is the bucket count of the space that class lands in
+// (plus the validity flag bit under VP). Record width therefore depends on
+// the class read first — per-class spaces prune independently, so their
+// bucket counts differ.
+//
+// Like the other binary tiers, a session frame is all-or-nothing: any
+// invalid record (or a CRC/truncation failure) rejects the whole frame and
+// nothing is absorbed. Frames only ever come from a layout-checked encoder,
+// so an invalid record means corruption or misconfiguration, not one user's
+// bad report.
+
+// roundTier is the MCBW tier byte of session round-report frames.
+const roundTier = 'T'
+
+const (
+	// roundFrameFixedLen is magic + version + tier + sidLen + round + count:
+	// everything in the header except the variable session id.
+	roundFrameFixedLen = 4 + 1 + 1 + 1 + 4 + 4
+	// roundMinFrameLen adds the shortest session id and the trailing CRC.
+	roundMinFrameLen = roundFrameFixedLen + 1 + 4
+)
+
+// roundMagic is the shared MCBW frame magic (core's is unexported).
+var roundMagic = [4]byte{'M', 'C', 'B', 'W'}
+
+// roundCRC is the CRC-32C table shared with the other MCBW tiers.
+var roundCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// roundZeros is a zero region appended in chunks when reserving packed
+// bit-vector bytes, so encoding never allocates a scratch slice.
+var roundZeros [1024]byte
+
+// ---------------------------------------------------------------------------
+// Round layout.
+// ---------------------------------------------------------------------------
+
+// RoundLayout is the wire shape of one round: everything needed to validate
+// and decode that round's reports without holding the planner — so the hot
+// ingest path classifies and absorbs reports against an immutable snapshot
+// instead of serializing on the session lock. Server-side it comes from
+// Planner.Layout, client-side from LayoutOf over the round broadcast.
+type RoundLayout struct {
+	// Round is the round index reports must carry.
+	Round int
+	// Classes bounds the wire class (ptj reports must carry class 0).
+	Classes int
+	// PTJ marks the joint-domain framework (class is in the joint value).
+	PTJ bool
+	// Single routes every class into aggregate 0 (ptj, and the pts global
+	// phase); otherwise class c lands in aggregate c.
+	Single bool
+	// VP marks validity perturbation: each aggregate's last wire bit is the
+	// perturbed validity flag, and flagged reports are dropped.
+	VP bool
+	// Bits[i] is aggregate i's wire bit-vector length (buckets, plus the
+	// flag bit under VP).
+	Bits []int
+}
+
+// aggIndex maps a report's wire class to the aggregate it lands in.
+func (l *RoundLayout) aggIndex(class int) int {
+	if l.Single {
+		return 0
+	}
+	return class
+}
+
+// CheckReport validates a report against the layout without mutating
+// anything, mirroring Planner.CheckReport exactly: round match
+// (RoundMismatchError otherwise), class range and bit-vector shape.
+func (l *RoundLayout) CheckReport(rep RoundReport) error {
+	if rep.Round != l.Round {
+		return &RoundMismatchError{Got: rep.Round, Live: l.Round}
+	}
+	if l.PTJ {
+		if rep.Class != 0 {
+			return fmt.Errorf("topk: ptj report class %d, want 0 (class is in the joint value)", rep.Class)
+		}
+	} else if rep.Class < 0 || rep.Class >= l.Classes {
+		return fmt.Errorf("topk: report class %d outside [0,%d)", rep.Class, l.Classes)
+	}
+	return validateBits(rep.Bits, l.Bits[l.aggIndex(rep.Class)])
+}
+
+// maxWords returns the widest aggregate's packed word count.
+func (l *RoundLayout) maxWords() int {
+	nw := 0
+	for _, b := range l.Bits {
+		if w := (b + 63) / 64; w > nw {
+			nw = w
+		}
+	}
+	return nw
+}
+
+// walkRecords validates a frame's record region record by record, calling
+// visit (when non-nil) for each one with the class and the packed bit-vector
+// words (valid until the next record). Every semantic check CheckReport
+// performs on a JSON report happens here too — class range, no stray bits
+// beyond the aggregate's domain — so a frame that walks cleanly is always
+// safe to absorb. The walk allocates nothing beyond one reused word buffer
+// per call.
+func (l *RoundLayout) walkRecords(records []byte, count int, visit func(class int, words []uint64) error) error {
+	var words []uint64
+	if visit != nil {
+		words = make([]uint64, l.maxWords())
+	}
+	pos := 0
+	for i := 0; i < count; i++ {
+		class, n := binary.Uvarint(records[pos:])
+		if n <= 0 {
+			return fmt.Errorf("topk: binary record %d: truncated class", i)
+		}
+		pos += n
+		if l.PTJ {
+			if class != 0 {
+				return fmt.Errorf("topk: binary record %d: ptj class %d, want 0", i, class)
+			}
+		} else if class >= uint64(l.Classes) {
+			return fmt.Errorf("topk: binary record %d: class %d outside [0,%d)", i, class, l.Classes)
+		}
+		bitsLen := l.Bits[l.aggIndex(int(class))]
+		nw := (bitsLen + 63) / 64
+		if len(records)-pos < nw*8 {
+			return fmt.Errorf("topk: binary record %d: truncated %d-bit vector", i, bitsLen)
+		}
+		last := binary.LittleEndian.Uint64(records[pos+(nw-1)*8:])
+		if rem := uint(bitsLen) % 64; rem != 0 && last>>rem != 0 {
+			return fmt.Errorf("topk: binary record %d: stray bits beyond the %d-bit domain", i, bitsLen)
+		}
+		if visit != nil {
+			w := words[:nw]
+			for wi := 0; wi < nw; wi++ {
+				w[wi] = binary.LittleEndian.Uint64(records[pos+wi*8:])
+			}
+			if err := visit(int(class), w); err != nil {
+				return err
+			}
+		}
+		pos += nw * 8
+	}
+	if pos != len(records) {
+		return fmt.Errorf("topk: binary frame has %d trailing record bytes", len(records)-pos)
+	}
+	return nil
+}
+
+// Layout snapshots the live round's wire shape, or false once the session is
+// done. The snapshot is immutable: later Absorb/Advance calls on the planner
+// do not affect it, so it may be shared across goroutines.
+func (pl *Planner) Layout() (*RoundLayout, bool) {
+	if pl.done {
+		return nil, false
+	}
+	l := &RoundLayout{
+		Round:   pl.round,
+		Classes: pl.p.Classes,
+		PTJ:     pl.p.Framework == "ptj",
+		Single:  pl.p.Framework == "ptj" || (pl.p.Framework == "pts" && pl.round < pl.itF),
+		VP:      pl.p.Opt.VP,
+		Bits:    make([]int, len(pl.aggs)),
+	}
+	for i, a := range pl.aggs {
+		l.Bits[i] = a.bitsLen()
+	}
+	return l, true
+}
+
+// LayoutOf derives the round's wire shape from its broadcast — the client
+// half of Planner.Layout. It checks only what the layout depends on (the
+// framework's space count and each space's bucket count); full broadcast
+// validation is NewRoundEncoder's job, which binary submitters have already
+// run to produce reports in the first place.
+func LayoutOf(cfg *RoundConfig) (*RoundLayout, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("topk: nil round config")
+	}
+	fw, err := canonicalFramework(cfg.Framework)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Classes < 1 {
+		return nil, fmt.Errorf("topk: round config with %d classes", cfg.Classes)
+	}
+	single := fw == "ptj" || (fw == "pts" && cfg.Global)
+	wantSpaces := cfg.Classes
+	if single {
+		wantSpaces = 1
+	}
+	if len(cfg.Spaces) != wantSpaces {
+		return nil, fmt.Errorf("topk: %s round carries %d spaces, want %d", fw, len(cfg.Spaces), wantSpaces)
+	}
+	l := &RoundLayout{
+		Round:   cfg.Round,
+		Classes: cfg.Classes,
+		PTJ:     fw == "ptj",
+		Single:  single,
+		VP:      cfg.VP,
+		Bits:    make([]int, len(cfg.Spaces)),
+	}
+	for i := range cfg.Spaces {
+		b := cfg.Spaces[i].Buckets()
+		if b < 1 {
+			return nil, fmt.Errorf("topk: space %d lays out %d buckets", i, b)
+		}
+		if cfg.VP {
+			b++
+		}
+		l.Bits[i] = b
+	}
+	return l, nil
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+// ---------------------------------------------------------------------------
+
+// RoundFrame is a peeked session frame: the addressing header plus the
+// still-encoded record region. The fields alias the frame bytes; they are
+// valid only as long as the underlying buffer is.
+type RoundFrame struct {
+	// SID is the session id the frame addresses.
+	SID []byte
+	// Round is the round index every record answers.
+	Round int
+	// Count is the declared record count.
+	Count int
+
+	records []byte
+}
+
+// AppendRoundFrame appends one session frame carrying reps to dst and
+// returns the extended slice. Reports are validated against the layout
+// (exactly like CheckReport), so a frame this returns is always accepted by
+// the matching Validate; each must carry the layout's round.
+func AppendRoundFrame(dst []byte, sid string, l *RoundLayout, reps []RoundReport) ([]byte, error) {
+	if len(sid) < 1 || len(sid) > 255 {
+		return nil, fmt.Errorf("topk: session id length %d outside [1,255]", len(sid))
+	}
+	off := len(dst)
+	dst = append(dst, roundMagic[:]...)
+	dst = append(dst, core.BinaryWireVersion, roundTier, byte(len(sid)))
+	dst = append(dst, sid...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(l.Round))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(reps)))
+	for i, rep := range reps {
+		if err := l.CheckReport(rep); err != nil {
+			return nil, fmt.Errorf("topk: report %d: %w", i, err)
+		}
+		dst = binary.AppendUvarint(dst, uint64(rep.Class))
+		nw := (l.Bits[l.aggIndex(rep.Class)] + 63) / 64
+		base := len(dst)
+		for rem := nw * 8; rem > 0; {
+			k := min(rem, len(roundZeros))
+			dst = append(dst, roundZeros[:k]...)
+			rem -= k
+		}
+		for _, b := range rep.Bits {
+			dst[base+(b>>3)] |= 1 << (uint(b) & 7)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[off:], roundCRC)), nil
+}
+
+// PeekRoundFrame checks a frame's CRC and header and returns the addressed
+// session, round, declared count and record region — without decoding a
+// single record, which is what lets a server answer staleness before paying
+// for the records. It never panics: corrupted, truncated or mis-tiered
+// inputs come back as errors.
+func PeekRoundFrame(data []byte) (RoundFrame, error) {
+	if len(data) < roundMinFrameLen {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame truncated (%d bytes)", len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, roundCRC), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	if [4]byte(body[:4]) != roundMagic {
+		return RoundFrame{}, fmt.Errorf("topk: bad binary frame magic %q", body[:4])
+	}
+	if v := body[4]; v != core.BinaryWireVersion {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame version %d, this build reads %d", v, core.BinaryWireVersion)
+	}
+	if t := body[5]; t != roundTier {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame tier %q, want %q", t, roundTier)
+	}
+	sidLen := int(body[6])
+	if sidLen < 1 {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame with an empty session id")
+	}
+	if len(body) < 7+sidLen+8 {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame truncated inside its header")
+	}
+	f := RoundFrame{
+		SID:     body[7 : 7+sidLen],
+		Round:   int(binary.LittleEndian.Uint32(body[7+sidLen:])),
+		Count:   int(binary.LittleEndian.Uint32(body[7+sidLen+4:])),
+		records: body[7+sidLen+8:],
+	}
+	// Every record costs at least one byte, so a count beyond the record
+	// bytes is structurally impossible — catch it before any walk does.
+	if uint64(f.Count) > uint64(len(f.records)) {
+		return RoundFrame{}, fmt.Errorf("topk: binary frame count %d exceeds %d record bytes", f.Count, len(f.records))
+	}
+	return f, nil
+}
+
+// Validate checks the frame's records end to end against the layout without
+// absorbing anything. A frame it accepts is guaranteed to absorb cleanly,
+// which is what lets a durable server log the raw frame write-ahead and a
+// sharded server apply it with no failure path in between. A frame for
+// another round fails with RoundMismatchError, same as CheckReport.
+func (f RoundFrame) Validate(l *RoundLayout) error {
+	if f.Round != l.Round {
+		return &RoundMismatchError{Got: f.Round, Live: l.Round}
+	}
+	return l.walkRecords(f.records, f.Count, nil)
+}
+
+// DecodeRoundFrame materializes every report of a validated frame — the
+// binary analogue of unmarshalling a JSON batch body. The hot ingest path
+// absorbs words directly instead; this is for tools and tests.
+func DecodeRoundFrame(l *RoundLayout, f RoundFrame) ([]RoundReport, error) {
+	if f.Round != l.Round {
+		return nil, &RoundMismatchError{Got: f.Round, Live: l.Round}
+	}
+	out := make([]RoundReport, 0, f.Count)
+	err := l.walkRecords(f.records, f.Count, func(class int, words []uint64) error {
+		rep := RoundReport{Round: f.Round, Class: class}
+		for wi, word := range words {
+			for word != 0 {
+				rep.Bits = append(rep.Bits, wi<<6+bits.TrailingZeros64(word))
+				word &= word - 1
+			}
+		}
+		out = append(out, rep)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded absorption.
+// ---------------------------------------------------------------------------
+
+// partialAgg is one aggregate's slice of a RoundPartial: the same counters
+// as roundAgg, accumulated independently and merged at seal.
+type partialAgg struct {
+	counts  []int64
+	n       int
+	kept    int
+	dropped int
+}
+
+// RoundPartial is one shard's partial aggregate of one round: everything a
+// report mutates in the planner (bucket counts, VP keep/drop counters, pts
+// label statistics), accumulated lock-free with respect to every other
+// shard and folded into the planner exactly once, at round seal
+// (Planner.MergePartial). All of it is integer addition, so absorbing a
+// round's reports across any number of partials in any order merges to the
+// same planner state as absorbing them sequentially — bit-identically.
+//
+// A RoundPartial is not safe for concurrent use; the collection server runs
+// one behind each shard lock.
+type RoundPartial struct {
+	layout *RoundLayout
+	aggs   []partialAgg
+
+	// Label statistics are tracked unconditionally (the wire class is the
+	// perturbed label only under pts; MergePartial folds them in only
+	// there), keeping the absorb path branch-free on the framework.
+	labelRouted []int64
+	labelTotal  int64
+
+	received int
+}
+
+// NewRoundPartial prepares an empty partial for one round's layout.
+func NewRoundPartial(l *RoundLayout) *RoundPartial {
+	p := &RoundPartial{
+		layout:      l,
+		aggs:        make([]partialAgg, len(l.Bits)),
+		labelRouted: make([]int64, l.Classes),
+	}
+	for i, b := range l.Bits {
+		if l.VP {
+			b-- // the flag bit has no bucket count
+		}
+		p.aggs[i].counts = make([]int64, b)
+	}
+	return p
+}
+
+// Received returns how many reports the partial currently holds.
+func (p *RoundPartial) Received() int { return p.received }
+
+// absorbWords folds one validated record (class + packed bit-vector words)
+// into the partial, mirroring roundAgg.add exactly: under VP a set flag bit
+// drops the report after counting it.
+func (p *RoundPartial) absorbWords(class int, words []uint64) {
+	p.labelRouted[class]++
+	p.labelTotal++
+	p.received++
+	a := &p.aggs[p.layout.aggIndex(class)]
+	a.n++
+	if p.layout.VP {
+		flag := len(a.counts) // the last wire bit
+		if words[flag>>6]>>(uint(flag)&63)&1 == 1 {
+			a.dropped++
+			return
+		}
+		a.kept++
+	}
+	// Safe: the walk rejected stray bits beyond the wire length and the
+	// flag bit is unset, so every set bit indexes a bucket count.
+	bitvec.AddWordsInto(words, a.counts)
+}
+
+// Absorb folds one JSON-path report into the partial, validating it against
+// the layout first (CheckReport) — the sparse-bits twin of absorbWords, so
+// mixed JSON and binary traffic lands in the same partials.
+func (p *RoundPartial) Absorb(rep RoundReport) error {
+	if err := p.layout.CheckReport(rep); err != nil {
+		return err
+	}
+	p.labelRouted[rep.Class]++
+	p.labelTotal++
+	p.received++
+	a := &p.aggs[p.layout.aggIndex(rep.Class)]
+	a.n++
+	if p.layout.VP {
+		flag := len(a.counts)
+		for _, b := range rep.Bits {
+			if b == flag {
+				a.dropped++
+				return nil
+			}
+		}
+		a.kept++
+	}
+	for _, b := range rep.Bits {
+		a.counts[b]++
+	}
+	return nil
+}
+
+// AbsorbFrame folds every record of a frame into the partial. The frame is
+// all-or-nothing: a validation walk runs ahead of the first absorb, so an
+// invalid frame returns an error with nothing applied. The apply walk never
+// materializes a RoundReport — words fold straight into the counts.
+func (p *RoundPartial) AbsorbFrame(f RoundFrame) error {
+	if err := f.Validate(p.layout); err != nil {
+		return err
+	}
+	return p.layout.walkRecords(f.records, f.Count, func(class int, words []uint64) error {
+		p.absorbWords(class, words)
+		return nil
+	})
+}
+
+// reset zeroes the partial in place for the next round of its layout's
+// shape, keeping the allocations. MergePartial calls it after draining.
+func (p *RoundPartial) reset() {
+	for i := range p.aggs {
+		a := &p.aggs[i]
+		for j := range a.counts {
+			a.counts[j] = 0
+		}
+		a.n, a.kept, a.dropped = 0, 0, 0
+	}
+	for i := range p.labelRouted {
+		p.labelRouted[i] = 0
+	}
+	p.labelTotal = 0
+	p.received = 0
+}
+
+// MergePartial drains a partial into the live round: counts, VP counters and
+// (for pts) label statistics add in, received advances, and the partial is
+// reset for reuse. Merging the shards of a round in any order yields the
+// same planner state as absorbing their reports sequentially. An empty
+// partial merges into any round (a no-op); a non-empty one must match the
+// live round — by the seal protocol it always does.
+func (pl *Planner) MergePartial(p *RoundPartial) error {
+	if p.received == 0 {
+		return nil
+	}
+	if pl.done || p.layout.Round != pl.round {
+		return fmt.Errorf("topk: merge of %d round-%d reports into live round %d", p.received, p.layout.Round, pl.round)
+	}
+	if len(p.aggs) != len(pl.aggs) {
+		return fmt.Errorf("topk: merge of %d partial aggregates into %d", len(p.aggs), len(pl.aggs))
+	}
+	for i := range p.aggs {
+		pa, a := &p.aggs[i], pl.aggs[i]
+		if len(pa.counts) != len(a.counts) {
+			return fmt.Errorf("topk: partial aggregate %d holds %d buckets, want %d", i, len(pa.counts), len(a.counts))
+		}
+		for j, c := range pa.counts {
+			a.counts[j] += c
+		}
+		a.n += pa.n
+		a.kept += pa.kept
+		a.dropped += pa.dropped
+	}
+	if pl.p.Framework == "pts" {
+		for c, v := range p.labelRouted {
+			pl.labelRouted[c] += v
+		}
+		pl.labelTotal += p.labelTotal
+	}
+	pl.received += p.received
+	p.reset()
+	return nil
+}
+
+// addWords folds one validated packed record into the aggregate — add
+// without materializing the set-bit list.
+func (a *roundAgg) addWords(words []uint64) {
+	a.n++
+	if a.vp {
+		flag := a.buckets
+		if words[flag>>6]>>(uint(flag)&63)&1 == 1 {
+			a.dropped++
+			return
+		}
+		a.kept++
+	}
+	bitvec.AddWordsInto(words, a.counts)
+}
+
+// AbsorbRoundFrame folds every record of a frame straight into the live
+// round — the single-writer path WAL replay uses, where no sharding exists
+// and the planner is exclusively held. All-or-nothing like AbsorbFrame: the
+// validation walk runs first, so an invalid frame leaves the round
+// untouched. The quota is advisory, exactly as in Absorb.
+func (pl *Planner) AbsorbRoundFrame(f RoundFrame) error {
+	l, ok := pl.Layout()
+	if !ok {
+		return ErrSessionDone
+	}
+	if err := f.Validate(l); err != nil {
+		return err
+	}
+	return l.walkRecords(f.records, f.Count, func(class int, words []uint64) error {
+		if pl.p.Framework == "pts" {
+			pl.labelRouted[class]++
+			pl.labelTotal++
+		}
+		pl.aggs[pl.aggIndex(class)].addWords(words)
+		pl.received++
+		return nil
+	})
+}

@@ -1,12 +1,18 @@
-// Ingestion benchmark for the interactive mining tier: batched round
-// reports posted to a hosted top-k session over real HTTP. Reports are
-// pre-perturbed and pre-marshalled outside the timer, so the numbers
-// isolate server-side round ingestion (request handling, decode, shape
-// validation against the live round, aggregate fold) — the per-round hot
-// path of a served mining session.
+// Ingestion benchmarks for the interactive mining tier: batched round
+// reports posted to a hosted top-k session over real HTTP, once per wire
+// format. Reports are pre-perturbed and pre-marshalled (or pre-framed)
+// outside the timer, so the numbers isolate server-side round ingestion —
+// request handling, decode/validate against the live round, and the fold
+// into the round's shard lane — the per-round hot path of a served mining
+// session.
 //
-// `make bench-json` snapshots this alongside the frequency-ingestion
-// numbers into BENCH_ingest.json.
+//	json:    512 topk.RoundReports as a JSON array.
+//	binary:  the same 512 reports as one 'T' session frame (word-packed
+//	         bit-vectors, absorbed without materializing report structs).
+//
+// `make bench-json` snapshots both alongside the frequency-ingestion
+// numbers into BENCH_ingest.json; the binary lane's allocs/op is a hard
+// budget under `make bench-check`.
 package mcim_test
 
 import (
@@ -28,11 +34,12 @@ const (
 	topkBenchBatch   = 512
 )
 
-// BenchmarkTopKRoundIngest posts 512-report round batches into a PTS
-// session whose first round is far larger than the benchmark will fill, so
-// every request lands in one live round. The comparable number is
-// reports/s (ns/op is per request).
-func BenchmarkTopKRoundIngest(b *testing.B) {
+// topkBenchSession stands up a session-serving server and a PTS session
+// whose round-0 quota (an a/2-fraction of users in the global phase)
+// dwarfs any realistic b.N × batch, so every request lands in one live
+// round, and returns 16 pre-encoded round batches.
+func topkBenchSession(b *testing.B) (*httptest.Server, *collect.TopKSession, *topk.RoundConfig, [][]topk.RoundReport) {
+	b.Helper()
 	proto, err := core.NewProtocol("ptscp", topkBenchClasses, topkBenchItems, 2, 0.5)
 	if err != nil {
 		b.Fatal(err)
@@ -43,9 +50,6 @@ func BenchmarkTopKRoundIngest(b *testing.B) {
 	}
 	hs := httptest.NewServer(srv.Handler())
 	b.Cleanup(hs.Close)
-
-	// Plan a session whose round-0 quota (an a/2-fraction of users in the
-	// global phase) dwarfs any realistic b.N × batch.
 	const users = 1 << 28
 	ts, err := collect.NewTopKSession(hs.URL, nil, topk.SessionParams{
 		Framework: "pts", Classes: topkBenchClasses, Items: topkBenchItems,
@@ -66,8 +70,8 @@ func BenchmarkTopKRoundIngest(b *testing.B) {
 		b.Fatal(err)
 	}
 	r := xrand.New(99)
-	bodies := make([][]byte, 16)
-	for i := range bodies {
+	batches := make([][]topk.RoundReport, 16)
+	for i := range batches {
 		reps := make([]topk.RoundReport, topkBenchBatch)
 		for j := range reps {
 			rep, err := enc.Encode(core.Pair{Class: r.Intn(topkBenchClasses), Item: r.Intn(topkBenchItems)}, r)
@@ -76,21 +80,53 @@ func BenchmarkTopKRoundIngest(b *testing.B) {
 			}
 			reps[j] = rep
 		}
-		if bodies[i], err = json.Marshal(reps); err != nil {
-			b.Fatal(err)
-		}
+		batches[i] = reps
 	}
+	return hs, ts, rd.Config, batches
+}
+
+// benchTopKPosts drives b.N pre-built request bodies and reports the
+// comparable cross-wire number, reports/s (ns/op is per request).
+func benchTopKPosts(b *testing.B, hs *httptest.Server, ts *collect.TopKSession, contentType string, bodies [][]byte) {
 	hc := hs.Client()
+	url := hs.URL + "/topk/sessions/" + ts.ID() + "/reports"
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		benchPost(b, hc, hs.URL+"/topk/sessions/"+ts.ID()+"/reports", bodies[i%len(bodies)])
+		benchPostType(b, hc, url, contentType, bodies[i%len(bodies)])
 	}
 	b.StopTimer()
 	elapsed := time.Since(start)
-	reports := b.N * topkBenchBatch
 	if elapsed > 0 {
-		b.ReportMetric(float64(reports)/elapsed.Seconds(), "reports/s")
+		b.ReportMetric(float64(b.N*topkBenchBatch)/elapsed.Seconds(), "reports/s")
 	}
+}
+
+func BenchmarkTopKRoundIngest(b *testing.B) {
+	b.Run("json", func(b *testing.B) {
+		hs, ts, _, batches := topkBenchSession(b)
+		bodies := make([][]byte, len(batches))
+		for i, reps := range batches {
+			var err error
+			if bodies[i], err = json.Marshal(reps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		benchTopKPosts(b, hs, ts, "application/json", bodies)
+	})
+	b.Run("binary", func(b *testing.B) {
+		hs, ts, cfg, batches := topkBenchSession(b)
+		layout, err := topk.LayoutOf(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies := make([][]byte, len(batches))
+		for i, reps := range batches {
+			if bodies[i], err = topk.AppendRoundFrame(nil, ts.ID(), layout, reps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		benchTopKPosts(b, hs, ts, collect.BinaryContentType, bodies)
+	})
 }
