@@ -22,10 +22,11 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout=20m ./...
 
 # Snapshot the ingestion + perturbation benchmarks (frequency reports,
-# top-k mining rounds, the numeric mean tier and tenant-routed ingestion)
-# into BENCH_ingest.json (ns/op, B/op, allocs/op, reports/s per benchmark).
+# top-k mining rounds, the numeric mean tier, tenant-routed ingestion, the
+# estimate read path and WAL replay) into BENCH_ingest.json (ns/op, B/op,
+# allocs/op, reports/s per benchmark).
 bench-json:
-	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted|EstimateRead|WALReplay' -benchmem -benchtime=1s . | $(GO) run ./cmd/benchsnap -out BENCH_ingest.json
 
 # The bench-regression gate: rerun the snapshot benchmarks and diff them
 # against the committed BENCH_ingest.json, failing when anything regressed
@@ -35,7 +36,7 @@ bench-json:
 BENCH_THRESHOLD ?= 0.15
 
 bench-check:
-	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted' -benchmem -benchtime=1s . | \
+	$(GO) test -run='^$$' -bench='CollectIngest|Perturb|TopKRound|MeanIngest|TenantRouted|EstimateRead|WALReplay' -benchmem -benchtime=1s . | \
 		$(GO) run ./cmd/benchsnap -compare BENCH_ingest.json -threshold $(BENCH_THRESHOLD) -out bench-compare.txt || \
 		{ cat bench-compare.txt; exit 1; }
 	@cat bench-compare.txt

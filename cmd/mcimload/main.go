@@ -11,7 +11,12 @@
 //   - -mode mean drives K concurrent buffered clients submitting numeric
 //     (label, value) reports to the server's mean tier over a gaussian
 //     per-class population, scoring the served classwise means (MAE) and
-//     class-size estimates (relative error) against the ground truth.
+//     class-size estimates (relative error) against the ground truth;
+//   - -mode query splits the -clients between writers ingesting the
+//     population and readers polling GET /estimates for the whole run
+//     (-read-ratio sets the split), measuring the read path — queries/sec
+//     and query latency percentiles — under concurrent ingest. This is the
+//     workload the versioned estimate cache accelerates.
 //
 // Both modes report sustained throughput (reports/sec) and request latency
 // percentiles (p50/p99/max) — the numbers that tell you whether the serving
@@ -105,6 +110,12 @@ type summary struct {
 	// Tenant fan-out mode (-tenants N).
 	Tenants   int                `json:"tenants,omitempty"`
 	PerTenant []tenantThroughput `json:"per_tenant,omitempty"`
+	// Query mode (-mode query): the reader side of the mixed workload.
+	ReadRatio      float64 `json:"read_ratio,omitempty"`
+	Queries        int     `json:"queries,omitempty"`
+	QueriesSec     float64 `json:"queries_per_sec,omitempty"`
+	QueryP50Micros float64 `json:"query_p50_us,omitempty"`
+	QueryP99Micros float64 `json:"query_p99_us,omitempty"`
 
 	// Scrape is the -scrape time series: one point per poll of the
 	// server's GET /metrics during the run, plus a final point at the end.
@@ -120,7 +131,7 @@ type tenantThroughput struct {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "freq", "workload: freq (frequency estimation) | topk (interactive mining session) | mean (numeric mean tier)")
+		mode      = flag.String("mode", "freq", "workload: freq (frequency estimation) | topk (interactive mining session) | mean (numeric mean tier) | query (mixed ingest + estimate polling)")
 		url       = flag.String("url", "", "external server URL (mutually exclusive with -selfserve)")
 		selfserve = flag.Bool("selfserve", false, "spin up an in-process server to drive")
 		framework = flag.String("framework", "ptscp", "frequency-estimation framework (selfserve mode): hec | ptj | pts | ptscp | pts+<oue|sue|olh|grr|adaptive>")
@@ -139,6 +150,7 @@ func main() {
 		batch     = flag.Int("batch", 256, "reports per batch request (0 = single-report endpoint, freq mode only)")
 		ndjson    = flag.Bool("ndjson", false, "submit batches as NDJSON streams instead of JSON arrays (freq mode)")
 		wire      = flag.String("wire", "json", "batch wire format: json | binary (freq, topk and mean modes)")
+		readRatio = flag.Float64("read-ratio", 0.5, "query mode: fraction of -clients that poll GET /estimates (the rest ingest); 0 < ratio < 1")
 		seed      = flag.Uint64("seed", 1, "generation and perturbation seed")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as one JSON object on stdout")
 		tenantNm  = flag.String("tenant", "", "target one tenant's routes on a multi-tenant server")
@@ -165,8 +177,16 @@ func main() {
 	if *clients < 1 || *users < 1 {
 		log.Fatalf("mcimload: need at least 1 client and 1 user")
 	}
-	if *mode != "freq" && *mode != "topk" && *mode != "mean" {
-		log.Fatalf("mcimload: unknown mode %q (want freq, topk or mean)", *mode)
+	if *mode != "freq" && *mode != "topk" && *mode != "mean" && *mode != "query" {
+		log.Fatalf("mcimload: unknown mode %q (want freq, topk, mean or query)", *mode)
+	}
+	if *mode == "query" {
+		if *readRatio <= 0 || *readRatio >= 1 {
+			log.Fatalf("mcimload: -read-ratio %v out of range (want 0 < ratio < 1)", *readRatio)
+		}
+		if *clients < 2 {
+			log.Fatalf("mcimload: -mode query needs at least 2 clients (one writer, one reader)")
+		}
 	}
 	if *wire != "json" && *wire != "binary" {
 		log.Fatalf("mcimload: unknown wire format %q (want json or binary)", *wire)
@@ -183,7 +203,7 @@ func main() {
 			log.Fatalf("mcimload: -tenants and -tenant are mutually exclusive")
 		}
 	}
-	if (*mode == "topk" || *mode == "mean") && *batch < 1 {
+	if (*mode == "topk" || *mode == "mean" || *mode == "query") && *batch < 1 {
 		// These paths have no single-report submission; normalize here so
 		// the -json summary records the batch size actually used.
 		*batch = 256
@@ -304,6 +324,9 @@ func main() {
 			sum.Framework = *miner
 			sum.K = *k
 			runTopK(base, hc, data, &sum, *miner, *optimized, *k, *eps, *clients, *batch, binary, *seed, *jsonOut)
+		case "query":
+			sum.Framework = cfg.Protocol
+			runQuery(base, hc, probe, data, &sum, *readRatio, *batch, *ndjson, binary, *clients, *seed, *jsonOut)
 		}
 	}
 	if scr != nil {
@@ -537,6 +560,141 @@ func runFreq(base string, hc *http.Client, probe *collect.Client, data *core.Dat
 	out(jsonOut, "accuracy: frequency RMSE %.2f over %d×%d cells, class-size mean relative error %.2f%%",
 		rmse, data.Classes, data.Items, 100*relErr)
 }
+
+// runQuery drives the mixed read/write workload: ceil(clients·readRatio)
+// reader workers poll GET /estimates as fast as the server answers while
+// the remaining writers ingest the population through the batch endpoint.
+// Readers run until the last writer finishes, so every query lands under
+// concurrent ingest — the regime the versioned estimate cache is built
+// for. Ingest is verified and scored exactly like -mode freq; the summary
+// additionally reports queries/sec and query latency percentiles.
+func runQuery(base string, hc *http.Client, probe *collect.Client, data *core.Dataset, sum *summary,
+	readRatio float64, batch int, ndjson, binary bool, clients int, seed uint64, jsonOut bool) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	readers := int(math.Ceil(float64(clients) * readRatio))
+	if readers >= clients {
+		readers = clients - 1
+	}
+	writers := clients - readers
+	est0, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := est0.Reports
+	log.Printf("population %s: %d users over %d classes × %d items; %d writers + %d readers",
+		data.Name, data.N(), data.Classes, data.Items, writers, readers)
+
+	var (
+		writeWG, readWG sync.WaitGroup
+		mu              sync.Mutex
+		latencies       []time.Duration
+		requests        int
+		firstErr        error
+		qlats           []time.Duration
+		queries         int
+		qErr            error
+	)
+	stop := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		readWG.Add(1)
+		go func(w int) {
+			defer readWG.Done()
+			var lats []time.Duration
+			var err error
+			for err == nil {
+				select {
+				case <-stop:
+					err = errStopped
+				default:
+					t0 := time.Now()
+					resp, gerr := hc.Get(base + "/estimates")
+					if gerr != nil {
+						err = gerr
+						break
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case cerr != nil:
+						err = cerr
+					case resp.StatusCode != http.StatusOK:
+						err = fmt.Errorf("estimates status %s", resp.Status)
+					default:
+						lats = append(lats, time.Since(t0))
+					}
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			qlats = append(qlats, lats...)
+			queries += len(lats)
+			if err != errStopped && qErr == nil {
+				qErr = fmt.Errorf("reader %d: %w", w, err)
+			}
+		}(w)
+	}
+	perWorker := (data.N() + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		lo := w * perWorker
+		hi := min(lo+perWorker, data.N())
+		if lo >= hi {
+			break
+		}
+		writeWG.Add(1)
+		go func(w int, pairs []core.Pair) {
+			defer writeWG.Done()
+			lats, n, err := drive(base, hc, pairs, batch, ndjson, binary, seed+uint64(w)*7919)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lats...)
+			requests += n
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("writer %d: %w", w, err)
+			}
+		}(w, data.Pairs[lo:hi])
+	}
+	writeWG.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	readWG.Wait()
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+	if qErr != nil {
+		log.Fatal(qErr)
+	}
+	fillTiming(sum, latencies, requests, elapsed, data.N())
+	sum.ReadRatio = readRatio
+	sum.Queries = queries
+	sum.QueriesSec = float64(queries) / elapsed.Seconds()
+	qp50, qp99, qmax := percentiles(qlats)
+	sum.QueryP50Micros = float64(qp50) / float64(time.Microsecond)
+	sum.QueryP99Micros = float64(qp99) / float64(time.Microsecond)
+	out(jsonOut, "drove %d writers + %d readers, %d ingest requests (batch=%d, wire=%s) in %v",
+		writers, readers, requests, batch, sum.Wire, elapsed.Round(time.Millisecond))
+	out(jsonOut, "ingest throughput: %.0f reports/sec", sum.ReportsSec)
+	p50, p99, maxLat := percentiles(latencies)
+	out(jsonOut, "ingest latency: p50 %v  p99 %v  max %v",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond), maxLat.Round(time.Microsecond))
+	out(jsonOut, "query throughput: %d queries, %.0f queries/sec", queries, sum.QueriesSec)
+	out(jsonOut, "query latency: p50 %v  p99 %v  max %v",
+		qp50.Round(time.Microsecond), qp99.Round(time.Microsecond), qmax.Round(time.Microsecond))
+
+	est, err := probe.Estimates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := est.Reports - baseline; got != data.N() {
+		log.Fatalf("server ingested %d of %d reports this run", got, data.N())
+	}
+}
+
+// errStopped is the sentinel a query-mode reader exits on when the writers
+// finish; it is never reported.
+var errStopped = fmt.Errorf("mcimload: run finished")
 
 // runFanout drives the frequency workload over n tenants at once: tenants
 // load-0..load-(n-1) are created (or reused) through the admin API from the

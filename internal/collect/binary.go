@@ -121,6 +121,7 @@ func (s *Server) applyBinary(frame []byte) error {
 	sh.mu.Lock()
 	n, err := s.proto.ApplyBinaryBatch(sh.acc, frame)
 	if err == nil {
+		sh.count.Add(int64(n))
 		s.total.Add(int64(n))
 	}
 	sh.mu.Unlock()
@@ -194,6 +195,7 @@ func (h *meanHub) applyBinary(frame []byte) error {
 	sh.mu.Lock()
 	n, err := h.proto.ApplyBinaryMeanBatch(sh.acc, frame)
 	if err == nil {
+		sh.count.Add(int64(n))
 		h.total.Add(int64(n))
 	}
 	sh.mu.Unlock()

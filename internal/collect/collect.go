@@ -98,6 +98,9 @@ type WireStats struct {
 	Protocol string `json:"protocol"`
 	Reports  int    `json:"reports"`
 	Shards   int    `json:"shards"`
+	// ShardReports is the per-shard report spread, read from lock-free
+	// per-shard counters so /stats never touches the ingest locks.
+	ShardReports []int64 `json:"shard_reports,omitempty"`
 	// WAL is present only on servers running with a write-ahead log.
 	WAL *WireWALStats `json:"wal,omitempty"`
 	// TopK is present only on servers hosting interactive mining sessions:
@@ -120,10 +123,14 @@ type WireWALStats struct {
 	LastSnapshot         string `json:"last_snapshot,omitempty"` // RFC 3339; empty if never
 }
 
-// shard is one independently locked aggregator.
+// shard is one independently locked aggregator. count mirrors the reports
+// the shard's aggregator holds; it is advanced under mu (like the server
+// total) but read lock-free, so /stats can report the per-shard spread
+// without touching the ingest locks.
 type shard struct {
-	mu  sync.Mutex
-	acc core.Aggregator
+	mu    sync.Mutex
+	acc   core.Aggregator
+	count atomic.Int64
 }
 
 // Server accumulates perturbed reports for one protocol over HTTP.
@@ -154,7 +161,16 @@ type Server struct {
 
 	next   atomic.Uint64 // round-robin shard cursor
 	total  atomic.Int64  // reports ingested; cheap read for acks vs locking every shard
+	gen    atomic.Int64  // whole-state generation; bumped (before total is stored) by install/takeLocked
 	shards []*shard
+
+	// Estimate-cache configuration (recorded by options, resolved into
+	// freqCache after initObs) and the WAL replay parallelism (see cache.go).
+	cacheDisabled     bool
+	cacheStaleReports int64
+	cacheStaleAge     time.Duration
+	replayWorkers     int
+	freqCache         *estimateCache
 
 	// topk hosts interactive mining sessions when WithTopKSessions is set
 	// (see topk.go); nil otherwise.
@@ -344,6 +360,14 @@ func NewServer(p *core.Protocol, opts ...ServerOption) (*Server, error) {
 	// Metrics before the WALs open: the logs' hook counters and the replay
 	// instrumentation live on the registry built here.
 	s.initObs()
+	if p != nil {
+		s.freqCache = newEstimateCache(s.cacheDisabled, s.cacheStaleReports, s.cacheStaleAge,
+			newCacheMetrics(s.obs, "freq"))
+	}
+	if s.mean != nil {
+		s.mean.cache = newEstimateCache(s.cacheDisabled, s.cacheStaleReports, s.cacheStaleAge,
+			newCacheMetrics(s.obs, "mean"))
+	}
 	if s.walDir != "" {
 		// Every accepted /merge envelope becomes one WAL record (plus a
 		// type byte); cap acceptance at what the log can actually frame, or
@@ -458,6 +482,10 @@ func (s *Server) StatsSnapshot() WireStats {
 	}
 	if s.proto != nil {
 		st.Protocol = s.proto.Name()
+		st.ShardReports = make([]int64, len(s.shards))
+		for i, sh := range s.shards {
+			st.ShardReports[i] = sh.count.Load()
+		}
 	}
 	if s.mean != nil {
 		st.Mean = s.mean.stats()
@@ -605,36 +633,105 @@ func (s *Server) apply(reps []core.Report) {
 	for _, rep := range reps {
 		sh.acc.Add(rep)
 	}
+	sh.count.Add(int64(len(reps)))
 	s.total.Add(int64(len(reps)))
 	sh.mu.Unlock()
 }
 
 // merged returns a point-in-time merge of all shards. The result is exact:
 // shard aggregators hold integer counts, so merging then estimating equals
-// estimating a single aggregator fed the same stream.
+// estimating a single aggregator fed the same stream — and merge order is
+// irrelevant, so the copies can be combined in any tree shape.
+//
+// Each shard lock is held only long enough to copy the shard's counts
+// (Clone when the aggregator supports it, merge-into-empty otherwise); the
+// copies are merged outside every lock, pairwise across goroutines, so an
+// estimate read never stalls the ingest lanes behind the full N-shard
+// merge and calibration.
 func (s *Server) merged() core.Aggregator {
-	out := s.proto.NewAggregator()
-	for _, sh := range s.shards {
+	copies := make([]core.Aggregator, len(s.shards))
+	for i, sh := range s.shards {
 		sh.mu.Lock()
-		err := out.Merge(sh.acc)
+		copies[i] = cloneFreqAggLocked(s.proto, sh.acc)
 		sh.mu.Unlock()
-		if err != nil {
-			panic("collect: shard merge: " + err.Error()) // identical protocol by construction
+	}
+	return mergeAggTree(copies, func(dst, src core.Aggregator) error { return dst.Merge(src) })
+}
+
+// cloneFreqAggLocked copies one shard's aggregate while its lock is held:
+// a cheap count-vector Clone when available, otherwise an exact
+// merge-into-empty copy (integer counts merge exactly, so the copy is
+// bit-identical either way).
+func cloneFreqAggLocked(p *core.Protocol, acc core.Aggregator) core.Aggregator {
+	if cl, ok := acc.(core.Cloner); ok {
+		if c := cl.Clone(); c != nil {
+			return c
 		}
+	}
+	out := p.NewAggregator()
+	if err := out.Merge(acc); err != nil {
+		panic("collect: shard merge: " + err.Error()) // identical protocol by construction
 	}
 	return out
 }
 
+// mergeAggTree folds shard copies pairwise: each round merges the top half
+// into the bottom half concurrently, halving the list, so an N-shard merge
+// costs ~log2(N) rounds of parallel pairwise merges instead of N
+// sequential ones. Merge errors panic — the copies share one protocol by
+// construction.
+func mergeAggTree[A any](copies []A, merge func(dst, src A) error) A {
+	n := len(copies)
+	for n > 1 {
+		half := n / 2
+		var wg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			pair := i
+			run := func() {
+				if err := merge(copies[pair], copies[n-1-pair]); err != nil {
+					panic("collect: shard merge: " + err.Error())
+				}
+			}
+			if half > 1 {
+				wg.Add(1)
+				go func() { defer wg.Done(); run() }()
+			} else {
+				run()
+			}
+		}
+		wg.Wait()
+		n -= half
+	}
+	return copies[0]
+}
+
 func (s *Server) handleEstimates(w http.ResponseWriter, _ *http.Request) {
+	s.freqCache.serve(w, s.freqVersion(), s.renderEstimates)
+}
+
+// freqVersion reads the frequency tier's cache version, total before gen
+// (the order the state transitions require — see cache.go).
+func (s *Server) freqVersion() cacheVersion {
+	t := s.total.Load()
+	return cacheVersion{gen: s.gen.Load(), total: t}
+}
+
+// renderEstimates recomputes the /estimates body from the shards. The
+// generation is read before any shard is copied, so an entry rendered
+// across a concurrent Restore/Drain is keyed under the superseded
+// generation and can never be served.
+func (s *Server) renderEstimates() ([]byte, cacheVersion, error) {
+	gen := s.gen.Load()
 	acc := s.merged()
 	freq := acc.Estimates()
-	writeJSON(w, WireEstimates{
+	body, err := encodeJSONBody(WireEstimates{
 		Reports:     acc.N(),
 		Frequencies: freq,
 		// Reuse the matrix for row-sum-based frameworks instead of paying
 		// the full calibration a second time.
 		ClassSizes: core.ClassSizesFromEstimates(acc, freq),
 	})
+	return body, cacheVersion{gen: gen, total: int64(acc.N())}, err
 }
 
 // Reports returns the number of reports accumulated so far. It reads a
@@ -701,16 +798,20 @@ func (s *Server) Restore(data []byte) error {
 // install swaps the whole aggregate for agg. It holds every shard lock
 // across the swap and the counter reset so concurrent ingestion is either
 // fully before (wiped and uncounted) or fully after (kept and counted) —
-// never half of each.
+// never half of each. The generation is bumped before the total is stored
+// (the estimate cache's version read order depends on it — see cache.go).
 func (s *Server) install(agg core.Aggregator) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
+	s.gen.Add(1)
 	for i, sh := range s.shards {
 		if i == 0 {
 			sh.acc = agg
+			sh.count.Store(int64(agg.N()))
 		} else {
 			sh.acc = s.proto.NewAggregator()
+			sh.count.Store(0)
 		}
 	}
 	s.total.Store(int64(agg.N()))

@@ -33,6 +33,14 @@ const (
 	recBinaryBatch = 'W'
 )
 
+// walReplayWorkersName/Help label the per-log gauge reporting how many
+// goroutines applied records during the startup replay (1 = sequential;
+// the ordered mining-session log is always 1).
+const (
+	walReplayWorkersName = "mcim_wal_replay_workers"
+	walReplayWorkersHelp = "Goroutines that applied WAL records during the startup replay, by log (1 = sequential)."
+)
+
 // batchRecord encodes accepted wire reports as one WAL record.
 func batchRecord(wires []WireReport) ([]byte, error) {
 	body, err := json.Marshal(wires)
@@ -61,8 +69,10 @@ func (s *Server) openWAL() error {
 	if err != nil {
 		return fmt.Errorf("collect: %w", err)
 	}
+	workers := s.replayWorkerCount()
+	s.obs.Gauge(walReplayWorkersName, walReplayWorkersHelp, "log", "freq").Set(float64(workers))
 	replayStart := time.Now()
-	err = l.Replay(
+	err = l.ReplayParallel(workers,
 		func(snap []byte) error {
 			agg, err := s.proto.UnmarshalAggregator(snap)
 			if err != nil {

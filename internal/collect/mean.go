@@ -68,6 +68,9 @@ type WireMeanEstimates struct {
 type WireMeanStats struct {
 	Protocol string `json:"protocol"`
 	Reports  int    `json:"reports"`
+	// ShardReports is the per-shard report count, in shard order — read
+	// lock-free from the shards' own counters (see WireStats.ShardReports).
+	ShardReports []int64 `json:"shard_reports,omitempty"`
 	// WAL is present only on servers running with a write-ahead log.
 	WAL *WireWALStats `json:"wal,omitempty"`
 }
@@ -83,6 +86,9 @@ func WithMean(p *core.NumericProtocol) ServerOption {
 type meanShard struct {
 	mu  sync.Mutex
 	acc mean.Aggregator
+	// count is the reports folded into this shard, advanced under mu but
+	// readable lock-free (the /stats shard breakdown).
+	count atomic.Int64
 }
 
 // meanHub owns the mean tier's state: its protocol, shards and (on durable
@@ -102,6 +108,12 @@ type meanHub struct {
 	next   atomic.Uint64
 	total  atomic.Int64
 	shards []*meanShard
+
+	// gen counts whole-state transitions, bumped (before total is stored)
+	// by install/takeLocked while every shard lock is held; with total it
+	// versions the estimate cache (see cache.go).
+	gen   atomic.Int64
+	cache *estimateCache
 
 	metrics *tierMetrics
 	logger  *obs.Logger
@@ -248,17 +260,40 @@ func (s *Server) handleMeanReportBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeanEstimates(w http.ResponseWriter, _ *http.Request) {
-	acc := s.mean.merged()
-	writeJSON(w, WireMeanEstimates{
+	h := s.mean
+	h.cache.serve(w, h.version(), h.renderEstimates)
+}
+
+// version reads the mean tier's live cache version: total BEFORE gen, so a
+// read torn by a concurrent install mislabels the total under the old —
+// dead — generation (see cache.go for why that is safe).
+func (h *meanHub) version() cacheVersion {
+	t := h.total.Load()
+	return cacheVersion{gen: h.gen.Load(), total: t}
+}
+
+// renderEstimates recomputes the mean estimate body from the shards and
+// returns the version it must be cached under. The generation is read
+// before any shard is cloned, so a render racing an install keys its body
+// under the superseded generation and is never served again.
+func (h *meanHub) renderEstimates() ([]byte, cacheVersion, error) {
+	gen := h.gen.Load()
+	acc := h.merged()
+	body, err := encodeJSONBody(WireMeanEstimates{
 		Reports:    acc.N(),
 		Means:      acc.Means(),
 		ClassSizes: acc.ClassSizes(),
 	})
+	return body, cacheVersion{gen: gen, total: int64(acc.N())}, err
 }
 
 // meanStats assembles the /stats mean block.
 func (h *meanHub) stats() *WireMeanStats {
 	st := &WireMeanStats{Protocol: h.proto.Name(), Reports: int(h.total.Load())}
+	st.ShardReports = make([]int64, len(h.shards))
+	for i, sh := range h.shards {
+		st.ShardReports[i] = sh.count.Load()
+	}
 	if h.log != nil {
 		ws := h.log.Stats()
 		st.WAL = &WireWALStats{
@@ -311,35 +346,58 @@ func (h *meanHub) apply(reps []mean.Report) {
 	for _, rep := range reps {
 		sh.acc.Add(rep)
 	}
+	sh.count.Add(int64(len(reps)))
 	h.total.Add(int64(len(reps)))
 	sh.mu.Unlock()
 }
 
-// merged returns a point-in-time exact merge of all shards.
+// merged returns a point-in-time exact merge of all shards. Like the
+// frequency tier, each shard lock is held only long enough to clone the
+// shard; the merge work itself runs outside every lock, pairwise across
+// goroutines (see Server.merged).
 func (h *meanHub) merged() mean.Aggregator {
-	out := h.proto.NewAggregator()
-	for _, sh := range h.shards {
+	copies := make([]mean.Aggregator, len(h.shards))
+	for i, sh := range h.shards {
 		sh.mu.Lock()
-		err := out.Merge(sh.acc)
+		copies[i] = cloneMeanAggLocked(h.proto, sh.acc)
 		sh.mu.Unlock()
-		if err != nil {
-			panic("collect: mean shard merge: " + err.Error()) // identical protocol by construction
+	}
+	return mergeAggTree(copies, func(dst, src mean.Aggregator) error { return dst.Merge(src) })
+}
+
+// cloneMeanAggLocked snapshots one mean shard's aggregator; the caller
+// holds the shard lock. Every built-in mean aggregator implements
+// mean.Cloner; the merge-into-empty fallback keeps custom aggregators
+// correct.
+func cloneMeanAggLocked(p *core.NumericProtocol, acc mean.Aggregator) mean.Aggregator {
+	if c, ok := acc.(mean.Cloner); ok {
+		if cp := c.Clone(); cp != nil {
+			return cp
 		}
 	}
-	return out
+	cp := p.NewAggregator()
+	if err := cp.Merge(acc); err != nil {
+		panic("collect: mean shard clone: " + err.Error()) // identical protocol by construction
+	}
+	return cp
 }
 
 // install swaps the whole mean aggregate for agg, holding every shard lock
-// across the swap and the counter reset.
+// across the swap and the counter reset. The generation is bumped before
+// the total is stored so the estimate cache can never mistake a
+// pre-install body for current state.
 func (h *meanHub) install(agg mean.Aggregator) {
 	for _, sh := range h.shards {
 		sh.mu.Lock()
 	}
+	h.gen.Add(1)
 	for i, sh := range h.shards {
 		if i == 0 {
 			sh.acc = agg
+			sh.count.Store(int64(agg.N()))
 		} else {
 			sh.acc = h.proto.NewAggregator()
+			sh.count.Store(0)
 		}
 	}
 	h.total.Store(int64(agg.N()))
@@ -356,6 +414,7 @@ func (h *meanHub) mergeShard(agg mean.Aggregator) error {
 	if err := sh.acc.Merge(agg); err != nil {
 		return fmt.Errorf("collect: merge mean state: %w", err)
 	}
+	sh.count.Add(int64(agg.N()))
 	h.total.Add(int64(agg.N()))
 	return nil
 }
@@ -396,8 +455,10 @@ func (s *Server) openMeanWAL() error {
 	if err != nil {
 		return fmt.Errorf("collect: mean tier: %w", err)
 	}
+	workers := s.replayWorkerCount()
+	s.obs.Gauge(walReplayWorkersName, walReplayWorkersHelp, "log", "mean").Set(float64(workers))
 	replayStart := time.Now()
-	err = l.Replay(
+	err = l.ReplayParallel(workers,
 		func(snap []byte) error {
 			agg, err := h.proto.UnmarshalAggregator(snap)
 			if err != nil {
@@ -570,17 +631,21 @@ func (s *Server) DrainMean() (mean.Aggregator, error) {
 }
 
 // takeLocked swaps every shard for a fresh aggregator and returns the
-// merged removed state. Caller holds ingestMu exclusively.
+// merged removed state. Caller holds ingestMu exclusively. Like install,
+// the generation is bumped before the total is stored so the estimate
+// cache can never serve a pre-drain body as current.
 func (h *meanHub) takeLocked() mean.Aggregator {
 	taken := h.proto.NewAggregator()
 	for _, sh := range h.shards {
 		sh.mu.Lock()
 	}
+	h.gen.Add(1)
 	for _, sh := range h.shards {
 		if err := taken.Merge(sh.acc); err != nil {
 			panic("collect: mean shard merge: " + err.Error()) // identical protocol by construction
 		}
 		sh.acc = h.proto.NewAggregator()
+		sh.count.Store(0)
 	}
 	h.total.Store(0)
 	for _, sh := range h.shards {

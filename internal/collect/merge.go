@@ -145,6 +145,7 @@ func (s *Server) mergeShard(agg core.Aggregator) error {
 		// types match by construction.
 		return fmt.Errorf("collect: merge state: %w", err)
 	}
+	sh.count.Add(int64(agg.N()))
 	s.total.Add(int64(agg.N()))
 	return nil
 }
@@ -197,17 +198,21 @@ func (s *Server) Drain() (core.Aggregator, error) {
 }
 
 // takeLocked swaps every shard for a fresh aggregator and returns the
-// merged removed state. Caller holds ingestMu exclusively.
+// merged removed state. Caller holds ingestMu exclusively. Like install,
+// the generation is bumped before the total is stored so the estimate
+// cache can never serve a pre-drain body as current.
 func (s *Server) takeLocked() core.Aggregator {
 	taken := s.proto.NewAggregator()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
+	s.gen.Add(1)
 	for _, sh := range s.shards {
 		if err := taken.Merge(sh.acc); err != nil {
 			panic("collect: shard merge: " + err.Error()) // identical protocol by construction
 		}
 		sh.acc = s.proto.NewAggregator()
+		sh.count.Store(0)
 	}
 	s.total.Store(0)
 	for _, sh := range s.shards {

@@ -71,29 +71,32 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	}
 
 	golden := map[string]string{
-		"mcim_ingest_reports_total":       "counter",
-		"mcim_ingest_batches_total":       "counter",
-		"mcim_ingest_bytes_total":         "counter",
-		"mcim_ingest_rejected_total":      "counter",
-		"mcim_ingest_latency_seconds":     "histogram",
-		"mcim_merge_reports_total":        "counter",
-		"mcim_wal_appends_total":          "counter",
-		"mcim_wal_appended_bytes_total":   "counter",
-		"mcim_wal_fsyncs_total":           "counter",
-		"mcim_wal_segment_rolls_total":    "counter",
-		"mcim_wal_compactions_total":      "counter",
-		"mcim_wal_torn_truncations_total": "counter",
-		"mcim_wal_replayed_records_total": "counter",
-		"mcim_wal_replay_seconds":         "gauge",
-		"mcim_topk_rounds_advanced_total": "counter",
-		"mcim_topk_stale_batches_total":   "counter",
-		"mcim_topk_sessions":              "gauge",
-		"mcim_topk_open_sessions":         "gauge",
-		"mcim_edge_push_total":            "counter",
-		"mcim_edge_drain_reports":         "histogram",
-		"mcim_edge_unpushed_reports":      "gauge",
-		"mcim_uptime_seconds":             "gauge",
-		"mcim_build_info":                 "gauge",
+		"mcim_ingest_reports_total":          "counter",
+		"mcim_ingest_batches_total":          "counter",
+		"mcim_ingest_bytes_total":            "counter",
+		"mcim_ingest_rejected_total":         "counter",
+		"mcim_ingest_latency_seconds":        "histogram",
+		"mcim_merge_reports_total":           "counter",
+		"mcim_wal_appends_total":             "counter",
+		"mcim_wal_appended_bytes_total":      "counter",
+		"mcim_wal_fsyncs_total":              "counter",
+		"mcim_wal_segment_rolls_total":       "counter",
+		"mcim_wal_compactions_total":         "counter",
+		"mcim_wal_torn_truncations_total":    "counter",
+		"mcim_wal_replayed_records_total":    "counter",
+		"mcim_wal_replay_seconds":            "gauge",
+		"mcim_wal_replay_workers":            "gauge",
+		"mcim_estimate_cache_requests_total": "counter",
+		"mcim_estimate_cache_stale_reports":  "gauge",
+		"mcim_topk_rounds_advanced_total":    "counter",
+		"mcim_topk_stale_batches_total":      "counter",
+		"mcim_topk_sessions":                 "gauge",
+		"mcim_topk_open_sessions":            "gauge",
+		"mcim_edge_push_total":               "counter",
+		"mcim_edge_drain_reports":            "histogram",
+		"mcim_edge_unpushed_reports":         "gauge",
+		"mcim_uptime_seconds":                "gauge",
+		"mcim_build_info":                    "gauge",
 	}
 	for name, wantType := range golden {
 		f := expo.Family(name)

@@ -310,6 +310,9 @@ func (s *Server) openTopKWAL() error {
 	if err != nil {
 		return fmt.Errorf("collect: topk sessions: %w", err)
 	}
+	// Session rounds are ordered (absorb order is the round order), so this
+	// log always replays sequentially regardless of WithWALReplayWorkers.
+	s.obs.Gauge(walReplayWorkersName, walReplayWorkersHelp, "log", "topk").Set(1)
 	replayStart := time.Now()
 	err = l.Replay(h.installSnapshot, h.replayRecord)
 	if err != nil {

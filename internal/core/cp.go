@@ -176,6 +176,22 @@ func (a *CPAccumulator) Merge(o *CPAccumulator) error {
 // Total returns N, the number of reports received.
 func (a *CPAccumulator) Total() int { return a.total }
 
+// Clone returns an independent copy of the aggregate: a deep copy of the
+// count vectors sharing only the immutable mechanism. Mutating either side
+// never affects the other.
+func (a *CPAccumulator) Clone() *CPAccumulator {
+	ic := make([][]int64, len(a.itemCounts))
+	for c, row := range a.itemCounts {
+		ic[c] = append([]int64(nil), row...)
+	}
+	return &CPAccumulator{
+		cp:          a.cp,
+		itemCounts:  ic,
+		labelCounts: append([]int64(nil), a.labelCounts...),
+		total:       a.total,
+	}
+}
+
 // RawPairCount returns f̃(C, I), the kept-report bit count.
 func (a *CPAccumulator) RawPairCount(c, i int) int64 { return a.itemCounts[c][i] }
 
@@ -204,16 +220,21 @@ func (a *CPAccumulator) Estimate(c, i int) float64 {
 		nHat*q2*(p1*(1-q2)-q1*(1-p2))/den
 }
 
-// EstimateAll returns the full calibrated c×d frequency matrix.
+// EstimateAll returns the full calibrated c×d frequency matrix. The bias
+// term N·q₁·q₂·(1−p₂) is hoisted out of the cell loop with its original
+// association preserved, so the matrix is bit-identical to calling Estimate
+// per cell; the loop itself runs over the flat int64 count rows.
 func (a *CPAccumulator) EstimateAll() [][]float64 {
 	out := NewMatrix(a.cp.c, a.cp.d)
 	p1, q1, p2, q2 := a.cp.Probabilities()
 	den := p1 * (1 - q2) * (p2 - q2)
+	bias := float64(a.total) * q1 * q2 * (1 - p2)
 	for c := 0; c < a.cp.c; c++ {
 		nHat := a.EstimateClassSize(c)
 		corr := nHat * q2 * (p1*(1-q2) - q1*(1-p2)) / den
+		cnts, row := a.itemCounts[c], out[c]
 		for i := 0; i < a.cp.d; i++ {
-			out[c][i] = (float64(a.itemCounts[c][i])-float64(a.total)*q1*q2*(1-p2))/den - corr
+			row[i] = (float64(cnts[i])-bias)/den - corr
 		}
 	}
 	return out

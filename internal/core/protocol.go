@@ -74,6 +74,18 @@ type Aggregator interface {
 	UnmarshalBinary([]byte) error
 }
 
+// Cloner is implemented by aggregators that can copy their aggregate state
+// cheaply (slice copies of integer counts). Collection servers use it to
+// snapshot a shard while holding its lock only for the copy, then merge and
+// calibrate the copies outside every lock. Clone may return nil when the
+// aggregator is backed by an accumulator that cannot clone (a custom
+// fo.Mechanism outside internal/fo) — callers must fall back to merging
+// under the lock. A non-nil clone shares no mutable state with the
+// original.
+type Cloner interface {
+	Clone() Aggregator
+}
+
 // WirePayload is the JSON wire form of a Report, sparse by construction:
 // unary-encoded reports carry set-bit indices, value reports carry the value
 // (plus the public hash seed for OLH). Exactly one of Bits / Value is
@@ -426,17 +438,48 @@ func (a *hecAggregator) Merge(other Aggregator) error {
 
 func (a *hecAggregator) N() int { return a.total }
 
+// Clone implements Cloner: each group's accumulator is cloned (nil when any
+// cannot), sharing only the immutable mechanism.
+func (a *hecAggregator) Clone() Aggregator {
+	accs := make([]fo.Accumulator, len(a.accs))
+	for g, acc := range a.accs {
+		cl, ok := acc.(fo.Cloner)
+		if !ok {
+			return nil
+		}
+		accs[g] = cl.Clone()
+	}
+	return &hecAggregator{c: a.c, d: a.d, mech: a.mech, accs: accs, total: a.total}
+}
+
 func (a *hecAggregator) Estimates() [][]float64 {
 	n := float64(a.total)
 	p, q := a.mech.P(), a.mech.Q()
+	pq := p - q
+	nq := n * q
+	cf := float64(a.c)
 	out := NewMatrix(a.c, a.d)
 	for g := 0; g < a.c; g++ {
+		// The accumulator's Estimate is (f̃ − N_g·q)/(p−q) over the group's
+		// own N_g, so recompute the raw support to follow the paper's
+		// calibration exactly. Every hoisted product repeats the per-cell
+		// expression on identical operands, and the count fast path repeats
+		// Estimate's own op sequence, so the matrix is bit-identical to the
+		// per-cell interface loop.
+		ngq := float64(a.accs[g].N()) * q
+		row := out[g]
+		if cr, ok := a.accs[g].(fo.CountsReader); ok {
+			cnts := cr.Counts()
+			for i := 0; i < a.d; i++ {
+				est := (float64(cnts[i]) - ngq) / pq
+				raw := est*pq + ngq
+				row[i] = (cf*raw - nq) / pq
+			}
+			continue
+		}
 		for i := 0; i < a.d; i++ {
-			// The accumulator's Estimate is (f̃ − N_g·q)/(p−q) over the
-			// group's own N_g, so recompute the raw support to follow the
-			// paper's calibration exactly.
-			raw := a.accs[g].Estimate(i)*(p-q) + float64(a.accs[g].N())*q
-			out[g][i] = (float64(a.c)*raw - n*q) / (p - q)
+			raw := a.accs[g].Estimate(i)*pq + ngq
+			row[i] = (cf*raw - nq) / pq
 		}
 	}
 	return out
@@ -551,9 +594,36 @@ func (a *ptjAggregator) Merge(other Aggregator) error {
 
 func (a *ptjAggregator) N() int { return a.acc.N() }
 
+// Clone implements Cloner: the joint-domain accumulator is cloned (nil when
+// it cannot), sharing only the immutable mechanism.
+func (a *ptjAggregator) Clone() Aggregator {
+	cl, ok := a.acc.(fo.Cloner)
+	if !ok {
+		return nil
+	}
+	return &ptjAggregator{c: a.c, d: a.d, mech: a.mech, acc: cl.Clone()}
+}
+
 func (a *ptjAggregator) Estimates() [][]float64 {
-	est := a.acc.EstimateAll()
 	out := NewMatrix(a.c, a.d)
+	if cr, ok := a.acc.(fo.CountsReader); ok {
+		// Calibrate straight from the flat joint counts instead of asking the
+		// accumulator for an intermediate c·d estimate slice. The hoisted
+		// N·q and p−q repeat Estimate's own operands, so the matrix is
+		// bit-identical to EstimateAll + reshape.
+		cnts := cr.Counts()
+		q := a.mech.Q()
+		nq := float64(a.acc.N()) * q
+		pq := a.mech.P() - q
+		for c := 0; c < a.c; c++ {
+			row, base := out[c], c*a.d
+			for i := 0; i < a.d; i++ {
+				row[i] = (float64(cnts[base+i]) - nq) / pq
+			}
+		}
+		return out
+	}
+	est := a.acc.EstimateAll()
 	for c := 0; c < a.c; c++ {
 		copy(out[c], est[c*a.d:(c+1)*a.d])
 	}
@@ -685,46 +755,86 @@ func (a *ptsAggregator) Merge(other Aggregator) error {
 
 func (a *ptsAggregator) N() int { return a.total }
 
+// Clone implements Cloner: each routed class's item accumulator is cloned
+// (nil when any cannot), plus a copy of the label counts, sharing only the
+// immutable mechanisms.
+func (a *ptsAggregator) Clone() Aggregator {
+	accs := make([]fo.Accumulator, len(a.accs))
+	for ci, acc := range a.accs {
+		cl, ok := acc.(fo.Cloner)
+		if !ok {
+			return nil
+		}
+		accs[ci] = cl.Clone()
+	}
+	return &ptsAggregator{
+		c: a.c, d: a.d, label: a.label, item: a.item,
+		labelCounts: append([]int64(nil), a.labelCounts...),
+		accs:        accs, total: a.total,
+	}
+}
+
 func (a *ptsAggregator) Estimates() [][]float64 {
 	n := float64(a.total)
 	p1, q1 := a.label.P(), a.label.Q()
 	p2, q2 := a.item.P(), a.item.Q()
+	den1 := p1 - q1
+	den2 := p2 - q2
+	den := den1 * den2
+	nq1 := n * q1
+	nq2 := n * q2
+	nq1q2 := n * q1 * q2
 	// Raw supports f̃(C,I) per routed class: taken as exact integer counts
 	// when the accumulator exposes them (every mechanism in internal/fo
-	// does), so the Eq. (6) calibration is bit-identical to working from
-	// the bit-count matrix directly; reconstructed from the calibrated
-	// estimates as est·(p₂−q₂) + N_C·q₂ otherwise.
+	// does; UE and GRR hand the whole count vector at once, OLH goes
+	// through its per-value rehash), so the Eq. (6) calibration is
+	// bit-identical to working from the bit-count matrix directly;
+	// reconstructed from the calibrated estimates as est·(p₂−q₂) + N_C·q₂
+	// otherwise. Every hoisted product below repeats the original per-cell
+	// expression on identical operands with its association preserved, so
+	// the output matrix is bit-identical to the unhoisted calibration.
 	raw := NewMatrix(a.c, a.d)
 	for ci := 0; ci < a.c; ci++ {
+		row := raw[ci]
+		if cr, ok := a.accs[ci].(fo.CountsReader); ok {
+			for i, c := range cr.Counts() {
+				row[i] = float64(c)
+			}
+			continue
+		}
 		if sup, ok := a.accs[ci].(interface{ Support(int) int64 }); ok {
 			for i := 0; i < a.d; i++ {
-				raw[ci][i] = float64(sup.Support(i))
+				row[i] = float64(sup.Support(i))
 			}
 			continue
 		}
 		est := a.accs[ci].EstimateAll()
+		lq2 := float64(a.labelCounts[ci]) * q2
 		for i := 0; i < a.d; i++ {
-			raw[ci][i] = est[i]*(p2-q2) + float64(a.labelCounts[ci])*q2
+			row[i] = est[i]*den2 + lq2
 		}
 	}
 	out := NewMatrix(a.c, a.d)
-	// Item marginals f̂(I) = (Σ_C f̃(C,I) − N·q₂)/(p₂−q₂).
-	itemHat := make([]float64, a.d)
-	for i := 0; i < a.d; i++ {
-		sum := 0.0
-		for ci := 0; ci < a.c; ci++ {
-			sum += raw[ci][i]
+	// Item marginals f̂(I) = (Σ_C f̃(C,I) − N·q₂)/(p₂−q₂), accumulated
+	// row-major (same per-item addition order as the column walk) and
+	// pre-multiplied into the per-item Eq. (6) correction term with its
+	// original association f̂(I)·q₁·(p₂−q₂).
+	itemCorr := make([]float64, a.d)
+	for ci := 0; ci < a.c; ci++ {
+		for i, v := range raw[ci] {
+			itemCorr[i] += v
 		}
-		itemHat[i] = (sum - n*q2) / (p2 - q2)
+	}
+	for i, sum := range itemCorr {
+		itemCorr[i] = (sum - nq2) / den2 * q1 * den2
 	}
 	for ci := 0; ci < a.c; ci++ {
-		nHat := (float64(a.labelCounts[ci]) - n*q1) / (p1 - q1)
+		nHat := (float64(a.labelCounts[ci]) - nq1) / den1
+		classCorr := nHat * q2 * den1
+		rawRow, outRow := raw[ci], out[ci]
 		for i := 0; i < a.d; i++ {
 			// Eq. (6).
-			out[ci][i] = (raw[ci][i] -
-				nHat*q2*(p1-q1) -
-				itemHat[i]*q1*(p2-q2) -
-				n*q1*q2) / ((p1 - q1) * (p2 - q2))
+			outRow[i] = (rawRow[i] - classCorr - itemCorr[i] - nq1q2) / den
 		}
 	}
 	return out
@@ -733,9 +843,11 @@ func (a *ptsAggregator) Estimates() [][]float64 {
 func (a *ptsAggregator) ClassSizes() []float64 {
 	n := float64(a.total)
 	p1, q1 := a.label.P(), a.label.Q()
+	nq1 := n * q1
+	den1 := p1 - q1
 	out := make([]float64, a.c)
 	for ci := range out {
-		out[ci] = (float64(a.labelCounts[ci]) - n*q1) / (p1 - q1)
+		out[ci] = (float64(a.labelCounts[ci]) - nq1) / den1
 	}
 	return out
 }
@@ -798,6 +910,10 @@ func (a *cpAggregator) Merge(other Aggregator) error {
 }
 
 func (a *cpAggregator) N() int { return a.acc.Total() }
+
+// Clone implements Cloner by deep-copying the wrapped accumulator's count
+// vectors.
+func (a *cpAggregator) Clone() Aggregator { return &cpAggregator{acc: a.acc.Clone()} }
 
 func (a *cpAggregator) Estimates() [][]float64 { return a.acc.EstimateAll() }
 

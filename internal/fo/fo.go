@@ -71,6 +71,28 @@ type Accumulator interface {
 	EstimateAll() []float64
 }
 
+// Cloner is implemented by accumulators that can copy their aggregate state
+// cheaply (a slice copy of integer counts, never a re-encode). Collection
+// servers use it to snapshot a shard under its lock and merge/estimate the
+// copies outside the lock. The clone shares the immutable mechanism but no
+// mutable state: mutating either side never affects the other.
+type Cloner interface {
+	// Clone returns an independent copy of the accumulator.
+	Clone() Accumulator
+}
+
+// CountsReader is implemented by accumulators whose raw per-value supports
+// are held as a dense count vector (UE, GRR — not OLH, whose supports cost a
+// rehash pass per value). The composite calibrations (HEC, PTJ reshape,
+// PTS's Eq. 6) read it to run their per-cell loops over flat integer counts
+// instead of per-cell interface calls. The returned slice is borrowed: it
+// aliases live aggregator state and must not be mutated or retained across
+// an Add.
+type CountsReader interface {
+	// Counts returns the DomainSize()-length raw support counts.
+	Counts() []int64
+}
+
 // WordsAdder is implemented by accumulators that can fold a bit-vector
 // report handed as packed words (the bitvec.Vector backing layout) without
 // materializing a Vector — the zero-allocation apply path of the binary

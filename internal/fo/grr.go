@@ -114,6 +114,15 @@ func (a *grrAccumulator) Merge(other Accumulator) error {
 
 func (a *grrAccumulator) N() int { return a.n }
 
+// Clone implements Cloner: a copy of the count vector, sharing the
+// immutable mechanism.
+func (a *grrAccumulator) Clone() Accumulator {
+	return &grrAccumulator{m: a.m, counts: append([]int64(nil), a.counts...), n: a.n}
+}
+
+// Counts implements CountsReader; the slice is borrowed, not a copy.
+func (a *grrAccumulator) Counts() []int64 { return a.counts }
+
 // Support returns the raw (uncalibrated) report count of value v. Exposed
 // so composite calibrations (PTS's Eq. 6) can work from exact integer
 // supports instead of reconstructing them from calibrated estimates.

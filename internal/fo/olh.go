@@ -124,6 +124,13 @@ func (a *olhAccumulator) Merge(other Accumulator) error {
 
 func (a *olhAccumulator) N() int { return len(a.reports) }
 
+// Clone implements Cloner. OLH retains reports rather than counts, so the
+// copy is O(N) — still far cheaper than holding a shard lock across the
+// O(N·d) rehashing estimate pass.
+func (a *olhAccumulator) Clone() Accumulator {
+	return &olhAccumulator{m: a.m, reports: append([]olhReport(nil), a.reports...)}
+}
+
 // Support counts how many reports hash v into their reported bucket — the
 // raw support the estimator calibrates (see grrAccumulator.Support). O(N).
 func (a *olhAccumulator) Support(v int) int64 {

@@ -184,6 +184,15 @@ func (a *ueAccumulator) Merge(other Accumulator) error {
 
 func (a *ueAccumulator) N() int { return a.n }
 
+// Clone implements Cloner: a copy of the count vector, sharing the
+// immutable mechanism.
+func (a *ueAccumulator) Clone() Accumulator {
+	return &ueAccumulator{m: a.m, counts: append([]int64(nil), a.counts...), n: a.n}
+}
+
+// Counts implements CountsReader; the slice is borrowed, not a copy.
+func (a *ueAccumulator) Counts() []int64 { return a.counts }
+
 // Support returns the raw 1-bit count of value v (see grrAccumulator.Support).
 func (a *ueAccumulator) Support(v int) int64 {
 	checkDomain(v, a.m.d)

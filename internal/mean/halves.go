@@ -68,6 +68,16 @@ type Aggregator interface {
 	UnmarshalBinary([]byte) error
 }
 
+// Cloner is implemented by aggregators that can copy their aggregate state
+// cheaply (slice copies of the integer sign counts). Collection servers use
+// it to snapshot a shard while holding its lock only for the copy, then
+// merge and calibrate the copies outside every lock. Every framework in
+// this package implements it; the clone shares no mutable state with the
+// original.
+type Cloner interface {
+	Clone() Aggregator
+}
+
 // Halves bundles one framework's client/server decomposition plus the
 // metadata a wire protocol needs: the symbol alphabet size its reports
 // carry and a fingerprint of the perturbation mechanisms behind the halves
@@ -192,6 +202,16 @@ func (a *signCounts) merge(o *signCounts) error {
 // N implements the Aggregator report count.
 func (a *signCounts) N() int { return a.total }
 
+// clone copies the count vectors.
+func (a *signCounts) clone() signCounts {
+	return signCounts{
+		c:     a.c,
+		plus:  append([]int64(nil), a.plus...),
+		minus: append([]int64(nil), a.minus...),
+		total: a.total,
+	}
+}
+
 // MarshalBinary implements the Aggregator snapshot contract.
 func (a *signCounts) MarshalBinary() ([]byte, error) {
 	return gobEncode(signState{Plus: a.plus, Minus: a.minus, Total: a.total})
@@ -229,6 +249,12 @@ func (a *hecAggregator) Merge(other Aggregator) error {
 		return fmt.Errorf("mean: cannot merge %T into HEC-Mean aggregator", other)
 	}
 	return a.signCounts.merge(&o.signCounts)
+}
+
+// Clone implements Cloner: a copy of the sign counts, sharing only the
+// immutable mechanism.
+func (a *hecAggregator) Clone() Aggregator {
+	return &hecAggregator{signCounts: a.signCounts.clone(), sr: a.sr}
 }
 
 func (a *hecAggregator) Means() []float64 {
@@ -316,6 +342,12 @@ func (a *ptsAggregator) Merge(other Aggregator) error {
 	return a.signCounts.merge(&o.signCounts)
 }
 
+// Clone implements Cloner: a copy of the sign counts, sharing only the
+// immutable mechanisms.
+func (a *ptsAggregator) Clone() Aggregator {
+	return &ptsAggregator{signCounts: a.signCounts.clone(), label: a.label, sr: a.sr}
+}
+
 func (a *ptsAggregator) Means() []float64 {
 	p1, q1 := a.label.P(), a.label.Q()
 	// Calibrated routed sums and the global sum.
@@ -396,6 +428,18 @@ func (a *cpAggregator) Merge(other Aggregator) error {
 }
 
 func (a *cpAggregator) N() int { return a.acc.Total() }
+
+// Clone implements Cloner: a copy of the wrapped accumulator's count
+// vectors, sharing only the immutable mechanism.
+func (a *cpAggregator) Clone() Aggregator {
+	return &cpAggregator{acc: &Accumulator{
+		m:      a.acc.m,
+		plus:   append([]int64(nil), a.acc.plus...),
+		minus:  append([]int64(nil), a.acc.minus...),
+		labels: append([]int64(nil), a.acc.labels...),
+		total:  a.acc.total,
+	}}
+}
 
 func (a *cpAggregator) Means() []float64 {
 	out := make([]float64, a.acc.m.classes)

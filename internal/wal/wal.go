@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -472,6 +473,140 @@ func (l *Log) Replay(onSnapshot func(snapshot []byte) error, onRecord func(recor
 		}
 	}
 	return nil
+}
+
+// ReplayParallel is Replay with onRecord fanned across a pool of workers
+// goroutines: segment files are prefetched ahead of the frame walk, the
+// walk itself stays sequential (bounds and CRC checks preserve the
+// intact-prefix torn-tail semantics exactly), and each intact payload is
+// dispatched to the pool. workers ≤ 1 delegates to Replay.
+//
+// It is only safe when record application is commutative (integer-count
+// merges) and onRecord is safe for concurrent use — records are applied
+// out of order across workers. onSnapshot still runs alone, before any
+// record. The first onRecord error stops dispatch and is returned after
+// the pool drains; payload slices alias per-segment read buffers that are
+// never reused, so a callback may retain them for the call's duration
+// without copying.
+func (l *Log) ReplayParallel(workers int, onSnapshot func(snapshot []byte) error, onRecord func(record []byte) error) error {
+	if workers <= 1 {
+		return l.Replay(onSnapshot, onRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, snaps, err := l.scan()
+	if err != nil {
+		return err
+	}
+	// Snapshot selection is identical to Replay: latest structurally valid
+	// snapshot wins, corrupt ones fall back to the previous.
+	from := 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, err := readSnapshotFile(l.snapPath(snaps[i]))
+		if err != nil {
+			continue
+		}
+		if err := onSnapshot(payload); err != nil {
+			return err
+		}
+		from = snaps[i]
+		break
+	}
+	var replay []int
+	for _, seq := range segs {
+		if seq < from || seq == l.activeSeq {
+			continue
+		}
+		replay = append(replay, seq)
+	}
+	if len(replay) == 0 {
+		return nil
+	}
+
+	// Reader goroutine prefetches the next segment file while the walk
+	// dispatches the current one.
+	type segData struct {
+		data []byte
+		err  error
+	}
+	segCh := make(chan segData, 2)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(segCh)
+		for _, seq := range replay {
+			data, err := os.ReadFile(l.segPath(seq))
+			select {
+			case segCh <- segData{data: data, err: err}:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	recCh := make(chan []byte, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range recCh {
+				if failed.Load() {
+					continue
+				}
+				if err := onRecord(rec); err != nil {
+					setErr(err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for sd := range segCh {
+		if sd.err != nil {
+			setErr(fmt.Errorf("wal: %w", sd.err))
+			break
+		}
+		data := sd.data
+		torn := false
+		for len(data) >= 8 {
+			n := binary.LittleEndian.Uint32(data[:4])
+			if uint64(n) > MaxRecordBytes || uint64(n) > uint64(len(data)-8) {
+				torn = true // torn length or payload: end of this segment's intact prefix
+				break
+			}
+			payload := data[8 : 8+n]
+			if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+				torn = true // torn payload bytes
+				break
+			}
+			if failed.Load() {
+				break dispatch
+			}
+			l.opts.Metrics.noteReplayed(1)
+			recCh <- payload
+			data = data[8+n:]
+		}
+		// 1–7 trailing bytes are a torn frame header.
+		if torn || len(data) > 0 {
+			l.opts.Metrics.noteTorn()
+		}
+	}
+	close(recCh)
+	wg.Wait()
+	return firstErr
 }
 
 // readSnapshotFile reads a snapshot file (one record frame) and verifies

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -253,5 +255,118 @@ func TestSyncPolicies(t *testing.T) {
 		if err := l.Append([]byte("after close")); err == nil {
 			t.Fatalf("%s: append after close succeeded", pol)
 		}
+	}
+}
+
+// TestReplayParallelMatchesSequential pins the parallel replay contract:
+// identical snapshot selection, the identical intact record multiset (order
+// may differ — the callers that opt in are order-independent), and the same
+// torn-tail tolerance as Replay.
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Append([]byte(fmt.Sprintf("pre-%03d", i)))
+	}
+	cover, err := l.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(cover, []byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 200; i++ {
+		rec := fmt.Sprintf("tail-%03d", i)
+		want = append(want, rec)
+		l.Append([]byte(rec))
+	}
+	l.Close()
+
+	// Tear the tail of the newest segment: one garbage half-frame that both
+	// replay paths must clip identically.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("glob: %v (%d segments, want multiple)", err, len(segs))
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0xff, 0x00, 0x00, 1, 2, 3})
+	f.Close()
+
+	collectParallel := func(t *testing.T, workers int) (snapshot []byte, records []string) {
+		t.Helper()
+		l, err := Open(dir, Options{SegmentBytes: 256, Sync: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		var mu sync.Mutex
+		err = l.ReplayParallel(workers,
+			func(s []byte) error { snapshot = bytes.Clone(s); return nil },
+			func(r []byte) error {
+				mu.Lock()
+				records = append(records, string(r))
+				mu.Unlock()
+				return nil
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(records)
+		return snapshot, records
+	}
+
+	sort.Strings(want)
+	for _, workers := range []int{1, 4} {
+		snap, records := collectParallel(t, workers)
+		if !bytes.Equal(snap, []byte("snapshot-state")) {
+			t.Fatalf("workers=%d: snapshot %q", workers, snap)
+		}
+		if len(records) != len(want) {
+			t.Fatalf("workers=%d: replayed %d records, want %d", workers, len(records), len(want))
+		}
+		for i := range want {
+			if records[i] != want[i] {
+				t.Fatalf("workers=%d: record multiset diverges at %q vs %q", workers, records[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReplayParallelPropagatesErrors: a failing onRecord must surface and
+// stop the replay instead of being swallowed by the worker pool.
+func TestReplayParallelPropagatesErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		l.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	boom := fmt.Errorf("poisoned record")
+	err = l2.ReplayParallel(4, nil, func(r []byte) error {
+		if string(r) == "rec-25" {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "poisoned record") {
+		t.Fatalf("parallel replay error = %v, want the onRecord failure", err)
 	}
 }
